@@ -1,0 +1,121 @@
+//! Functional-simulator microbenchmarks: programmed-matrix MVM
+//! throughput per backend, layer programming cost, and the bit-slicing
+//! sweep's cost scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use funcsim::{
+    AnalyticalEngine, ArchConfig, CrossbarEngine, FxpFormat, GeniexEngine, IdealEngine,
+    ProgrammedMatrix,
+};
+use geniex::dataset::{generate, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use xbar::CrossbarParams;
+
+fn arch(size: usize) -> ArchConfig {
+    ArchConfig::default().with_xbar(CrossbarParams::builder(size, size).build().unwrap())
+}
+
+fn test_matrix(m: usize, k: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weight = Tensor::from_vec(
+        (0..m * k).map(|_| rng.gen_range(-0.9f32..0.9)).collect(),
+        &[m, k],
+    )
+    .unwrap();
+    let bias = Tensor::zeros(&[m]);
+    (weight, bias)
+}
+
+fn input_codes(k: usize, n: usize, seed: u64) -> Vec<i64> {
+    let fmt = FxpFormat::paper_default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * k)
+        .map(|_| fmt.quantize(rng.gen_range(0.0f32..1.0)))
+        .collect()
+}
+
+fn geniex_engine(size: usize) -> GeniexEngine {
+    let params = CrossbarParams::builder(size, size).build().unwrap();
+    let data = generate(
+        &params,
+        &DatasetConfig {
+            samples: 150,
+            seed: 1,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut s = Geniex::new(&params, 100, 3).unwrap();
+    s.train(
+        &data,
+        &TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    GeniexEngine::new(s)
+}
+
+fn bench_mvm_backends(c: &mut Criterion) {
+    let size = 16;
+    let a = arch(size);
+    let (weight, bias) = test_matrix(16, 72, 1);
+    let x = input_codes(72, 8, 2);
+    let mut group = c.benchmark_group("funcsim/mvm_16x16_fanin72_batch8");
+
+    let engines: Vec<(&str, Box<dyn CrossbarEngine>)> = vec![
+        ("ideal", Box::new(IdealEngine)),
+        ("analytical", Box::new(AnalyticalEngine)),
+        ("geniex", Box::new(geniex_engine(size))),
+    ];
+    for (name, engine) in &engines {
+        let pm = ProgrammedMatrix::program(engine.as_ref(), &a, &weight, &bias).unwrap();
+        group.bench_function(*name, |b| {
+            b.iter(|| pm.mvm_codes(black_box(&x), 8).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_programming(c: &mut Criterion) {
+    let size = 16;
+    let a = arch(size);
+    let (weight, bias) = test_matrix(16, 72, 3);
+    let mut group = c.benchmark_group("funcsim/program_16x16_fanin72");
+    group.bench_function("ideal", |b| {
+        b.iter(|| ProgrammedMatrix::program(&IdealEngine, &a, &weight, &bias).unwrap());
+    });
+    group.bench_function("analytical", |b| {
+        b.iter(|| ProgrammedMatrix::program(&AnalyticalEngine, &a, &weight, &bias).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_bit_slicing_cost(c: &mut Criterion) {
+    // Narrower digits mean more (stream, slice) pairs per MVM: the
+    // Fig. 9 accuracy sweep has a direct cost axis too.
+    let size = 16;
+    let (weight, bias) = test_matrix(16, 64, 5);
+    let x = input_codes(64, 4, 6);
+    let mut group = c.benchmark_group("funcsim/bit_slicing_cost");
+    for width in [1u32, 2, 4] {
+        let a = arch(size).with_bit_slicing(width, width);
+        let pm = ProgrammedMatrix::program(&IdealEngine, &a, &weight, &bias).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| pm.mvm_codes(black_box(&x), 4).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mvm_backends, bench_programming, bench_bit_slicing_cost
+}
+criterion_main!(benches);

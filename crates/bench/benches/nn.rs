@@ -1,0 +1,70 @@
+//! Neural-network substrate microbenchmarks: GEMM, conv2d forward and
+//! backward, and an MLP training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::layers::{Conv2d, Layer};
+use nn::{loss::mse, Adam, Mlp, Optimizer, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_vec(
+        (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+        shape,
+    )
+    .unwrap()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/matmul");
+    for n in [32usize, 128, 256] {
+        let a = random_tensor(&[n, n], 1);
+        let b = random_tensor(&[n, n], 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).matmul(black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, 3);
+    let x = random_tensor(&[8, 8, 12, 12], 4);
+    c.bench_function("nn/conv2d_forward_8x8x12x12", |b| {
+        b.iter(|| conv.forward(black_box(&x), false));
+    });
+    c.bench_function("nn/conv2d_forward_backward", |b| {
+        b.iter(|| {
+            let out = conv.forward(black_box(&x), true);
+            let ones = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+            conv.backward(&ones)
+        });
+    });
+}
+
+fn bench_mlp_step(c: &mut Criterion) {
+    let mut mlp = Mlp::new(&[272, 200, 16], 5).unwrap();
+    let x = random_tensor(&[32, 272], 6);
+    let t = random_tensor(&[32, 16], 7);
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("nn/mlp_train_step_272x200x16_b32", |b| {
+        b.iter(|| {
+            let y = mlp.forward_train(&x);
+            let (_, grad) = mse(&y, &t).unwrap();
+            mlp.zero_grad();
+            mlp.backward(&grad);
+            opt.step(&mut mlp);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_conv, bench_mlp_step
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! GENIEx surrogate microbenchmarks: cold forward vs fast-forward
+//! (tile-specialized), batched fast-forward, training step cost, and
+//! tile programming (the weight-split precomputation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geniex::dataset::{generate, DatasetConfig};
+use geniex::{Geniex, GeniexTile, TrainConfig};
+use std::hint::black_box;
+use xbar::CrossbarParams;
+
+fn trained(size: usize, hidden: usize) -> (CrossbarParams, Geniex) {
+    let params = CrossbarParams::builder(size, size).build().unwrap();
+    let data = generate(
+        &params,
+        &DatasetConfig {
+            samples: 200,
+            seed: 1,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut s = Geniex::new(&params, hidden, 3).unwrap();
+    s.train(
+        &data,
+        &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    (params, s)
+}
+
+fn bench_forward_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surrogate/forward");
+    for size in [8usize, 16, 32] {
+        let (_, mut surrogate) = trained(size, 200);
+        let v = vec![0.5f32; size];
+        let g = vec![0.5f32; size * size];
+        group.bench_with_input(BenchmarkId::new("cold", size), &size, |b, _| {
+            b.iter(|| surrogate.predict_f_r(black_box(&v), black_box(&g)).unwrap());
+        });
+        let tile = GeniexTile::new(&surrogate, &g).unwrap();
+        group.bench_with_input(BenchmarkId::new("fast", size), &size, |b, _| {
+            b.iter(|| tile.f_r_from_levels(black_box(&v)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_fast_forward(c: &mut Criterion) {
+    let (_, surrogate) = trained(16, 200);
+    let g = vec![0.5f32; 256];
+    let tile = GeniexTile::new(&surrogate, &g).unwrap();
+    let mut group = c.benchmark_group("surrogate/fast_batch");
+    for n in [1usize, 16, 128] {
+        let v = vec![0.5f32; n * 16];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| tile.f_r_batch(black_box(&v), n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_programming(c: &mut Criterion) {
+    let (_, surrogate) = trained(16, 200);
+    let g = vec![0.5f32; 256];
+    c.bench_function("surrogate/tile_program_16", |b| {
+        b.iter(|| GeniexTile::new(black_box(&surrogate), black_box(&g)).unwrap());
+    });
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let params = CrossbarParams::builder(8, 8).build().unwrap();
+    let data = generate(
+        &params,
+        &DatasetConfig {
+            samples: 256,
+            seed: 2,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    c.bench_function("surrogate/train_epoch_8x8_256samples", |b| {
+        b.iter(|| {
+            let mut s = Geniex::new(&params, 100, 3).unwrap();
+            s.train(
+                black_box(&data),
+                &TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward_paths, bench_batched_fast_forward,
+              bench_tile_programming, bench_training_epoch
+}
+criterion_main!(benches);

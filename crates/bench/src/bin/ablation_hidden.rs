@@ -1,0 +1,65 @@
+//! Ablation: hidden-layer width of the GENIEx surrogate.
+//!
+//! The paper fixes P = 500 for 64×64 crossbars; this sweep shows how
+//! NF RMSE scales with capacity at our design point, locating the
+//! knee.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin ablation_hidden
+//! ```
+
+use geniex::benchmark::{compare_models, BenchmarkConfig};
+use geniex::dataset::{generate, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
+use geniex_bench::table::{fix, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = design_point(DEFAULT_SIZE);
+    let data = generate(
+        &params,
+        &DatasetConfig {
+            samples: 4000,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )?;
+
+    let mut table = Table::new(&["hidden", "train_mse", "geniex_rmse", "analytical_rmse"]);
+    for hidden in [25usize, 50, 100, 200, 400] {
+        let mut surrogate = Geniex::new(&params, hidden, 3)?;
+        let report = surrogate.train(
+            &data,
+            &TrainConfig {
+                epochs: 80,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                seed: 4,
+                ..TrainConfig::default()
+            },
+        )?;
+        let cmp = compare_models(
+            &params,
+            &surrogate,
+            &BenchmarkConfig {
+                stimuli: 40,
+                seed: 99,
+                dac_levels: 16,
+            },
+        )?;
+        println!(
+            "hidden {hidden:>3}: train mse {:.5}, NF RMSE {:.4} (analytical {:.4})",
+            report.final_loss, cmp.geniex_rmse, cmp.analytical_rmse
+        );
+        table.row(&[
+            hidden.to_string(),
+            fix(report.final_loss as f64, 5),
+            fix(cmp.geniex_rmse, 4),
+            fix(cmp.analytical_rmse, 4),
+        ]);
+    }
+
+    println!("\n{}", table.render());
+    table.write_csv(results_dir().join("ablation_hidden.csv"))?;
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Ablation: differential vs offset weight-to-conductance mapping.
+//!
+//! Differential mapping stores positive and negative weight parts on
+//! separate crossbars; offset mapping stores `w + 2^(B-1)` on one
+//! crossbar and subtracts the pedestal digitally. Offset halves the
+//! device count but biases every cell toward mid-conductance, so the
+//! array draws more current and suffers more IR drop — this ablation
+//! quantifies the accuracy cost under the analytical backend.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin ablation_mapping
+//! ```
+
+use funcsim::{evaluate_spec, AnalyticalEngine, ArchConfig, IdealEngine, WeightMapping};
+use geniex_bench::setup::{accuracy_design_point, results_dir, standard_workload, DEFAULT_SIZE};
+use geniex_bench::table::{pct, Table};
+use vision::{rescale_for_fxp, SynthSpec, SynthVision};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = standard_workload(SynthSpec::SynthS);
+    let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1)?;
+    let (calib, _) = calib_data.full_batch()?;
+    let spec = rescale_for_fxp(&workload.model.to_spec(), &calib, 3.5)?;
+
+    println!("FP32 reference accuracy: {}%", pct(workload.fp32_accuracy));
+    let mut table = Table::new(&["mapping", "ron", "ideal_pct", "analytical_pct"]);
+
+    for mapping in [WeightMapping::Differential, WeightMapping::Offset] {
+        for ron in [50e3, 100e3] {
+            let mut xbar = accuracy_design_point(DEFAULT_SIZE);
+            xbar.r_on = ron;
+            let arch = ArchConfig {
+                weight_mapping: mapping,
+                ..ArchConfig::default().with_xbar(xbar)
+            };
+            let ideal = evaluate_spec(spec.clone(), &arch, &IdealEngine, &workload.test, 16)?;
+            let analytical =
+                evaluate_spec(spec.clone(), &arch, &AnalyticalEngine, &workload.test, 16)?;
+            let label = match mapping {
+                WeightMapping::Differential => "differential",
+                WeightMapping::Offset => "offset",
+            };
+            println!(
+                "{label:>12} Ron {:>4}k: ideal {}%, analytical {}%",
+                ron / 1e3,
+                pct(ideal),
+                pct(analytical)
+            );
+            table.row(&[
+                label.to_string(),
+                format!("{}k", ron / 1e3),
+                pct(ideal),
+                pct(analytical),
+            ]);
+        }
+    }
+
+    println!("\n{}", table.render());
+    table.write_csv(results_dir().join("ablation_mapping.csv"))?;
+    println!("expected: offset mapping suffers more IR-drop degradation");
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! Ablation: the paper's key formulation choice — predict the ratio
+//! `f_R = I_ideal / I_non_ideal` instead of the current itself.
+//!
+//! Neural networks are poor at multiplicative interactions between
+//! their inputs; predicting `I_non_ideal(V, G)` directly forces the
+//! network to learn the V·G product, while the ratio target factors it
+//! out (Section 4, "NN Formulation"). This ablation trains both
+//! variants on identical data and compares their NF RMSE.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin ablation_target
+//! ```
+
+use geniex::dataset::{generate, simulate_sample, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
+use geniex_bench::table::{fix, Table};
+use nn::{loss::mse, Adam, Mlp, Optimizer, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = design_point(DEFAULT_SIZE);
+    let n = DEFAULT_SIZE;
+    let data = generate(
+        &params,
+        &DatasetConfig {
+            samples: 3000,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )?;
+
+    // --- Variant A: ratio target (the GENIEx formulation). ----------
+    let mut ratio_model = Geniex::new(&params, 200, 3)?;
+    ratio_model.train(
+        &data,
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    )?;
+
+    // --- Variant B: direct current target. --------------------------
+    // Same inputs; labels are the non-ideal currents normalized by the
+    // crossbar's full-scale column current.
+    let in_dim = n + n * n;
+    let i_scale = n as f64 * params.v_supply * params.g_on();
+    let mut x_all = Vec::with_capacity(data.len() * in_dim);
+    let mut y_all = Vec::with_capacity(data.len() * n);
+    for s in &data.samples {
+        x_all.extend_from_slice(&s.v_levels);
+        x_all.extend_from_slice(&s.g_levels);
+        // Reconstruct the non-ideal currents from f_R and the ideal MVM
+        // (exactly what the sample was labelled from).
+        let sample = simulate_sample(&params, &s.v_levels, &s.g_levels)?;
+        let volts: Vec<f64> = s.v_levels.iter().map(|&l| l as f64 * params.v_supply).collect();
+        let levels: Vec<f64> = s.g_levels.iter().map(|&l| l as f64).collect();
+        let g = ConductanceMatrix::from_levels(&params, &levels)?;
+        let circuit = CrossbarCircuit::new(&params, &g)?;
+        let currents = circuit.solve(&volts)?.currents;
+        let _ = sample;
+        for c in currents {
+            y_all.push((c / i_scale) as f32);
+        }
+    }
+    let mut direct_model = Mlp::new(&[in_dim, 200, n], 3)?;
+    let mut optimizer = Adam::new(1e-3);
+    let samples = data.len();
+    let mut order: Vec<usize> = (0..samples).collect();
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..80 {
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(32) {
+            let bs = chunk.len();
+            let mut xb = Vec::with_capacity(bs * in_dim);
+            let mut yb = Vec::with_capacity(bs * n);
+            for &i in chunk {
+                xb.extend_from_slice(&x_all[i * in_dim..(i + 1) * in_dim]);
+                yb.extend_from_slice(&y_all[i * n..(i + 1) * n]);
+            }
+            let x = Tensor::from_vec(xb, &[bs, in_dim])?;
+            let y = Tensor::from_vec(yb, &[bs, n])?;
+            let pred = direct_model.forward_train(&x);
+            let (_, grad) = mse(&pred, &y)?;
+            direct_model.zero_grad();
+            direct_model.backward(&grad);
+            optimizer.step(&mut direct_model);
+        }
+    }
+
+    // --- Validation: NF RMSE of both variants. -----------------------
+    let mut rng = StdRng::seed_from_u64(515);
+    let mut nf_ref = Vec::new();
+    let mut nf_ratio = Vec::new();
+    let mut nf_direct = Vec::new();
+    let floor = 0.05 * params.g_off() * params.v_supply;
+    for _ in 0..40 {
+        let v_sparsity = rng.gen_range(0.0..0.9);
+        let g_sparsity = rng.gen_range(0.0..0.9);
+        let v_levels: Vec<f32> = (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < v_sparsity {
+                    0.0
+                } else {
+                    rng.gen_range(1..=16) as f32 / 16.0
+                }
+            })
+            .collect();
+        let g_levels: Vec<f32> = (0..n * n)
+            .map(|_| {
+                if rng.gen::<f64>() < g_sparsity {
+                    0.0
+                } else {
+                    rng.gen::<f32>()
+                }
+            })
+            .collect();
+        let volts: Vec<f64> = v_levels.iter().map(|&l| l as f64 * params.v_supply).collect();
+        let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
+        let g = ConductanceMatrix::from_levels(&params, &levels)?;
+        let truth = CrossbarCircuit::new(&params, &g)?.solve(&volts)?.currents;
+        let ideal = ideal_mvm(&volts, &g)?;
+
+        let ratio_currents = ratio_model.clone().predict_currents(&volts, &g)?;
+        let mut input = Vec::with_capacity(in_dim);
+        input.extend_from_slice(&v_levels);
+        input.extend_from_slice(&g_levels);
+        let direct_out = direct_model.forward(&Tensor::from_vec(input, &[1, in_dim])?);
+        let direct_currents: Vec<f64> = direct_out
+            .data()
+            .iter()
+            .map(|&y| y as f64 * i_scale)
+            .collect();
+
+        for j in 0..n {
+            if ideal[j].abs() > floor {
+                nf_ref.push((ideal[j] - truth[j]) / ideal[j]);
+                nf_ratio.push((ideal[j] - ratio_currents[j]) / ideal[j]);
+                nf_direct.push((ideal[j] - direct_currents[j]) / ideal[j]);
+            }
+        }
+    }
+    let rmse = |a: &[f64], b: &[f64]| {
+        (a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / a.len() as f64)
+            .sqrt()
+    };
+    let ratio_rmse = rmse(&nf_ref, &nf_ratio);
+    let direct_rmse = rmse(&nf_ref, &nf_direct);
+
+    let mut table = Table::new(&["target", "nf_rmse"]);
+    table.row(&["ratio f_R (paper)".into(), fix(ratio_rmse, 4)]);
+    table.row(&["direct current".into(), fix(direct_rmse, 4)]);
+    println!("{}", table.render());
+    table.write_csv(results_dir().join("ablation_target.csv"))?;
+    println!(
+        "expected: the ratio target wins — it spares the network the \
+         multiplicative V x G interaction"
+    );
+    Ok(())
+}

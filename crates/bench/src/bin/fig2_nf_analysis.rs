@@ -1,0 +1,94 @@
+//! Figure 2: analysis of NVM non-idealities.
+//!
+//! (a) ideal vs non-ideal output currents (scatter data);
+//! (b) NF distribution vs crossbar size;
+//! (c) NF distribution vs ON resistance;
+//! (d) NF distribution vs conductance ON/OFF ratio.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin fig2_nf_analysis
+//! ```
+
+use geniex_bench::setup::{results_dir, DEFAULT_SIZE, ON_OFFS, RONS, SIZES};
+use geniex_bench::table::{fix, Table};
+use xbar::sweep::{current_pairs, nf_distribution};
+use xbar::CrossbarParams;
+
+const STIMULI: usize = 20;
+const SEED: u64 = 2020;
+
+fn summarize(
+    table: &mut Table,
+    label: &str,
+    params: &CrossbarParams,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let point = nf_distribution(params, STIMULI, SEED, label)?;
+    let s = point.summary;
+    table.row(&[
+        label.to_string(),
+        fix(s.min, 4),
+        fix(s.q1, 4),
+        fix(s.median, 4),
+        fix(s.q3, 4),
+        fix(s.max, 4),
+        fix(s.mean, 4),
+        s.count.to_string(),
+    ]);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = results_dir();
+
+    // (a) paired currents for the scatter plot.
+    println!("== Fig 2(a): ideal vs non-ideal currents (64-point sample shown) ==");
+    let params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE).build()?;
+    let pairs = current_pairs(&params, 8, SEED)?;
+    let mut scatter = Table::new(&["i_ideal_uA", "i_non_ideal_uA"]);
+    for (i, n) in pairs.ideal.iter().zip(&pairs.non_ideal) {
+        scatter.row(&[fix(i * 1e6, 4), fix(n * 1e6, 4)]);
+    }
+    println!("{} current pairs collected", scatter.len());
+    scatter.write_csv(out_dir.join("fig2a_scatter.csv"))?;
+
+    let headers = ["design", "min", "q1", "median", "q3", "max", "mean", "n"];
+
+    // (b) crossbar size sweep.
+    println!("\n== Fig 2(b): NF vs crossbar size ==");
+    let mut t = Table::new(&headers);
+    for &size in &SIZES {
+        let p = CrossbarParams::builder(size, size).build()?;
+        summarize(&mut t, &format!("{size}x{size}"), &p)?;
+    }
+    print!("{}", t.render());
+    t.write_csv(out_dir.join("fig2b_size.csv"))?;
+
+    // (c) ON-resistance sweep.
+    println!("\n== Fig 2(c): NF vs ON resistance ==");
+    let mut t = Table::new(&headers);
+    for &ron in &RONS {
+        let p = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
+            .r_on(ron)
+            .build()?;
+        summarize(&mut t, &format!("{}k", ron / 1e3), &p)?;
+    }
+    print!("{}", t.render());
+    t.write_csv(out_dir.join("fig2c_ron.csv"))?;
+
+    // (d) ON/OFF ratio sweep.
+    println!("\n== Fig 2(d): NF vs ON/OFF ratio ==");
+    let mut t = Table::new(&headers);
+    for &ratio in &ON_OFFS {
+        let p = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
+            .on_off_ratio(ratio)
+            .build()?;
+        summarize(&mut t, &format!("{ratio}"), &p)?;
+    }
+    print!("{}", t.render());
+    t.write_csv(out_dir.join("fig2d_onoff.csv"))?;
+
+    println!(
+        "\npaper trends: NF grows with size, shrinks with Ron, shrinks with ON/OFF ratio"
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Figure 3: impact of the non-linear non-idealities.
+//!
+//! (a) output-current distribution with linear-only vs full (linear +
+//!     non-linear) non-idealities;
+//! (b) relative error between the two cases grows with the maximum
+//!     supply voltage.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin fig3_nonlinearity
+//! ```
+
+use geniex_bench::setup::{results_dir, DEFAULT_SIZE};
+use geniex_bench::table::{fix, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xbar::sweep::random_stimulus;
+use xbar::{CrossbarCircuit, CrossbarParams, NonIdealityConfig};
+
+const STIMULI: usize = 15;
+const SEED: u64 = 303;
+
+/// Mean relative difference between linear-only and full outputs at
+/// one supply voltage, plus paired samples for the distribution plot.
+fn compare_at_voltage(
+    v_supply: f64,
+) -> Result<(f64, Vec<(f64, f64)>), Box<dyn std::error::Error>> {
+    let full_params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
+        .v_supply(v_supply)
+        .build()?;
+    let mut linear_params = full_params.clone();
+    linear_params.nonideality = NonIdealityConfig::linear_only();
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rel_sum = 0.0;
+    let mut count = 0usize;
+    let mut samples = Vec::new();
+    for _ in 0..STIMULI {
+        let stimulus = random_stimulus(&full_params, 0.3, 0.3, &mut rng);
+        let full = CrossbarCircuit::new(&full_params, &stimulus.conductances)?
+            .solve(&stimulus.voltages)?
+            .currents;
+        let linear = CrossbarCircuit::new(&linear_params, &stimulus.conductances)?
+            .solve(&stimulus.voltages)?
+            .currents;
+        for (f, l) in full.iter().zip(&linear) {
+            if l.abs() > 1e-12 {
+                rel_sum += ((f - l) / l).abs();
+                count += 1;
+                samples.push((*l, *f));
+            }
+        }
+    }
+    Ok((rel_sum / count as f64, samples))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = results_dir();
+
+    println!("== Fig 3: linear-only vs linear+nonlinear outputs ==");
+    let mut summary = Table::new(&["v_supply", "mean_rel_error_pct"]);
+    let mut dist = Table::new(&["v_supply", "i_linear_uA", "i_full_uA"]);
+    for v_supply in [0.25, 0.5] {
+        let (rel, samples) = compare_at_voltage(v_supply)?;
+        summary.row(&[fix(v_supply, 2), fix(100.0 * rel, 2)]);
+        for (l, f) in samples {
+            dist.row(&[fix(v_supply, 2), fix(l * 1e6, 4), fix(f * 1e6, 4)]);
+        }
+    }
+    print!("{}", summary.render());
+    summary.write_csv(out_dir.join("fig3b_relative_error.csv"))?;
+    dist.write_csv(out_dir.join("fig3a_distributions.csv"))?;
+
+    println!(
+        "\npaper trend: the deviation between the cases grows with supply \
+         voltage — the data-dependent non-linearity analytical models miss"
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Figure 5 (and its inset RMSE table): NF of the circuit (HSPICE
+//! stand-in) vs the analytical model vs GENIEx, at supply voltages
+//! 0.25 V and 0.5 V.
+//!
+//! Paper headline: GENIEx RMSE 0.25 / 0.7 vs analytical 1.73 / 8.99 —
+//! 7× and 12.8× better. The reproduction target is the *shape*: GENIEx
+//! well below analytical at both voltages, with the gap widening at
+//! 0.5 V.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin fig5_rmse
+//! ```
+
+use geniex::benchmark::{compare_models, BenchmarkConfig};
+use geniex_bench::setup::{results_dir, train_surrogate, SurrogateBudget, DEFAULT_SIZE};
+use geniex_bench::table::{fix, Table};
+use xbar::CrossbarParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new(&[
+        "v_supply",
+        "analytical_rmse",
+        "geniex_rmse",
+        "improvement",
+        "nf_samples",
+    ]);
+
+    for v_supply in [0.25, 0.5] {
+        let params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
+            .v_supply(v_supply)
+            .build()?;
+        let surrogate = train_surrogate(
+            &params,
+            &SurrogateBudget {
+                samples: 4000,
+                hidden: 250,
+                epochs: 100,
+            },
+        );
+        let cmp = compare_models(
+            &params,
+            &surrogate,
+            &BenchmarkConfig {
+                stimuli: 60,
+                seed: 515,
+                dac_levels: 16,
+            },
+        )?;
+        println!(
+            "V = {v_supply} V: analytical RMSE {:.4}, GENIEx RMSE {:.4} ({:.1}x better)",
+            cmp.analytical_rmse,
+            cmp.geniex_rmse,
+            cmp.improvement_factor()
+        );
+        table.row(&[
+            fix(v_supply, 2),
+            fix(cmp.analytical_rmse, 4),
+            fix(cmp.geniex_rmse, 4),
+            fix(cmp.improvement_factor(), 2),
+            cmp.samples.to_string(),
+        ]);
+    }
+
+    println!("\n{}", table.render());
+    table.write_csv(results_dir().join("fig5_rmse.csv"))?;
+    println!(
+        "paper: analytical 1.73/8.99, GENIEx 0.25/0.7 (7x, 12.8x) on 64x64 \
+         HSPICE; shape target: GENIEx << analytical, gap widening at 0.5 V"
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Figure 9: impact of the stream (input) and slice (weight) widths on
+//! classification accuracy under non-idealities (16-bit FxP network).
+//!
+//! The paper sweeps {1, 2, 4}-bit streams × {1, 2, 4}-bit slices and
+//! finds 1–2-bit configurations near ideal, 4/4 visibly degraded, and
+//! the 1/1 corner slightly *worse* than its neighbours (extreme
+//! sparsity makes NF go negative through the device non-linearity).
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin fig9_bit_slicing
+//! ```
+
+use funcsim::{evaluate_spec, ArchConfig, GeniexEngine, IdealEngine};
+use geniex_bench::setup::{
+    accuracy_design_point, results_dir, standard_workload, train_surrogate_for_workload,
+    SurrogateBudget, DEFAULT_SIZE,
+};
+use geniex_bench::table::{pct, Table};
+use vision::{rescale_for_fxp, SynthSpec, SynthVision};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut workload = standard_workload(SynthSpec::SynthS);
+    // Narrow digits multiply the crossbar-op count per MVM by up to
+    // (15/4)^2 ≈ 14x; halve the test set so the 1-bit cells stay
+    // tractable on one core.
+    workload.test = SynthVision::generate(SynthSpec::SynthS, 8, geniex_bench::setup::TEST_SEED)?;
+    let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1)?;
+    let (calib, _) = calib_data.full_batch()?;
+    let net_spec = rescale_for_fxp(&workload.model.to_spec(), &calib, 3.5)?;
+    let xbar = accuracy_design_point(DEFAULT_SIZE);
+
+    println!("FP32 reference accuracy: {}%", pct(workload.fp32_accuracy));
+    let mut table = Table::new(&["stream_bits", "slice_bits", "ideal_pct", "geniex_pct"]);
+
+    for stream in [1u32, 2, 4] {
+        for slice in [1u32, 2, 4] {
+            let arch = ArchConfig::default()
+                .with_xbar(xbar.clone())
+                .with_bit_slicing(stream, slice);
+            // The surrogate sees different digit distributions per
+            // slicing config, so harvest + retrain per cell.
+            let surrogate = train_surrogate_for_workload(
+                &xbar,
+                &SurrogateBudget::default(),
+                &net_spec,
+                &arch,
+                &calib,
+            );
+            let ideal =
+                evaluate_spec(net_spec.clone(), &arch, &IdealEngine, &workload.test, 16)?;
+            let geniex = evaluate_spec(
+                net_spec.clone(),
+                &arch,
+                &GeniexEngine::new(surrogate),
+                &workload.test,
+                16,
+            )?;
+            println!(
+                "stream {stream}-bit / slice {slice}-bit: ideal {}%, geniex {}%",
+                pct(ideal),
+                pct(geniex)
+            );
+            table.row(&[
+                stream.to_string(),
+                slice.to_string(),
+                pct(ideal),
+                pct(geniex),
+            ]);
+        }
+    }
+
+    println!("\n{}", table.render());
+    table.write_csv(results_dir().join("fig9_bit_slicing.csv"))?;
+    println!(
+        "paper trends: 1-2-bit streams/slices near ideal FxP; 4/4 degrades; \
+         the 1/1 corner can dip below its neighbours (NF < 0 regime)"
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+use funcsim::{evaluate_spec, ArchConfig, CircuitEngine};
+use geniex_bench::setup::{accuracy_design_point, standard_workload, DEFAULT_SIZE};
+use std::time::Instant;
+use vision::{rescale_for_fxp, SynthSpec, SynthVision};
+
+fn main() {
+    let workload = standard_workload(SynthSpec::SynthS);
+    let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1).unwrap();
+    let (calib, _) = calib_data.full_batch().unwrap();
+    let spec = rescale_for_fxp(&workload.model.to_spec(), &calib, 3.5).unwrap();
+    let arch = ArchConfig::default().with_xbar(accuracy_design_point(DEFAULT_SIZE));
+    // 32 images: enough to separate 50.8% from 52.3% only coarsely, but
+    // enough to confirm which side of ideal the truth sits on.
+    let subset = SynthVision::generate(SynthSpec::SynthS, 4, 999).unwrap();
+    let t = Instant::now();
+    let truth = evaluate_spec(spec, &arch, &CircuitEngine, &subset, 16).unwrap();
+    println!("TRUTH16 {truth:.4} over 32 images in {:.0?}", t.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Shared harness for the experiment binaries that regenerate every
+//! table and figure of the GENIEx evaluation (see DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! Each `src/bin/figN_*.rs` binary prints the same rows/series the
+//! paper reports and writes a CSV into `results/`.
+
+pub mod setup;
+pub mod table;

@@ -1,0 +1,406 @@
+//! Standard workload preparation shared by the experiment binaries.
+//!
+//! Every figure needs the same ingredients: a trained MicroResNet, a
+//! held-out test set, and (per crossbar design point) a trained GENIEx
+//! surrogate. Budgets here are the "full experiment" settings; tests
+//! use smaller ones inline.
+
+use funcsim::{harvest_stimuli, ArchConfig};
+use geniex::dataset::{generate, label_stimuli, merge, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use nn::Tensor;
+use std::time::Instant;
+use vision::{train_model, MicroResNet, NetworkSpec, SynthSpec, SynthVision, TrainOptions};
+use xbar::CrossbarParams;
+
+/// Training images per class for the standard workloads.
+pub const TRAIN_PER_CLASS: usize = 80;
+/// Held-out test images per class (128 images for synth-s: accuracy
+/// resolution of ±0.8%).
+pub const TEST_PER_CLASS: usize = 16;
+/// Seed for the training split.
+pub const TRAIN_SEED: u64 = 1;
+/// Seed for the held-out split (disjoint stream from training).
+pub const TEST_SEED: u64 = 999;
+
+/// A ready-to-measure workload: trained model + test set.
+pub struct Workload {
+    /// The trained FP32 reference model.
+    pub model: MicroResNet,
+    /// Held-out evaluation set.
+    pub test: SynthVision,
+    /// FP32 test accuracy of the trained model.
+    pub fp32_accuracy: f64,
+}
+
+/// Trains the standard MicroResNet workload for a dataset variant.
+/// Deterministic: every binary that calls this gets the same model.
+///
+/// # Panics
+///
+/// Panics if dataset generation or training fails (experiment setup
+/// is infallible by construction; a failure is a bug).
+pub fn standard_workload(spec: SynthSpec) -> Workload {
+    let start = Instant::now();
+    let train = SynthVision::generate(spec, TRAIN_PER_CLASS, TRAIN_SEED)
+        .expect("training set generation");
+    let test =
+        SynthVision::generate(spec, TEST_PER_CLASS, TEST_SEED).expect("test set generation");
+
+    // Training is deterministic, so a cached model is identical to a
+    // fresh one; the cache only saves wall-clock time.
+    let cache = results_dir().join("models").join(format!("{}.bin", spec.name()));
+    let mut model = match std::fs::read(&cache) {
+        Ok(bytes) => {
+            let model = MicroResNet::load(&mut std::io::Cursor::new(bytes))
+                .expect("cached model deserializes");
+            eprintln!("[setup] loaded cached {} model", spec.name());
+            model
+        }
+        Err(_) => {
+            let mut model = MicroResNet::new(spec, 2);
+            let options = TrainOptions {
+                epochs: match spec {
+                    SynthSpec::SynthS => 25,
+                    SynthSpec::SynthL => 30,
+                },
+                batch_size: 32,
+                learning_rate: 2e-3,
+                seed: 5,
+            };
+            train_model(&mut model, &train, &options).expect("model training");
+            if let Some(parent) = cache.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let mut bytes = Vec::new();
+            model.save(&mut bytes).expect("model serializes");
+            let _ = std::fs::write(&cache, bytes);
+            eprintln!(
+                "[setup] {} model trained in {:.1?} (cached for reuse)",
+                spec.name(),
+                start.elapsed()
+            );
+            model
+        }
+    };
+    let fp32_accuracy = vision::evaluate(&mut model, &test, 64).expect("evaluation");
+    eprintln!(
+        "[setup] {} fp32 test accuracy {:.2}%",
+        spec.name(),
+        100.0 * fp32_accuracy
+    );
+    Workload {
+        model,
+        test,
+        fp32_accuracy,
+    }
+}
+
+/// Cache key for a surrogate at one design point and budget.
+fn surrogate_cache_path(params: &CrossbarParams, budget: &SurrogateBudget, tag: &str) -> std::path::PathBuf {
+    results_dir().join("surrogates").join(format!(
+        "{tag}_s{}_r{}k_v{}_o{}_src{}_snk{}_h{}_n{}_e{}.bin",
+        params.rows,
+        params.r_on / 1e3,
+        params.v_supply,
+        params.on_off_ratio,
+        params.r_source,
+        params.r_sink,
+        budget.hidden,
+        budget.samples,
+        budget.epochs,
+    ))
+}
+
+fn load_cached_surrogate(path: &std::path::Path, params: &CrossbarParams) -> Option<Geniex> {
+    let bytes = std::fs::read(path).ok()?;
+    Geniex::load(&mut std::io::Cursor::new(bytes), params).ok()
+}
+
+fn store_surrogate(path: &std::path::Path, surrogate: &Geniex) {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let mut bytes = Vec::new();
+    if surrogate.save(&mut bytes).is_ok() {
+        let _ = std::fs::write(path, bytes);
+    }
+}
+
+/// Budget for surrogate training at one design point.
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateBudget {
+    /// Circuit-simulated (V, G) samples.
+    pub samples: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for SurrogateBudget {
+    fn default() -> Self {
+        SurrogateBudget {
+            samples: 4000,
+            hidden: 256,
+            epochs: 150,
+        }
+    }
+}
+
+/// Generates a dataset on the circuit simulator and trains a GENIEx
+/// surrogate for one crossbar design point.
+///
+/// # Panics
+///
+/// Panics if generation or training fails (deterministic setup).
+pub fn train_surrogate(params: &CrossbarParams, budget: &SurrogateBudget) -> Geniex {
+    let cache = surrogate_cache_path(params, budget, "rand");
+    if let Some(surrogate) = load_cached_surrogate(&cache, params) {
+        eprintln!("[setup] loaded cached surrogate {}", cache.display());
+        return surrogate;
+    }
+    let start = Instant::now();
+    let data = generate(
+        params,
+        &DatasetConfig {
+            samples: budget.samples,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )
+    .expect("surrogate dataset generation");
+    let mut surrogate = Geniex::new(params, budget.hidden, 3).expect("surrogate construction");
+    let report = surrogate
+        .train(
+            &data,
+            &TrainConfig {
+                epochs: budget.epochs,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                seed: 4,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("surrogate training");
+    eprintln!(
+        "[setup] surrogate for {}x{} Ron={}k V={} trained in {:.1?} (loss {:.5})",
+        params.rows,
+        params.cols,
+        params.r_on / 1e3,
+        params.v_supply,
+        start.elapsed(),
+        report.final_loss
+    );
+    store_surrogate(&cache, &surrogate);
+    surrogate
+}
+
+/// Trains a surrogate the way the paper does (Section 6): the training
+/// vectors are collected from the *workload itself* — the functional
+/// simulator's bit-sliced tile patterns for this design point — mixed
+/// with random stratified samples for broader coverage, all labelled
+/// on the circuit simulator.
+///
+/// # Panics
+///
+/// Panics if any stage fails (deterministic setup).
+pub fn train_surrogate_for_workload(
+    params: &CrossbarParams,
+    budget: &SurrogateBudget,
+    spec: &NetworkSpec,
+    arch: &ArchConfig,
+    sample_images: &Tensor,
+) -> Geniex {
+    // The harvested distribution depends on the workload's weights and
+    // the slicing config; fold both into the cache key.
+    let tag = format!(
+        "wl{}x{}_st{}_sl{}",
+        spec.input_shape[0], spec.classes, arch.stream_width, arch.slice_width
+    );
+    let cache = surrogate_cache_path(params, budget, &tag);
+    if let Some(surrogate) = load_cached_surrogate(&cache, params) {
+        eprintln!("[setup] loaded cached surrogate {}", cache.display());
+        return surrogate;
+    }
+    let start = Instant::now();
+    let harvested = harvest_stimuli(
+        spec.clone(),
+        arch,
+        sample_images,
+        budget.samples / 2,
+        11,
+    )
+    .expect("stimulus harvesting");
+    let pairs: Vec<(&[f32], &[f32])> = harvested
+        .iter()
+        .map(|s| (s.v_levels.as_slice(), s.g_levels.as_slice()))
+        .collect();
+    let workload_set = label_stimuli(params, pairs).expect("stimulus labelling");
+    let random_set = generate(
+        params,
+        &DatasetConfig {
+            samples: budget.samples - budget.samples / 2,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )
+    .expect("random dataset generation");
+    let data = merge(vec![workload_set, random_set]).expect("same design point");
+
+    let mut surrogate = Geniex::new(params, budget.hidden, 3).expect("surrogate construction");
+    let report = surrogate
+        .train(
+            &data,
+            &TrainConfig {
+                epochs: budget.epochs,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                seed: 4,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("surrogate training");
+    eprintln!(
+        "[setup] workload surrogate for {}x{} Ron={}k V={} trained in {:.1?} (loss {:.5})",
+        params.rows,
+        params.cols,
+        params.r_on / 1e3,
+        params.v_supply,
+        start.elapsed(),
+        report.final_loss
+    );
+    store_surrogate(&cache, &surrogate);
+    surrogate
+}
+
+/// The standard crossbar design points used across the figures. The
+/// paper sweeps {16, 32, 64}; this reproduction scales to {8, 16, 32}
+/// so every experiment (including ground-truth circuit validation)
+/// stays in laptop territory — the *trends* across the sweep are the
+/// reproduction target (DESIGN.md §1).
+pub const SIZES: [usize; 3] = [8, 16, 32];
+/// Default crossbar size for single-design-point figures (paper: 64).
+pub const DEFAULT_SIZE: usize = 16;
+/// ON-resistance sweep (ohms), as in the paper.
+pub const RONS: [f64; 3] = [50e3, 100e3, 300e3];
+/// ON/OFF conductance ratio sweep, as in the paper.
+pub const ON_OFFS: [f64; 3] = [2.0, 6.0, 10.0];
+
+/// Builds the paper-default design point at a given crossbar size
+/// (Ron 100 kΩ, ON/OFF 6, Rsource 500 Ω, Rsink 100 Ω).
+///
+/// # Panics
+///
+/// Panics on invalid parameters (fixed constants here).
+pub fn design_point(size: usize) -> CrossbarParams {
+    CrossbarParams::builder(size, size)
+        .build()
+        .expect("valid design point")
+}
+
+/// The nominal design point for the accuracy experiments (Figs. 7–9):
+/// Ron 50 kΩ, ON/OFF 2, and the harsher of the paper's listed
+/// source/sink values (Rsource 1000 Ω, Rsink 500 Ω).
+///
+/// At our scaled-down crossbar sizes the paper-default point is too
+/// benign to show accuracy movement (the paper's own 16×16 bar shows
+/// ≤1%); this point reproduces paper-scale degradation (~20-25% at
+/// 16×16) so the model comparisons have signal to resolve.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (fixed constants here).
+pub fn accuracy_design_point(size: usize) -> CrossbarParams {
+    CrossbarParams::builder(size, size)
+        .r_on(50e3)
+        .on_off_ratio(2.0)
+        .r_source(1000.0)
+        .r_sink(500.0)
+        .build()
+        .expect("valid design point")
+}
+
+/// Evaluates a programmed crossbar network's accuracy with the test
+/// set split across `threads` crossbeam-scoped workers.
+///
+/// `CrossbarNetwork::forward` takes `&self` and every backend is
+/// `Send + Sync`, so workers share the programmed state; results are
+/// deterministic regardless of thread count.
+///
+/// # Panics
+///
+/// Panics on inference failures (deterministic experiment setup).
+pub fn parallel_accuracy(
+    net: &funcsim::CrossbarNetwork,
+    data: &vision::SynthVision,
+    batch_size: usize,
+    threads: usize,
+) -> f64 {
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let chunk_len = indices.len().div_ceil(threads.max(1));
+    let correct: usize = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in indices.chunks(chunk_len.max(1)) {
+            handles.push(scope.spawn(move |_| {
+                let mut local = 0usize;
+                for piece in chunk.chunks(batch_size.max(1)) {
+                    let (images, labels) = data.batch(piece).expect("batch assembly");
+                    let logits = net.forward(&images).expect("crossbar inference");
+                    let classes = net.classes();
+                    for (b, &label) in labels.iter().enumerate() {
+                        let row = &logits.data()[b * classes..(b + 1) * classes];
+                        let pred = row
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                            .map(|(i, _)| i)
+                            .expect("non-empty logits");
+                        if pred == label {
+                            local += 1;
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+    .expect("crossbeam scope");
+    correct as f64 / data.len().max(1) as f64
+}
+
+/// Results directory used by all experiment binaries.
+pub fn results_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_point_matches_defaults() {
+        let p = design_point(16);
+        assert_eq!(p.rows, 16);
+        assert_eq!(p.r_on, 100e3);
+    }
+
+    #[test]
+    fn results_dir_is_under_repo_root() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn budgets_are_sane() {
+        let b = SurrogateBudget::default();
+        assert!(b.samples >= 1000);
+        assert!(b.hidden >= 50);
+    }
+}

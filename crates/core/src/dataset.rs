@@ -1,0 +1,473 @@
+//! Training-set generation for the GENIEx surrogate (Section 4,
+//! "Dataset" and Section 6, "Crossbar").
+//!
+//! Each sample is one crossbar operating point: normalized input
+//! voltages `v ∈ [0,1]^R`, normalized conductance levels
+//! `g ∈ [0,1]^{R·C}`, and the label `f_R = I_ideal / I_non_ideal` per
+//! bit line, computed by the circuit simulator (our HSPICE stand-in).
+//!
+//! Bit-sliced DNN workloads drive crossbars with very sparse `V` and
+//! `G`; the generator therefore stratifies samples across sparsity
+//! grades, exactly as the paper describes.
+
+use crate::GeniexError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit, CrossbarParams};
+
+use crate::surrogate::F_R_CLAMP;
+
+/// Columns whose ideal current falls below this fraction of a single
+/// OFF-cell's full-scale current are treated as carrying no signal:
+/// their `f_R` label is the neutral 1. Without this floor, ratios of
+/// vanishingly small currents produce extreme labels that stretch the
+/// normalizer and drown the learning signal (the predicted current for
+/// such columns is negligible either way).
+const LIVE_FRACTION: f64 = 0.05;
+
+/// The smallest ideal column current considered "live" for labelling
+/// and for NF comparisons on this design point.
+pub fn live_current_floor(params: &CrossbarParams) -> f64 {
+    LIVE_FRACTION * params.g_off() * params.v_supply
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of (V, G) operating points to simulate.
+    pub samples: usize,
+    /// RNG seed (the dataset is fully deterministic given the seed).
+    pub seed: u64,
+    /// Sparsity grades to stratify over: each sample draws its input
+    /// and conductance sparsity from this list (cycled).
+    pub sparsity_grades: Vec<f64>,
+    /// Number of distinct DAC input levels (quantized, as bit-sliced
+    /// inputs are).
+    pub dac_levels: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            samples: 2000,
+            seed: 0xBA5E,
+            sparsity_grades: vec![0.0, 0.25, 0.5, 0.75, 0.9],
+            dac_levels: 16,
+        }
+    }
+}
+
+/// One labelled operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Normalized input voltages, length `rows`, in `[0, 1]`.
+    pub v_levels: Vec<f32>,
+    /// Normalized conductance levels, length `rows·cols`, in `[0, 1]`.
+    pub g_levels: Vec<f32>,
+    /// Distortion-ratio labels, length `cols`.
+    pub f_r: Vec<f32>,
+}
+
+/// A labelled dataset tied to one crossbar design point.
+#[derive(Debug, Clone)]
+pub struct SurrogateDataset {
+    /// The crossbar design the samples were simulated on.
+    pub params: CrossbarParams,
+    /// The labelled samples.
+    pub samples: Vec<Sample>,
+}
+
+impl SurrogateDataset {
+    /// Splits into `(train, validation)` at `train_fraction`
+    /// (deterministic split, no shuffling — samples are already i.i.d.
+    /// by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `(0, 1)`.
+    pub fn split(&self, train_fraction: f64) -> (SurrogateDataset, SurrogateDataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let cut = ((self.samples.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.samples.len().saturating_sub(1).max(1));
+        (
+            SurrogateDataset {
+                params: self.params.clone(),
+                samples: self.samples[..cut].to_vec(),
+            },
+            SurrogateDataset {
+                params: self.params.clone(),
+                samples: self.samples[cut..].to_vec(),
+            },
+        )
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Computes `f_R` labels from paired ideal / non-ideal currents.
+///
+/// Columns whose ideal current is below `floor` get the neutral label
+/// 1; all other labels are clamped to the global `f_R` range.
+pub fn f_r_labels(i_ideal: &[f64], i_non_ideal: &[f64], floor: f64) -> Vec<f32> {
+    debug_assert_eq!(i_ideal.len(), i_non_ideal.len());
+    i_ideal
+        .iter()
+        .zip(i_non_ideal)
+        .map(|(&id, &ni)| {
+            if id.abs() < floor {
+                1.0
+            } else {
+                (id / ni.max(floor * 1e-3))
+                    .clamp(F_R_CLAMP.0 as f64, F_R_CLAMP.1 as f64) as f32
+            }
+        })
+        .collect()
+}
+
+/// Generates a labelled dataset by simulating random stratified
+/// operating points on the full nonlinear circuit.
+///
+/// # Errors
+///
+/// * [`GeniexError::InvalidConfig`] if `samples == 0`, the sparsity
+///   list is empty/out-of-range, or `dac_levels == 0`.
+/// * [`GeniexError::Circuit`] if a circuit solve fails.
+pub fn generate(
+    params: &CrossbarParams,
+    config: &DatasetConfig,
+) -> Result<SurrogateDataset, GeniexError> {
+    if config.samples == 0 {
+        return Err(GeniexError::InvalidConfig("samples must be > 0".into()));
+    }
+    if config.dac_levels == 0 {
+        return Err(GeniexError::InvalidConfig("dac_levels must be > 0".into()));
+    }
+    if config.sparsity_grades.is_empty()
+        || config
+            .sparsity_grades
+            .iter()
+            .any(|s| !(0.0..=1.0).contains(s))
+    {
+        return Err(GeniexError::InvalidConfig(
+            "sparsity_grades must be non-empty values in [0, 1]".into(),
+        ));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut samples = Vec::with_capacity(config.samples);
+    for k in 0..config.samples {
+        let v_sparsity = config.sparsity_grades[k % config.sparsity_grades.len()];
+        let g_sparsity =
+            config.sparsity_grades[(k / config.sparsity_grades.len()) % config.sparsity_grades.len()];
+
+        // Quantized sparse input levels in [0, 1].
+        let v_levels: Vec<f32> = (0..params.rows)
+            .map(|_| {
+                if rng.gen::<f64>() < v_sparsity {
+                    0.0
+                } else {
+                    rng.gen_range(1..=config.dac_levels) as f32 / config.dac_levels as f32
+                }
+            })
+            .collect();
+        // Sparse conductance levels in [0, 1] (level 0 = g_off).
+        let g_levels: Vec<f32> = (0..params.rows * params.cols)
+            .map(|_| {
+                if rng.gen::<f64>() < g_sparsity {
+                    0.0
+                } else {
+                    rng.gen::<f32>()
+                }
+            })
+            .collect();
+
+        let sample = simulate_sample(params, &v_levels, &g_levels)?;
+        samples.push(sample);
+    }
+    Ok(SurrogateDataset {
+        params: params.clone(),
+        samples,
+    })
+}
+
+/// Labels externally collected `(V, G)` stimuli on the circuit
+/// simulator, producing a training set.
+///
+/// This is the paper's Section 6 methodology: the training vectors are
+/// *collected from the workload* (the functional simulator's actual
+/// bit-sliced tile patterns — see `funcsim::harvest_stimuli`), then
+/// simulated to obtain `f_R` labels. A surrogate trained on-distribution
+/// is dramatically more accurate inside the functional simulator than
+/// one trained on random stimuli alone; [`generate`] remains useful for
+/// covering the broader design space (and for the sparsity ablation).
+///
+/// # Errors
+///
+/// * [`GeniexError::InvalidConfig`] if `stimuli` is empty.
+/// * [`GeniexError::Shape`] / [`GeniexError::Circuit`] per sample.
+pub fn label_stimuli<'a, I>(
+    params: &CrossbarParams,
+    stimuli: I,
+) -> Result<SurrogateDataset, GeniexError>
+where
+    I: IntoIterator<Item = (&'a [f32], &'a [f32])>,
+{
+    let mut samples = Vec::new();
+    for (v_levels, g_levels) in stimuli {
+        samples.push(simulate_sample(params, v_levels, g_levels)?);
+    }
+    if samples.is_empty() {
+        return Err(GeniexError::InvalidConfig(
+            "no stimuli to label".into(),
+        ));
+    }
+    Ok(SurrogateDataset {
+        params: params.clone(),
+        samples,
+    })
+}
+
+/// Merges datasets generated for the same design point (e.g. random
+/// stratified samples plus workload-harvested samples).
+///
+/// # Errors
+///
+/// Returns [`GeniexError::InvalidConfig`] if the design points differ
+/// or the input is empty.
+pub fn merge(datasets: Vec<SurrogateDataset>) -> Result<SurrogateDataset, GeniexError> {
+    let mut iter = datasets.into_iter();
+    let mut merged = iter
+        .next()
+        .ok_or_else(|| GeniexError::InvalidConfig("nothing to merge".into()))?;
+    for d in iter {
+        if d.params != merged.params {
+            return Err(GeniexError::InvalidConfig(
+                "cannot merge datasets from different design points".into(),
+            ));
+        }
+        merged.samples.extend(d.samples);
+    }
+    Ok(merged)
+}
+
+/// Simulates one operating point given normalized levels, returning the
+/// labelled sample. Exposed so validation sets and tests can label
+/// specific patterns.
+///
+/// # Errors
+///
+/// * [`GeniexError::Shape`] on level-vector length mismatches.
+/// * [`GeniexError::Circuit`] if the solve fails.
+pub fn simulate_sample(
+    params: &CrossbarParams,
+    v_levels: &[f32],
+    g_levels: &[f32],
+) -> Result<Sample, GeniexError> {
+    if v_levels.len() != params.rows {
+        return Err(GeniexError::Shape(format!(
+            "{} voltage levels for {} rows",
+            v_levels.len(),
+            params.rows
+        )));
+    }
+    if g_levels.len() != params.rows * params.cols {
+        return Err(GeniexError::Shape(format!(
+            "{} conductance levels for a {}x{} crossbar",
+            g_levels.len(),
+            params.rows,
+            params.cols
+        )));
+    }
+    let volts: Vec<f64> = v_levels
+        .iter()
+        .map(|&l| l as f64 * params.v_supply)
+        .collect();
+    let levels_f64: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
+    let g = ConductanceMatrix::from_levels(params, &levels_f64)?;
+    let circuit = CrossbarCircuit::new(params, &g)?;
+    let non_ideal = circuit.solve(&volts)?.currents;
+    let ideal = ideal_mvm(&volts, &g)?;
+    Ok(Sample {
+        v_levels: v_levels.to_vec(),
+        g_levels: g_levels.to_vec(),
+        f_r: f_r_labels(&ideal, &non_ideal, live_current_floor(params)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CrossbarParams {
+        CrossbarParams::builder(4, 4).build().unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let p = params();
+        assert!(generate(&p, &DatasetConfig { samples: 0, ..DatasetConfig::default() }).is_err());
+        assert!(generate(
+            &p,
+            &DatasetConfig {
+                sparsity_grades: vec![],
+                samples: 1,
+                ..DatasetConfig::default()
+            }
+        )
+        .is_err());
+        assert!(generate(
+            &p,
+            &DatasetConfig {
+                sparsity_grades: vec![1.5],
+                samples: 1,
+                ..DatasetConfig::default()
+            }
+        )
+        .is_err());
+        assert!(generate(
+            &p,
+            &DatasetConfig {
+                dac_levels: 0,
+                samples: 1,
+                ..DatasetConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = params();
+        let cfg = DatasetConfig {
+            samples: 6,
+            seed: 42,
+            ..DatasetConfig::default()
+        };
+        let a = generate(&p, &cfg).unwrap();
+        let b = generate(&p, &cfg).unwrap();
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn labels_are_clamped_and_finite() {
+        let p = params();
+        let data = generate(
+            &p,
+            &DatasetConfig {
+                samples: 20,
+                seed: 3,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        for s in &data.samples {
+            assert_eq!(s.v_levels.len(), 4);
+            assert_eq!(s.g_levels.len(), 16);
+            assert_eq!(s.f_r.len(), 4);
+            for &f in &s.f_r {
+                assert!(f.is_finite());
+                assert!((F_R_CLAMP.0..=F_R_CLAMP.1).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_columns_get_neutral_label() {
+        let floor = live_current_floor(&params());
+        assert_eq!(f_r_labels(&[0.0], &[0.0], floor), vec![1.0]);
+        assert_eq!(f_r_labels(&[floor * 0.5], &[floor * 10.0], floor), vec![1.0]);
+        // Tiny denominator clamps instead of exploding.
+        let labels = f_r_labels(&[1e-5], &[1e-20], floor);
+        assert_eq!(labels[0], F_R_CLAMP.1);
+    }
+
+    #[test]
+    fn all_zero_input_sample_is_neutral() {
+        let p = params();
+        let s = simulate_sample(&p, &[0.0; 4], &[0.5; 16]).unwrap();
+        assert!(s.f_r.iter().all(|&f| (f - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dense_sample_f_r_reflects_design_regime() {
+        // On a tiny 4x4 crossbar the sinh boost outweighs the short
+        // wires' IR drop, so f_R < 1; on a 16x16 crossbar the drop
+        // dominates and f_R > 1. Both regimes must label correctly.
+        let p = params();
+        let s = simulate_sample(&p, &[1.0; 4], &[1.0; 16]).unwrap();
+        assert!(s.f_r.iter().all(|&f| f < 1.0), "4x4 f_r = {:?}", s.f_r);
+
+        let p16 = CrossbarParams::builder(16, 16).build().unwrap();
+        let s16 = simulate_sample(&p16, &[1.0; 16], &[1.0; 256]).unwrap();
+        assert!(s16.f_r.iter().all(|&f| f > 1.0), "16x16 f_r = {:?}", s16.f_r);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let p = params();
+        let data = generate(
+            &p,
+            &DatasetConfig {
+                samples: 10,
+                seed: 4,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        let (train, val) = data.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+        assert_eq!(train.samples[0], data.samples[0]);
+        assert_eq!(val.samples[0], data.samples[8]);
+    }
+
+    #[test]
+    fn shape_validation_in_simulate() {
+        let p = params();
+        assert!(simulate_sample(&p, &[0.0; 3], &[0.5; 16]).is_err());
+        assert!(simulate_sample(&p, &[0.0; 4], &[0.5; 15]).is_err());
+    }
+
+    #[test]
+    fn label_stimuli_matches_simulate_sample() {
+        let p = params();
+        let v = vec![1.0f32, 0.0, 0.5, 0.25];
+        let g = vec![0.5f32; 16];
+        let ds = label_stimuli(&p, [(v.as_slice(), g.as_slice())]).unwrap();
+        assert_eq!(ds.len(), 1);
+        let direct = simulate_sample(&p, &v, &g).unwrap();
+        assert_eq!(ds.samples[0], direct);
+        assert!(label_stimuli(&p, std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn merge_checks_design_points() {
+        let p = params();
+        let cfg = DatasetConfig {
+            samples: 3,
+            seed: 1,
+            ..DatasetConfig::default()
+        };
+        let a = generate(&p, &cfg).unwrap();
+        let b = generate(&p, &DatasetConfig { seed: 2, ..cfg.clone() }).unwrap();
+        let merged = merge(vec![a.clone(), b]).unwrap();
+        assert_eq!(merged.len(), 6);
+
+        let other = CrossbarParams::builder(3, 3).build().unwrap();
+        let c = generate(&other, &cfg).unwrap();
+        assert!(merge(vec![a, c]).is_err());
+        assert!(merge(vec![]).is_err());
+    }
+}

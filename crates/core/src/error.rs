@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced by the GENIEx surrogate pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GeniexError {
+    /// The circuit simulator failed.
+    Circuit(xbar::XbarError),
+    /// The neural-network substrate failed.
+    Network(nn::NnError),
+    /// Operand shapes don't match the surrogate's crossbar geometry.
+    Shape(String),
+    /// An invalid training or dataset configuration.
+    InvalidConfig(String),
+    /// The surrogate was used before being trained.
+    NotTrained,
+}
+
+impl fmt::Display for GeniexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeniexError::Circuit(err) => write!(f, "circuit simulation failed: {err}"),
+            GeniexError::Network(err) => write!(f, "neural network failure: {err}"),
+            GeniexError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            GeniexError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GeniexError::NotTrained => write!(f, "surrogate has not been trained"),
+        }
+    }
+}
+
+impl std::error::Error for GeniexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GeniexError::Circuit(err) => Some(err),
+            GeniexError::Network(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<xbar::XbarError> for GeniexError {
+    fn from(err: xbar::XbarError) -> Self {
+        GeniexError::Circuit(err)
+    }
+}
+
+impl From<nn::NnError> for GeniexError {
+    fn from(err: nn::NnError) -> Self {
+        GeniexError::Network(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = GeniexError::from(xbar::XbarError::Shape("x".into()));
+        assert!(e.to_string().contains("circuit"));
+        assert!(e.source().is_some());
+        assert!(GeniexError::NotTrained.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeniexError>();
+    }
+}

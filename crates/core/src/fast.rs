@@ -1,0 +1,302 @@
+//! The fast-forward path: a surrogate specialized to one programmed tile.
+//!
+//! The surrogate input is `concat(V, flatten(G))`, but `G` is fixed the
+//! moment a tile is programmed. Splitting the first-layer weights into
+//! a `V` block and a `G` block lets us precompute the hidden
+//! pre-activation contribution of `G` once:
+//!
+//! ```text
+//! h = ReLU(W_v · v + (W_g · g + b1))
+//!              ^^^^    ^^^^^^^^^^^^ precomputed per tile
+//! ```
+//!
+//! after which every MVM costs two small GEMVs — this is what makes it
+//! feasible to run the surrogate inside every (tile, slice, stream)
+//! step of the functional simulator.
+
+use crate::surrogate::{Geniex, F_R_CLAMP};
+use crate::GeniexError;
+use xbar::CrossbarParams;
+
+/// A GENIEx surrogate bound to one programmed conductance pattern.
+#[derive(Debug, Clone)]
+pub struct GeniexTile {
+    rows: usize,
+    cols: usize,
+    hidden: usize,
+    /// `W_v`: hidden x rows (first-layer weights for the V block).
+    w_v: Vec<f32>,
+    /// Precomputed `W_g · g + b1`: hidden.
+    h_g: Vec<f32>,
+    /// Output layer: cols x hidden.
+    w2: Vec<f32>,
+    /// Output bias: cols.
+    b2: Vec<f32>,
+    /// Label denormalization.
+    norm_min: f32,
+    norm_span: f32,
+    /// Supply voltage for level conversion.
+    v_supply: f64,
+}
+
+impl GeniexTile {
+    /// Specializes a trained surrogate to the conductance levels of one
+    /// tile (`g_levels` in `[0, 1]`, length `rows·cols`).
+    ///
+    /// # Errors
+    ///
+    /// * [`GeniexError::NotTrained`] if the surrogate has no fitted
+    ///   normalizer.
+    /// * [`GeniexError::Shape`] if `g_levels` has the wrong length.
+    pub fn new(surrogate: &Geniex, g_levels: &[f32]) -> Result<Self, GeniexError> {
+        let params: &CrossbarParams = surrogate.params();
+        let (rows, cols) = (params.rows, params.cols);
+        let normalizer = surrogate.normalizer().ok_or(GeniexError::NotTrained)?;
+        if g_levels.len() != rows * cols {
+            return Err(GeniexError::Shape(format!(
+                "{} conductance levels for a {rows}x{cols} tile",
+                g_levels.len()
+            )));
+        }
+
+        let dense = surrogate.mlp().dense_layers();
+        let hidden = surrogate.hidden();
+        let w1 = dense[0].weight(); // [hidden, rows + rows*cols]
+        let b1 = dense[0].bias();
+        let w2 = dense[1].weight(); // [cols, hidden]
+        let b2 = dense[1].bias();
+        let in_dim = rows + rows * cols;
+
+        let mut w_v = vec![0.0f32; hidden * rows];
+        let mut h_g = vec![0.0f32; hidden];
+        for p in 0..hidden {
+            let row = &w1.data()[p * in_dim..(p + 1) * in_dim];
+            w_v[p * rows..(p + 1) * rows].copy_from_slice(&row[..rows]);
+            let mut acc = b1.data()[p];
+            for (k, &g) in g_levels.iter().enumerate() {
+                if g != 0.0 {
+                    acc += row[rows + k] * g;
+                }
+            }
+            h_g[p] = acc;
+        }
+
+        Ok(GeniexTile {
+            rows,
+            cols,
+            hidden,
+            w_v,
+            h_g,
+            w2: w2.data().to_vec(),
+            b2: b2.data().to_vec(),
+            norm_min: normalizer.min,
+            norm_span: normalizer.max - normalizer.min,
+            v_supply: params.v_supply,
+        })
+    }
+
+    /// Tile input dimension (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile output dimension (bit lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Predicts `f_R` from normalized voltage levels (length `rows`,
+    /// `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeniexError::Shape`] if `v_levels.len() != rows`.
+    pub fn f_r_from_levels(&self, v_levels: &[f32]) -> Result<Vec<f32>, GeniexError> {
+        if v_levels.len() != self.rows {
+            return Err(GeniexError::Shape(format!(
+                "{} voltage levels for {} rows",
+                v_levels.len(),
+                self.rows
+            )));
+        }
+        // h = ReLU(W_v v + h_g)
+        let mut h = vec![0.0f32; self.hidden];
+        for p in 0..self.hidden {
+            let row = &self.w_v[p * self.rows..(p + 1) * self.rows];
+            let mut acc = self.h_g[p];
+            for (w, &v) in row.iter().zip(v_levels) {
+                acc += w * v;
+            }
+            h[p] = acc.max(0.0);
+        }
+        // y = W2 h + b2, denormalized and clamped.
+        let mut out = vec![0.0f32; self.cols];
+        for (j, out_val) in out.iter_mut().enumerate() {
+            let row = &self.w2[j * self.hidden..(j + 1) * self.hidden];
+            let mut acc = self.b2[j];
+            for (w, &hp) in row.iter().zip(&h) {
+                acc += w * hp;
+            }
+            *out_val = (acc * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
+        }
+        Ok(out)
+    }
+
+    /// Batched version of [`f_r_from_levels`]: `v_levels` holds `n`
+    /// consecutive level vectors (row-major `n × rows`); returns `n ×
+    /// cols` predictions. One matrix product instead of `n` GEMVs —
+    /// the functional simulator's hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeniexError::Shape`] if `v_levels.len() != n * rows`.
+    ///
+    /// [`f_r_from_levels`]: GeniexTile::f_r_from_levels
+    pub fn f_r_batch(&self, v_levels: &[f32], n: usize) -> Result<Vec<f32>, GeniexError> {
+        if v_levels.len() != n * self.rows {
+            return Err(GeniexError::Shape(format!(
+                "{} voltage levels for {n} vectors of {} rows",
+                v_levels.len(),
+                self.rows
+            )));
+        }
+        let mut out = vec![0.0f32; n * self.cols];
+        let mut h = vec![0.0f32; self.hidden];
+        for b in 0..n {
+            let v = &v_levels[b * self.rows..(b + 1) * self.rows];
+            for p in 0..self.hidden {
+                let row = &self.w_v[p * self.rows..(p + 1) * self.rows];
+                let mut acc = self.h_g[p];
+                for (w, &vi) in row.iter().zip(v) {
+                    acc += w * vi;
+                }
+                h[p] = acc.max(0.0);
+            }
+            let out_row = &mut out[b * self.cols..(b + 1) * self.cols];
+            for (j, out_val) in out_row.iter_mut().enumerate() {
+                let row = &self.w2[j * self.hidden..(j + 1) * self.hidden];
+                let mut acc = self.b2[j];
+                for (w, &hp) in row.iter().zip(&h) {
+                    acc += w * hp;
+                }
+                *out_val =
+                    (acc * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Predicts `f_R` from physical voltages (volts), normalizing by
+    /// the design supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeniexError::Shape`] if `v.len() != rows`.
+    pub fn f_r(&self, v: &[f64]) -> Result<Vec<f32>, GeniexError> {
+        let levels: Vec<f32> = v
+            .iter()
+            .map(|&x| (x / self.v_supply).clamp(0.0, 1.0) as f32)
+            .collect();
+        self.f_r_from_levels(&levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, DatasetConfig};
+    use crate::surrogate::TrainConfig;
+
+    fn trained_surrogate() -> Geniex {
+        let params = CrossbarParams::builder(4, 4).build().unwrap();
+        let data = generate(
+            &params,
+            &DatasetConfig {
+                samples: 60,
+                seed: 2,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = Geniex::new(&params, 24, 5).unwrap();
+        s.train(
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn tile_matches_full_surrogate_exactly() {
+        let mut s = trained_surrogate();
+        let g_levels: Vec<f32> = (0..16).map(|k| (k % 4) as f32 / 3.0).collect();
+        let tile = GeniexTile::new(&s, &g_levels).unwrap();
+        for pattern in [[1.0f32; 4], [0.0; 4], [0.5, 0.0, 1.0, 0.25]] {
+            let full = s.predict_f_r(&pattern, &g_levels).unwrap();
+            let fast = tile.f_r_from_levels(&pattern).unwrap();
+            for (a, b) in full.iter().zip(&fast) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "fast-forward diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_single() {
+        let s = trained_surrogate();
+        let tile = GeniexTile::new(&s, &[0.7; 16]).unwrap();
+        let vectors = [[1.0f32, 0.0, 0.5, 0.25], [0.0; 4], [0.25, 0.25, 0.25, 0.25]];
+        let flat: Vec<f32> = vectors.iter().flatten().copied().collect();
+        let batch = tile.f_r_batch(&flat, 3).unwrap();
+        for (k, v) in vectors.iter().enumerate() {
+            let single = tile.f_r_from_levels(v).unwrap();
+            assert_eq!(&batch[k * 4..(k + 1) * 4], single.as_slice());
+        }
+        assert!(tile.f_r_batch(&flat, 2).is_err());
+    }
+
+    #[test]
+    fn tile_requires_trained_surrogate() {
+        let params = CrossbarParams::builder(4, 4).build().unwrap();
+        let s = Geniex::new(&params, 8, 0).unwrap();
+        assert!(matches!(
+            GeniexTile::new(&s, &[0.0; 16]),
+            Err(GeniexError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn tile_shape_validation() {
+        let s = trained_surrogate();
+        assert!(GeniexTile::new(&s, &[0.0; 15]).is_err());
+        let tile = GeniexTile::new(&s, &[0.5; 16]).unwrap();
+        assert!(tile.f_r_from_levels(&[0.0; 3]).is_err());
+        assert_eq!(tile.rows(), 4);
+        assert_eq!(tile.cols(), 4);
+    }
+
+    #[test]
+    fn physical_voltage_entry_point() {
+        let s = trained_surrogate();
+        let tile = GeniexTile::new(&s, &[1.0; 16]).unwrap();
+        let via_levels = tile.f_r_from_levels(&[1.0; 4]).unwrap();
+        let via_volts = tile.f_r(&[0.25; 4]).unwrap(); // v_supply = 0.25
+        assert_eq!(via_levels, via_volts);
+    }
+
+    #[test]
+    fn predictions_clamped() {
+        let s = trained_surrogate();
+        let tile = GeniexTile::new(&s, &[0.0; 16]).unwrap();
+        let f_r = tile.f_r_from_levels(&[1.0; 4]).unwrap();
+        for f in f_r {
+            assert!((0.2..=5.0).contains(&f));
+        }
+    }
+}

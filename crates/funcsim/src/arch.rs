@@ -1,0 +1,210 @@
+//! Architecture parameters of the simulated crossbar accelerator
+//! (Table 3 of the paper).
+
+use crate::fixed::FxpFormat;
+use crate::FuncsimError;
+use xbar::CrossbarParams;
+
+/// How signed weights map onto (unsigned) conductances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightMapping {
+    /// Two crossbars per tile: one programmed with the positive parts,
+    /// one with the negative parts; results subtracted digitally.
+    /// The common scheme in ISAAC/PUMA-class designs.
+    #[default]
+    Differential,
+    /// One crossbar storing `w + 2^(bits-1)`; the constant offset is
+    /// subtracted digitally using the input-digit sum. Cheaper in
+    /// devices, but every cell carries bias current.
+    Offset,
+}
+
+/// Full architecture configuration of the functional simulator.
+///
+/// Defaults reproduce Section 6: 16-bit inputs/weights (13
+/// fractional), 32-bit accumulator (24 fractional), 14-bit ADC, 4-bit
+/// streams and slices, 64×64 crossbars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Activation (input) fixed-point format.
+    pub input_format: FxpFormat,
+    /// Weight fixed-point format.
+    pub weight_format: FxpFormat,
+    /// Accumulator width in bits.
+    pub accumulator_bits: u32,
+    /// Accumulator fractional bits.
+    pub accumulator_frac: u32,
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Input stream width in bits (≥ 1).
+    pub stream_width: u32,
+    /// Weight slice width in bits (≥ 1).
+    pub slice_width: u32,
+    /// Signed-weight mapping scheme.
+    pub weight_mapping: WeightMapping,
+    /// Crossbar design point (size, parasitics, devices, supply).
+    pub xbar: CrossbarParams,
+}
+
+impl ArchConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuncsimError::InvalidConfig`] if the crossbar is not
+    /// square, a width is zero or exceeds the magnitude bits, or the
+    /// ADC/accumulator sizes are out of range.
+    pub fn validate(&self) -> Result<(), FuncsimError> {
+        if self.xbar.rows != self.xbar.cols {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "tiled mapping requires square crossbars, got {}x{}",
+                self.xbar.rows, self.xbar.cols
+            )));
+        }
+        if self.stream_width == 0 || self.stream_width > self.input_format.magnitude_bits() {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "stream_width {} outside 1..={}",
+                self.stream_width,
+                self.input_format.magnitude_bits()
+            )));
+        }
+        if self.slice_width == 0 || self.slice_width > self.weight_format.magnitude_bits() {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "slice_width {} outside 1..={}",
+                self.slice_width,
+                self.weight_format.magnitude_bits()
+            )));
+        }
+        if self.adc_bits == 0 || self.adc_bits > 24 {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "adc_bits {} outside 1..=24",
+                self.adc_bits
+            )));
+        }
+        if self.accumulator_bits < 8
+            || self.accumulator_bits > 62
+            || self.accumulator_frac >= self.accumulator_bits
+        {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "accumulator {}/{} bits invalid",
+                self.accumulator_bits, self.accumulator_frac
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of input streams per MVM.
+    pub fn stream_count(&self) -> u32 {
+        crate::fixed::digit_count(self.input_format.magnitude_bits(), self.stream_width)
+    }
+
+    /// Number of weight slices per matrix.
+    pub fn slice_count(&self) -> u32 {
+        crate::fixed::digit_count(self.weight_format.magnitude_bits(), self.slice_width)
+    }
+
+    /// Replaces both activation and weight precision, keeping the
+    /// paper's 3 integer bits (the Fig. 8 sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FxpFormat::with_total_bits`] failures.
+    pub fn with_precision(mut self, bits: u32) -> Result<Self, FuncsimError> {
+        self.input_format = FxpFormat::with_total_bits(bits)?;
+        self.weight_format = FxpFormat::with_total_bits(bits)?;
+        Ok(self)
+    }
+
+    /// Replaces the stream and slice widths (the Fig. 9 sweep).
+    pub fn with_bit_slicing(mut self, stream_width: u32, slice_width: u32) -> Self {
+        self.stream_width = stream_width;
+        self.slice_width = slice_width;
+        self
+    }
+
+    /// Replaces the crossbar design point (the Fig. 7 sweeps).
+    pub fn with_xbar(mut self, xbar: CrossbarParams) -> Self {
+        self.xbar = xbar;
+        self
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            input_format: FxpFormat::paper_default(),
+            weight_format: FxpFormat::paper_default(),
+            accumulator_bits: 32,
+            accumulator_frac: 24,
+            adc_bits: 14,
+            stream_width: 4,
+            slice_width: 4,
+            weight_mapping: WeightMapping::default(),
+            xbar: CrossbarParams::builder(64, 64)
+                .build()
+                .expect("paper-default crossbar parameters are valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let a = ArchConfig::default();
+        assert!(a.validate().is_ok());
+        assert_eq!(a.input_format.total_bits(), 16);
+        assert_eq!(a.accumulator_bits, 32);
+        assert_eq!(a.accumulator_frac, 24);
+        assert_eq!(a.adc_bits, 14);
+        assert_eq!(a.stream_width, 4);
+        assert_eq!(a.slice_width, 4);
+        assert_eq!(a.xbar.rows, 64);
+        // 15 magnitude bits in 4-bit digits -> 4 streams/slices.
+        assert_eq!(a.stream_count(), 4);
+        assert_eq!(a.slice_count(), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut a = ArchConfig::default();
+        a.stream_width = 0;
+        assert!(a.validate().is_err());
+
+        let mut a = ArchConfig::default();
+        a.slice_width = 16;
+        assert!(a.validate().is_err());
+
+        let mut a = ArchConfig::default();
+        a.adc_bits = 0;
+        assert!(a.validate().is_err());
+
+        let mut a = ArchConfig::default();
+        a.accumulator_frac = 40;
+        assert!(a.validate().is_err());
+
+        let mut a = ArchConfig::default();
+        a.xbar = CrossbarParams::builder(16, 32).build().unwrap();
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let a = ArchConfig::default().with_precision(8).unwrap();
+        assert_eq!(a.input_format.total_bits(), 8);
+        assert_eq!(a.weight_format.frac_bits(), 5);
+        // 7 magnitude bits in 4-bit digits -> 2 streams.
+        assert_eq!(a.stream_count(), 2);
+
+        let a = ArchConfig::default().with_bit_slicing(1, 2);
+        assert_eq!(a.stream_count(), 15);
+        assert_eq!(a.slice_count(), 8);
+
+        let xb = CrossbarParams::builder(16, 16).build().unwrap();
+        let a = ArchConfig::default().with_xbar(xb);
+        assert_eq!(a.xbar.rows, 16);
+        assert!(a.validate().is_ok());
+    }
+}

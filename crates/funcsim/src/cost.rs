@@ -1,0 +1,334 @@
+//! Hardware cost estimation for crossbar-mapped networks.
+//!
+//! The accelerators GENIEx models (ISAAC, PUMA) are motivated by
+//! energy/latency, so the functional simulator carries a matching cost
+//! model: given a frozen network and an architecture configuration, it
+//! counts the analog crossbar reads, ADC/DAC conversions and
+//! shift-and-add operations each layer performs, and converts them to
+//! energy and (fully serialized) latency using per-operation constants.
+//!
+//! Default constants are ISAAC-class order-of-magnitude values; they
+//! parameterize *relative* comparisons (e.g. the bit-slicing sweep's
+//! accuracy/energy trade-off), not absolute silicon numbers.
+
+use crate::arch::{ArchConfig, WeightMapping};
+use crate::fixed::digit_count;
+use crate::FuncsimError;
+use vision::{NetworkSpec, SpecOp};
+
+/// Per-operation energy and latency constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Energy of one analog crossbar read (all columns), picojoules.
+    pub xbar_read_pj: f64,
+    /// Energy per ADC conversion (one column sample), picojoules.
+    pub adc_conversion_pj: f64,
+    /// Energy per DAC-driven row per step, picojoules.
+    pub dac_drive_pj: f64,
+    /// Energy per shift-and-add merge, picojoules.
+    pub shift_add_pj: f64,
+    /// Latency of one crossbar read, nanoseconds.
+    pub xbar_read_ns: f64,
+    /// Latency of one ADC conversion, nanoseconds.
+    pub adc_conversion_ns: f64,
+}
+
+impl CostModel {
+    /// ISAAC-class defaults (order of magnitude).
+    pub fn isaac_class() -> Self {
+        CostModel {
+            xbar_read_pj: 1.2,
+            adc_conversion_pj: 2.0,
+            dac_drive_pj: 0.05,
+            shift_add_pj: 0.02,
+            xbar_read_ns: 100.0,
+            adc_conversion_ns: 1.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::isaac_class()
+    }
+}
+
+/// Operation counts and cost of one MVM-bearing layer, per input image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Human-readable layer label (`conv 8->16` / `linear 16->8`).
+    pub label: String,
+    /// MVM positions per image (conv: out_h·out_w; linear: 1).
+    pub positions: u64,
+    /// Analog crossbar reads per image.
+    pub xbar_reads: u64,
+    /// ADC conversions per image.
+    pub adc_conversions: u64,
+    /// DAC row drives per image.
+    pub dac_drives: u64,
+    /// Shift-and-add merges per image.
+    pub shift_adds: u64,
+    /// Energy per image, picojoules.
+    pub energy_pj: f64,
+    /// Fully serialized latency per image, nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// Whole-network cost summary, per input image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkCost {
+    /// Per-layer breakdown, in execution order.
+    pub layers: Vec<LayerCost>,
+    /// Total energy per image, picojoules.
+    pub total_energy_pj: f64,
+    /// Total serialized latency per image, nanoseconds.
+    pub total_latency_ns: f64,
+}
+
+impl NetworkCost {
+    /// Total crossbar reads per image.
+    pub fn total_xbar_reads(&self) -> u64 {
+        self.layers.iter().map(|l| l.xbar_reads).sum()
+    }
+
+    /// Total ADC conversions per image.
+    pub fn total_adc_conversions(&self) -> u64 {
+        self.layers.iter().map(|l| l.adc_conversions).sum()
+    }
+}
+
+/// Estimates the per-image execution cost of `spec` on `arch`.
+///
+/// Counting model: every (position, tile, slice, weight-sign, stream)
+/// tuple is one analog crossbar read; each read converts every column
+/// of the tile through the ADC once; each read drives the tile's rows
+/// through DACs; every ADC output passes one shift-and-add merge.
+/// Latency serializes everything (no inter-tile parallelism), which is
+/// the conservative single-ADC-per-crossbar corner of the paper's
+/// architecture space.
+///
+/// # Errors
+///
+/// Returns [`FuncsimError::InvalidConfig`] for an invalid `arch` or a
+/// spec whose shapes don't propagate (mismatched conv input channels).
+pub fn estimate_cost(
+    spec: &NetworkSpec,
+    arch: &ArchConfig,
+    model: &CostModel,
+) -> Result<NetworkCost, FuncsimError> {
+    arch.validate()?;
+    let size = arch.xbar.rows as u64;
+    let streams = digit_count(arch.input_format.magnitude_bits(), arch.stream_width) as u64;
+    let (signs, weight_bits) = match arch.weight_mapping {
+        WeightMapping::Differential => (2u64, arch.weight_format.magnitude_bits()),
+        WeightMapping::Offset => (1u64, arch.weight_format.total_bits()),
+    };
+    let slices = digit_count(weight_bits, arch.slice_width) as u64;
+
+    let mut shape = (
+        spec.input_shape[0],
+        spec.input_shape[1],
+        spec.input_shape[2],
+    );
+    let mut flat = shape.0 * shape.1 * shape.2;
+    let mut layers = Vec::new();
+
+    for op in &spec.ops {
+        match op {
+            SpecOp::Conv2d {
+                weight,
+                stride,
+                padding,
+                ..
+            } => {
+                let [oc, ic, kh, kw] = *<&[usize; 4]>::try_from(weight.shape())
+                    .map_err(|_| FuncsimError::InvalidConfig("conv weight rank".into()))?;
+                if ic != shape.0 {
+                    return Err(FuncsimError::InvalidConfig(format!(
+                        "conv expects {ic} channels, activation has {}",
+                        shape.0
+                    )));
+                }
+                let out_h = (shape.1 + 2 * padding - kh) / stride + 1;
+                let out_w = (shape.2 + 2 * padding - kw) / stride + 1;
+                let positions = (out_h * out_w) as u64;
+                let fan_in = (ic * kh * kw) as u64;
+                layers.push(layer_cost(
+                    format!("conv {ic}->{oc} {kh}x{kw}"),
+                    positions,
+                    fan_in,
+                    oc as u64,
+                    size,
+                    slices,
+                    signs,
+                    streams,
+                    model,
+                ));
+                shape = (oc, out_h, out_w);
+                flat = oc * out_h * out_w;
+            }
+            SpecOp::Linear { weight, .. } => {
+                let [out, inp] = *<&[usize; 2]>::try_from(weight.shape())
+                    .map_err(|_| FuncsimError::InvalidConfig("linear weight rank".into()))?;
+                if inp != flat {
+                    return Err(FuncsimError::InvalidConfig(format!(
+                        "linear expects {inp} features, activation has {flat}"
+                    )));
+                }
+                layers.push(layer_cost(
+                    format!("linear {inp}->{out}"),
+                    1,
+                    inp as u64,
+                    out as u64,
+                    size,
+                    slices,
+                    signs,
+                    streams,
+                    model,
+                ));
+                flat = out;
+                shape = (out, 1, 1);
+            }
+            SpecOp::MaxPool2 => {
+                shape = (shape.0, shape.1 / 2, shape.2 / 2);
+                flat = shape.0 * shape.1 * shape.2;
+            }
+            SpecOp::GlobalAvgPool => {
+                shape = (shape.0, 1, 1);
+                flat = shape.0;
+            }
+            SpecOp::Flatten => {}
+            SpecOp::Relu | SpecOp::ResidualBegin | SpecOp::ResidualAdd => {}
+        }
+    }
+
+    let total_energy_pj = layers.iter().map(|l| l.energy_pj).sum();
+    let total_latency_ns = layers.iter().map(|l| l.latency_ns).sum();
+    Ok(NetworkCost {
+        layers,
+        total_energy_pj,
+        total_latency_ns,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn layer_cost(
+    label: String,
+    positions: u64,
+    fan_in: u64,
+    fan_out: u64,
+    size: u64,
+    slices: u64,
+    signs: u64,
+    streams: u64,
+    model: &CostModel,
+) -> LayerCost {
+    let tile_rows = fan_in.div_ceil(size);
+    let tile_cols = fan_out.div_ceil(size);
+    let xbar_reads = positions * tile_rows * tile_cols * slices * signs * streams;
+    let adc_conversions = xbar_reads * size;
+    let dac_drives = positions * tile_rows * streams * size * signs;
+    let shift_adds = adc_conversions;
+    let energy_pj = xbar_reads as f64 * model.xbar_read_pj
+        + adc_conversions as f64 * model.adc_conversion_pj
+        + dac_drives as f64 * model.dac_drive_pj
+        + shift_adds as f64 * model.shift_add_pj;
+    let latency_ns = xbar_reads as f64 * model.xbar_read_ns
+        + adc_conversions as f64 * model.adc_conversion_ns;
+    LayerCost {
+        label,
+        positions,
+        xbar_reads,
+        adc_conversions,
+        dac_drives,
+        shift_adds,
+        energy_pj,
+        latency_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vision::{MicroResNet, SynthSpec};
+    use xbar::CrossbarParams;
+
+    fn arch16() -> ArchConfig {
+        ArchConfig::default().with_xbar(CrossbarParams::builder(16, 16).build().unwrap())
+    }
+
+    #[test]
+    fn counts_for_known_network() {
+        let spec = MicroResNet::new(SynthSpec::SynthS, 1).to_spec();
+        let cost = estimate_cost(&spec, &arch16(), &CostModel::default()).unwrap();
+        // 7 MVM layers in MicroResNet-S.
+        assert_eq!(cost.layers.len(), 7);
+        // Stem conv: 12x12 positions, fan_in 9 -> 1 tile row at 16.
+        let stem = &cost.layers[0];
+        assert_eq!(stem.positions, 144);
+        // 144 pos * 1 tr * 1 tc * 4 slices * 2 signs * 4 streams.
+        assert_eq!(stem.xbar_reads, 144 * 4 * 2 * 4);
+        assert_eq!(stem.adc_conversions, stem.xbar_reads * 16);
+        assert!(cost.total_energy_pj > 0.0);
+        assert!(cost.total_latency_ns > 0.0);
+        assert_eq!(
+            cost.total_xbar_reads(),
+            cost.layers.iter().map(|l| l.xbar_reads).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn narrower_digits_cost_more() {
+        let spec = MicroResNet::new(SynthSpec::SynthS, 1).to_spec();
+        let wide = estimate_cost(&spec, &arch16(), &CostModel::default()).unwrap();
+        let narrow = estimate_cost(
+            &spec,
+            &arch16().with_bit_slicing(1, 1),
+            &CostModel::default(),
+        )
+        .unwrap();
+        // 15 streams x 15 slices vs 4 x 4.
+        assert!(narrow.total_energy_pj > wide.total_energy_pj * 10.0);
+    }
+
+    #[test]
+    fn bigger_crossbars_cost_fewer_reads() {
+        let spec = MicroResNet::new(SynthSpec::SynthS, 1).to_spec();
+        let small = estimate_cost(&spec, &arch16(), &CostModel::default()).unwrap();
+        let big = estimate_cost(
+            &spec,
+            &ArchConfig::default()
+                .with_xbar(CrossbarParams::builder(64, 64).build().unwrap()),
+            &CostModel::default(),
+        )
+        .unwrap();
+        assert!(big.total_xbar_reads() < small.total_xbar_reads());
+    }
+
+    #[test]
+    fn offset_mapping_halves_sign_copies() {
+        let spec = MicroResNet::new(SynthSpec::SynthS, 1).to_spec();
+        let differential = estimate_cost(&spec, &arch16(), &CostModel::default()).unwrap();
+        let offset = estimate_cost(
+            &spec,
+            &ArchConfig {
+                weight_mapping: WeightMapping::Offset,
+                ..arch16()
+            },
+            &CostModel::default(),
+        )
+        .unwrap();
+        // Offset slices cover 16 bits (4 slices) but use 1 sign copy:
+        // exactly half the reads of differential (4 slices x 2 signs).
+        assert_eq!(offset.total_xbar_reads() * 2, differential.total_xbar_reads());
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let mut spec = MicroResNet::new(SynthSpec::SynthS, 1).to_spec();
+        // Drop the stem conv: the next conv expects 8 channels but the
+        // input has 1.
+        spec.ops.remove(0);
+        assert!(estimate_cost(&spec, &arch16(), &CostModel::default()).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Layer-by-layer error diagnostics.
+//!
+//! The paper's Section 1 argument is that MVM errors *accumulate over
+//! the layers* of a network. This module makes that visible: it runs
+//! the crossbar simulator and the FP32 reference side by side and
+//! reports, after every MVM op, the signal-to-noise ratio of the
+//! crossbar activations against the reference.
+
+use crate::arch::ArchConfig;
+use crate::engine::CrossbarEngine;
+use crate::network::CrossbarNetwork;
+use crate::FuncsimError;
+use nn::Tensor;
+use vision::{spec_forward, NetworkSpec, SpecOp};
+
+/// Per-MVM-layer comparison of crossbar vs FP32 activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDiagnostic {
+    /// Index of the op within the spec.
+    pub op_index: usize,
+    /// Human-readable label.
+    pub label: String,
+    /// Root-mean-square of the reference activation.
+    pub signal_rms: f64,
+    /// Root-mean-square of (crossbar − reference).
+    pub error_rms: f64,
+}
+
+impl LayerDiagnostic {
+    /// Signal-to-noise ratio in dB (`+inf` for zero error).
+    pub fn snr_db(&self) -> f64 {
+        if self.error_rms == 0.0 {
+            f64::INFINITY
+        } else {
+            20.0 * (self.signal_rms / self.error_rms).log10()
+        }
+    }
+}
+
+/// Runs `spec` on both the FP32 path and the crossbar simulator and
+/// compares activations after every conv/linear op.
+///
+/// The comparison truncates each prefix of the spec and re-executes
+/// it, which is quadratic in depth but exact (no instrumentation
+/// plumbing through either executor); intended for small diagnostic
+/// batches.
+///
+/// # Errors
+///
+/// Propagates build and inference failures from both paths.
+pub fn layer_diagnostics(
+    spec: &NetworkSpec,
+    arch: &ArchConfig,
+    engine: &dyn CrossbarEngine,
+    images: &Tensor,
+) -> Result<Vec<LayerDiagnostic>, FuncsimError> {
+    let mut out = Vec::new();
+    for (i, op) in spec.ops.iter().enumerate() {
+        let label = match op {
+            SpecOp::Conv2d { weight, .. } => {
+                format!("conv {}->{}", weight.shape()[1], weight.shape()[0])
+            }
+            SpecOp::Linear { weight, .. } => {
+                format!("linear {}->{}", weight.shape()[1], weight.shape()[0])
+            }
+            _ => continue,
+        };
+        // A prefix is only executable if it doesn't cut a residual
+        // region in half; extend to the enclosing ResidualAdd if needed.
+        let mut end = i + 1;
+        let mut depth = 0i32;
+        for op in &spec.ops[..end] {
+            match op {
+                SpecOp::ResidualBegin => depth += 1,
+                SpecOp::ResidualAdd => depth -= 1,
+                _ => {}
+            }
+        }
+        while depth > 0 {
+            match &spec.ops[end] {
+                SpecOp::ResidualAdd => depth -= 1,
+                SpecOp::ResidualBegin => depth += 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        let prefix = NetworkSpec {
+            ops: spec.ops[..end].to_vec(),
+            input_shape: spec.input_shape,
+            // Classes metadata is unused by forward passes.
+            classes: spec.classes,
+        };
+        let reference = spec_forward(&prefix, images)?;
+        let net = CrossbarNetwork::build(prefix, arch, engine)?;
+        let actual = net.forward(images)?;
+
+        let n = reference.len().max(1) as f64;
+        let signal_rms =
+            (reference.data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / n).sqrt();
+        let error_rms = (reference
+            .data()
+            .iter()
+            .zip(actual.data())
+            .map(|(&r, &a)| ((r - a) as f64).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        out.push(LayerDiagnostic {
+            op_index: i,
+            label,
+            signal_rms,
+            error_rms,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AnalyticalEngine, IdealEngine};
+    use vision::{MicroResNet, SynthSpec, SynthVision};
+    use xbar::CrossbarParams;
+
+    fn workload() -> (NetworkSpec, Tensor) {
+        let model = MicroResNet::new(SynthSpec::SynthS, 3);
+        let data = SynthVision::generate(SynthSpec::SynthS, 1, 5).unwrap();
+        let (images, _) = data.batch(&[0, 1]).unwrap();
+        // Calibrate activation ranges: an uncalibrated random network
+        // saturates the fixed-point format and every SNR collapses.
+        let spec = vision::rescale_for_fxp(&model.to_spec(), &images, 3.5).unwrap();
+        (spec, images)
+    }
+
+    fn arch(size: usize) -> ArchConfig {
+        ArchConfig {
+            adc_bits: 20,
+            xbar: CrossbarParams::builder(size, size).build().unwrap(),
+            ..ArchConfig::default()
+        }
+    }
+
+    #[test]
+    fn ideal_backend_has_high_snr_everywhere() {
+        let (spec, images) = workload();
+        let diags = layer_diagnostics(&spec, &arch(16), &IdealEngine, &images).unwrap();
+        // 7 MVM layers in MicroResNet-S.
+        assert_eq!(diags.len(), 7);
+        for d in &diags {
+            assert!(
+                d.snr_db() > 28.0,
+                "{} has snr {:.1} dB",
+                d.label,
+                d.snr_db()
+            );
+        }
+    }
+
+    #[test]
+    fn analytical_backend_shows_lower_snr_than_ideal() {
+        let (spec, images) = workload();
+        // Hostile design point so the parasitic error is visible.
+        let hostile = ArchConfig {
+            adc_bits: 20,
+            xbar: CrossbarParams::builder(16, 16)
+                .r_on(50e3)
+                .on_off_ratio(2.0)
+                .build()
+                .unwrap(),
+            ..ArchConfig::default()
+        };
+        let ideal = layer_diagnostics(&spec, &hostile, &IdealEngine, &images).unwrap();
+        let analytical =
+            layer_diagnostics(&spec, &hostile, &AnalyticalEngine, &images).unwrap();
+        let last_ideal = ideal.last().unwrap().snr_db();
+        let last_analytical = analytical.last().unwrap().snr_db();
+        assert!(
+            last_analytical < last_ideal,
+            "analytical {last_analytical} dB should be below ideal {last_ideal} dB"
+        );
+    }
+
+    #[test]
+    fn labels_and_indices_line_up() {
+        let (spec, images) = workload();
+        let diags = layer_diagnostics(&spec, &arch(16), &IdealEngine, &images).unwrap();
+        assert!(diags[0].label.starts_with("conv 1->8"));
+        assert!(diags.last().unwrap().label.starts_with("linear 16->8"));
+        for w in diags.windows(2) {
+            assert!(w[0].op_index < w[1].op_index);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the functional simulator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FuncsimError {
+    /// Invalid architecture configuration (message explains which).
+    InvalidConfig(String),
+    /// Operand shapes don't match the programmed network.
+    Shape(String),
+    /// The crossbar substrate failed.
+    Xbar(xbar::XbarError),
+    /// The GENIEx surrogate failed.
+    Geniex(geniex::GeniexError),
+    /// The neural-network substrate failed.
+    Network(nn::NnError),
+    /// The vision substrate failed.
+    Vision(vision::VisionError),
+}
+
+impl fmt::Display for FuncsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuncsimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FuncsimError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            FuncsimError::Xbar(err) => write!(f, "crossbar failure: {err}"),
+            FuncsimError::Geniex(err) => write!(f, "surrogate failure: {err}"),
+            FuncsimError::Network(err) => write!(f, "network failure: {err}"),
+            FuncsimError::Vision(err) => write!(f, "vision failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FuncsimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FuncsimError::Xbar(err) => Some(err),
+            FuncsimError::Geniex(err) => Some(err),
+            FuncsimError::Network(err) => Some(err),
+            FuncsimError::Vision(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<xbar::XbarError> for FuncsimError {
+    fn from(err: xbar::XbarError) -> Self {
+        FuncsimError::Xbar(err)
+    }
+}
+
+impl From<geniex::GeniexError> for FuncsimError {
+    fn from(err: geniex::GeniexError) -> Self {
+        FuncsimError::Geniex(err)
+    }
+}
+
+impl From<nn::NnError> for FuncsimError {
+    fn from(err: nn::NnError) -> Self {
+        FuncsimError::Network(err)
+    }
+}
+
+impl From<vision::VisionError> for FuncsimError {
+    fn from(err: vision::VisionError) -> Self {
+        FuncsimError::Vision(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = FuncsimError::from(xbar::XbarError::Shape("x".into()));
+        assert!(e.to_string().contains("crossbar"));
+        assert!(e.source().is_some());
+        assert!(FuncsimError::InvalidConfig("c".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FuncsimError>();
+    }
+}

@@ -1,0 +1,263 @@
+//! Signed fixed-point formats and conversions.
+//!
+//! All networks in the evaluation use fixed-point (FxP) representations
+//! (Section 6). A format is `total_bits` two's-complement bits with
+//! `frac_bits` fractional bits; quantization rounds to nearest and
+//! saturates.
+
+use crate::FuncsimError;
+
+/// A signed fixed-point format.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), funcsim::FuncsimError> {
+/// use funcsim::FxpFormat;
+/// let fmt = FxpFormat::new(16, 13)?;
+/// let q = fmt.quantize(0.5);
+/// assert_eq!(q, 4096); // 0.5 * 2^13
+/// assert_eq!(fmt.dequantize(q), 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FxpFormat {
+    total_bits: u32,
+    frac_bits: u32,
+}
+
+impl FxpFormat {
+    /// Creates a format with `total_bits` total (including sign) and
+    /// `frac_bits` fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuncsimError::InvalidConfig`] unless
+    /// `1 <= total_bits <= 62` and `frac_bits < total_bits`.
+    pub fn new(total_bits: u32, frac_bits: u32) -> Result<Self, FuncsimError> {
+        if total_bits == 0 || total_bits > 62 {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "total_bits must be in 1..=62, got {total_bits}"
+            )));
+        }
+        if frac_bits >= total_bits {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "frac_bits ({frac_bits}) must be below total_bits ({total_bits})"
+            )));
+        }
+        Ok(FxpFormat {
+            total_bits,
+            frac_bits,
+        })
+    }
+
+    /// The paper's activation/weight default: 16-bit, 13 fractional.
+    pub fn paper_default() -> Self {
+        FxpFormat {
+            total_bits: 16,
+            frac_bits: 13,
+        }
+    }
+
+    /// A reduced-precision variant keeping the paper's 3 integer bits:
+    /// `bits` total, `bits - 3` fractional (e.g. 8-bit → 5 fractional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuncsimError::InvalidConfig`] for `bits < 4`.
+    pub fn with_total_bits(bits: u32) -> Result<Self, FuncsimError> {
+        if bits < 4 {
+            return Err(FuncsimError::InvalidConfig(format!(
+                "need at least 4 bits for sign + 3 integer bits, got {bits}"
+            )));
+        }
+        FxpFormat::new(bits, bits - 3)
+    }
+
+    /// Total bit width.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Fractional bit count.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest representable code.
+    pub fn min_code(&self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Magnitude bits available for unsigned slicing (excludes sign).
+    pub fn magnitude_bits(&self) -> u32 {
+        self.total_bits - 1
+    }
+
+    /// Quantizes a real value: round to nearest, saturate.
+    pub fn quantize(&self, value: f32) -> i64 {
+        let scaled = (value as f64 * (1i64 << self.frac_bits) as f64).round();
+        if scaled.is_nan() {
+            return 0;
+        }
+        (scaled as i64).clamp(self.min_code(), self.max_code())
+    }
+
+    /// Converts a code back to a real value.
+    pub fn dequantize(&self, code: i64) -> f32 {
+        (code as f64 / (1i64 << self.frac_bits) as f64) as f32
+    }
+
+    /// Quantize-dequantize round trip (the value the hardware sees).
+    pub fn round_trip(&self, value: f32) -> f32 {
+        self.dequantize(self.quantize(value))
+    }
+}
+
+/// Rescales a fixed-point value from `from_frac` fractional bits to
+/// `to_frac`, rounding on right shifts, then saturates to
+/// `total_bits`.
+///
+/// This is the shift-and-add pipeline's requantization step (product →
+/// accumulator → activation).
+pub fn rescale_saturate(value: i64, from_frac: u32, to_frac: u32, total_bits: u32) -> i64 {
+    let shifted = if from_frac > to_frac {
+        let shift = from_frac - to_frac;
+        // Round to nearest (ties away from zero) instead of floor.
+        let half = 1i64 << (shift - 1);
+        if value >= 0 {
+            (value + half) >> shift
+        } else {
+            -((-value + half) >> shift)
+        }
+    } else {
+        value << (to_frac - from_frac)
+    };
+    let max = (1i64 << (total_bits - 1)) - 1;
+    let min = -(1i64 << (total_bits - 1));
+    shifted.clamp(min, max)
+}
+
+/// Splits an unsigned magnitude into `count` digits of `width` bits,
+/// least-significant first. Digits beyond the value's length are zero.
+///
+/// This implements both weight *slices* and input *streams*.
+pub fn split_digits(magnitude: u64, width: u32, count: u32) -> Vec<u64> {
+    debug_assert!(width >= 1 && width <= 16);
+    let mask = (1u64 << width) - 1;
+    (0..count)
+        .map(|k| (magnitude >> (k * width)) & mask)
+        .collect()
+}
+
+/// Number of `width`-bit digits needed to cover `bits` magnitude bits.
+pub fn digit_count(bits: u32, width: u32) -> u32 {
+    bits.div_ceil(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn format_validation() {
+        assert!(FxpFormat::new(0, 0).is_err());
+        assert!(FxpFormat::new(63, 2).is_err());
+        assert!(FxpFormat::new(8, 8).is_err());
+        assert!(FxpFormat::new(8, 9).is_err());
+        assert!(FxpFormat::new(8, 7).is_ok());
+        assert!(FxpFormat::with_total_bits(3).is_err());
+    }
+
+    #[test]
+    fn paper_default_format() {
+        let f = FxpFormat::paper_default();
+        assert_eq!(f.total_bits(), 16);
+        assert_eq!(f.frac_bits(), 13);
+        assert_eq!(f.magnitude_bits(), 15);
+        assert_eq!(FxpFormat::with_total_bits(8).unwrap().frac_bits(), 5);
+        assert_eq!(FxpFormat::with_total_bits(4).unwrap().frac_bits(), 1);
+    }
+
+    #[test]
+    fn quantize_known_values() {
+        let f = FxpFormat::paper_default();
+        assert_eq!(f.quantize(0.0), 0);
+        assert_eq!(f.quantize(1.0), 8192);
+        assert_eq!(f.quantize(-1.0), -8192);
+        // Saturation at ±4 (3 integer bits).
+        assert_eq!(f.quantize(100.0), f.max_code());
+        assert_eq!(f.quantize(-100.0), f.min_code());
+        assert_eq!(f.quantize(f32::NAN), 0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_lsb() {
+        let f = FxpFormat::paper_default();
+        let lsb = 1.0 / (1 << 13) as f32;
+        for v in [0.1f32, -0.7, 3.99, 0.333_333] {
+            assert!((f.round_trip(v) - v).abs() <= lsb);
+        }
+    }
+
+    #[test]
+    fn rescale_rounds_and_saturates() {
+        // 26 -> 24 frac: shift right 2 with rounding.
+        assert_eq!(rescale_saturate(7, 26, 24, 32), 2);
+        assert_eq!(rescale_saturate(-7, 26, 24, 32), -2);
+        assert_eq!(rescale_saturate(6, 26, 24, 32), 2);
+        // Left shift.
+        assert_eq!(rescale_saturate(3, 10, 12, 32), 12);
+        // Saturation.
+        assert_eq!(rescale_saturate(1 << 40, 0, 0, 16), (1 << 15) - 1);
+        assert_eq!(rescale_saturate(-(1 << 40), 0, 0, 16), -(1 << 15));
+    }
+
+    #[test]
+    fn split_digits_lsb_first() {
+        // 0xABC in 4-bit digits.
+        assert_eq!(split_digits(0xABC, 4, 3), vec![0xC, 0xB, 0xA]);
+        assert_eq!(split_digits(0xABC, 4, 5), vec![0xC, 0xB, 0xA, 0, 0]);
+        assert_eq!(split_digits(0b101, 1, 3), vec![1, 0, 1]);
+        assert_eq!(digit_count(15, 4), 4);
+        assert_eq!(digit_count(16, 4), 4);
+        assert_eq!(digit_count(13, 4), 4);
+        assert_eq!(digit_count(15, 1), 15);
+    }
+
+    proptest! {
+        #[test]
+        fn digits_reassemble(value in 0u64..(1 << 15), width in 1u32..8) {
+            let count = digit_count(15, width);
+            let digits = split_digits(value, width, count);
+            let mut back = 0u64;
+            for (k, &d) in digits.iter().enumerate() {
+                back |= d << (k as u32 * width);
+            }
+            prop_assert_eq!(back, value);
+        }
+
+        #[test]
+        fn quantize_monotonic(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+            let f = FxpFormat::paper_default();
+            if a <= b {
+                prop_assert!(f.quantize(a) <= f.quantize(b));
+            }
+        }
+
+        #[test]
+        fn rescale_round_trip_up_down(v in -100_000i64..100_000) {
+            // Shifting up then back down must be exact.
+            let up = rescale_saturate(v, 10, 20, 40);
+            let back = rescale_saturate(up, 20, 10, 40);
+            prop_assert_eq!(back, v);
+        }
+    }
+}

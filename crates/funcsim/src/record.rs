@@ -1,0 +1,255 @@
+//! Workload stimulus harvesting.
+//!
+//! The paper's surrogate training set is built from `(V, G)` vectors
+//! "collected from the dataset and the pretrained neural network
+//! models" (Section 6) — the bit-sliced patterns a real workload
+//! actually produces are highly structured (discrete digit levels,
+//! extreme sparsity), and a surrogate trained purely on random stimuli
+//! generalizes poorly to them.
+//!
+//! [`RecordingEngine`] wraps any [`CrossbarEngine`] and
+//! reservoir-samples the `(tile conductance, input levels)` pairs that
+//! flow through it; [`harvest_stimuli`] runs a frozen network over
+//! sample images under the ideal backend and returns the collected
+//! pairs, ready to be labelled by the circuit simulator
+//! (`geniex::dataset::label_stimuli`).
+
+use crate::arch::ArchConfig;
+use crate::engine::{CrossbarEngine, IdealEngine, ProgrammedXbar};
+use crate::network::CrossbarNetwork;
+use crate::FuncsimError;
+use nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+use vision::NetworkSpec;
+use xbar::CrossbarParams;
+
+/// One harvested crossbar stimulus: the programmed conductance levels
+/// of a tile and one input-level vector applied to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStimulus {
+    /// Input levels, length `rows`, in `[0, 1]`.
+    pub v_levels: Vec<f32>,
+    /// Tile conductance levels, length `rows·cols`, in `[0, 1]`.
+    pub g_levels: Vec<f32>,
+}
+
+struct Reservoir {
+    capacity: usize,
+    seen: usize,
+    rng: StdRng,
+    samples: Vec<(usize, Vec<f32>)>,
+}
+
+struct LogInner {
+    tiles: Vec<Vec<f32>>,
+    reservoir: Reservoir,
+}
+
+/// Shared log filled by a [`RecordingEngine`].
+#[derive(Clone)]
+pub struct StimulusLog {
+    inner: Arc<Mutex<LogInner>>,
+}
+
+impl StimulusLog {
+    /// Creates a log keeping at most `capacity` stimuli (uniform
+    /// reservoir sample over everything observed).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        StimulusLog {
+            inner: Arc::new(Mutex::new(LogInner {
+                tiles: Vec::new(),
+                reservoir: Reservoir {
+                    capacity,
+                    seen: 0,
+                    rng: StdRng::seed_from_u64(seed),
+                    samples: Vec::new(),
+                },
+            })),
+        }
+    }
+
+    fn register_tile(&self, g_levels: Vec<f32>) -> usize {
+        let mut inner = self.inner.lock().expect("stimulus log poisoned");
+        inner.tiles.push(g_levels);
+        inner.tiles.len() - 1
+    }
+
+    fn record(&self, tile: usize, v_levels: &[f32]) {
+        let mut inner = self.inner.lock().expect("stimulus log poisoned");
+        let r = &mut inner.reservoir;
+        r.seen += 1;
+        if r.samples.len() < r.capacity {
+            r.samples.push((tile, v_levels.to_vec()));
+        } else {
+            let j = r.rng.gen_range(0..r.seen);
+            if j < r.capacity {
+                r.samples[j] = (tile, v_levels.to_vec());
+            }
+        }
+    }
+
+    /// Total MVM rows observed (before subsampling).
+    pub fn observed(&self) -> usize {
+        self.inner.lock().expect("stimulus log poisoned").reservoir.seen
+    }
+
+    /// Extracts the sampled stimuli.
+    pub fn stimuli(&self) -> Vec<WorkloadStimulus> {
+        let inner = self.inner.lock().expect("stimulus log poisoned");
+        inner
+            .reservoir
+            .samples
+            .iter()
+            .map(|(tile, v)| WorkloadStimulus {
+                v_levels: v.clone(),
+                g_levels: inner.tiles[*tile].clone(),
+            })
+            .collect()
+    }
+}
+
+/// An engine wrapper that records every programmed tile and
+/// reservoir-samples the input vectors applied to them.
+pub struct RecordingEngine<E> {
+    inner: E,
+    log: StimulusLog,
+}
+
+impl<E: CrossbarEngine> RecordingEngine<E> {
+    /// Wraps `inner`, recording into `log`.
+    pub fn new(inner: E, log: StimulusLog) -> Self {
+        RecordingEngine { inner, log }
+    }
+}
+
+struct RecordingXbar {
+    inner: Box<dyn ProgrammedXbar>,
+    tile: usize,
+    rows: usize,
+    log: StimulusLog,
+}
+
+impl ProgrammedXbar for RecordingXbar {
+    fn currents_batch(&self, v_levels: &[f32], n: usize) -> Result<Vec<f64>, FuncsimError> {
+        for b in 0..n {
+            self.log
+                .record(self.tile, &v_levels[b * self.rows..(b + 1) * self.rows]);
+        }
+        self.inner.currents_batch(v_levels, n)
+    }
+}
+
+impl<E: CrossbarEngine> CrossbarEngine for RecordingEngine<E> {
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+
+    fn program(
+        &self,
+        params: &CrossbarParams,
+        g_levels: &[f32],
+    ) -> Result<Box<dyn ProgrammedXbar>, FuncsimError> {
+        let tile = self.log.register_tile(g_levels.to_vec());
+        Ok(Box::new(RecordingXbar {
+            inner: self.inner.program(params, g_levels)?,
+            tile,
+            rows: params.rows,
+            log: self.log.clone(),
+        }))
+    }
+}
+
+/// Runs `spec` over `images` on the ideal backend and harvests up to
+/// `max_samples` workload stimuli (uniformly sampled over all crossbar
+/// operations the run performs).
+///
+/// # Errors
+///
+/// Propagates build and inference failures.
+pub fn harvest_stimuli(
+    spec: NetworkSpec,
+    arch: &ArchConfig,
+    images: &Tensor,
+    max_samples: usize,
+    seed: u64,
+) -> Result<Vec<WorkloadStimulus>, FuncsimError> {
+    let log = StimulusLog::new(max_samples, seed);
+    let engine = RecordingEngine::new(IdealEngine, log.clone());
+    let net = CrossbarNetwork::build(spec, arch, &engine)?;
+    net.forward(images)?;
+    Ok(log.stimuli())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vision::{MicroResNet, SynthSpec, SynthVision};
+
+    fn arch() -> ArchConfig {
+        ArchConfig::default().with_xbar(CrossbarParams::builder(8, 8).build().unwrap())
+    }
+
+    #[test]
+    fn harvests_structured_stimuli() {
+        let model = MicroResNet::new(SynthSpec::SynthS, 3);
+        let data = SynthVision::generate(SynthSpec::SynthS, 1, 5).unwrap();
+        let (images, _) = data.batch(&[0, 1]).unwrap();
+        let stimuli = harvest_stimuli(model.to_spec(), &arch(), &images, 50, 9).unwrap();
+        assert_eq!(stimuli.len(), 50);
+        for s in &stimuli {
+            assert_eq!(s.v_levels.len(), 8);
+            assert_eq!(s.g_levels.len(), 64);
+            assert!(s.v_levels.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(s.g_levels.iter().all(|&g| (0.0..=1.0).contains(&g)));
+        }
+        // Bit-sliced digits are quantized to d/15ths.
+        let quantized = stimuli
+            .iter()
+            .flat_map(|s| &s.v_levels)
+            .all(|&v| (v * 15.0 - (v * 15.0).round()).abs() < 1e-5);
+        assert!(quantized, "stream levels must be digit-quantized");
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_capped() {
+        let model = MicroResNet::new(SynthSpec::SynthS, 3);
+        let data = SynthVision::generate(SynthSpec::SynthS, 1, 5).unwrap();
+        let (images, _) = data.batch(&[0]).unwrap();
+        let a = harvest_stimuli(model.to_spec(), &arch(), &images, 20, 1).unwrap();
+        let b = harvest_stimuli(model.to_spec(), &arch(), &images, 20, 1).unwrap();
+        assert_eq!(a, b);
+        let c = harvest_stimuli(model.to_spec(), &arch(), &images, 20, 2).unwrap();
+        assert_ne!(a, c, "different seeds should sample differently");
+    }
+
+    #[test]
+    fn log_counts_observations() {
+        let log = StimulusLog::new(4, 0);
+        let tile = log.register_tile(vec![0.0; 4]);
+        for k in 0..10 {
+            log.record(tile, &[k as f32 / 10.0, 0.0]);
+        }
+        assert_eq!(log.observed(), 10);
+        assert_eq!(log.stimuli().len(), 4);
+    }
+
+    #[test]
+    fn recording_engine_is_transparent() {
+        // Wrapping must not change the computed currents.
+        let params = CrossbarParams::builder(4, 4).build().unwrap();
+        let log = StimulusLog::new(8, 0);
+        let rec = RecordingEngine::new(IdealEngine, log.clone());
+        let g = [0.5f32; 16];
+        let v = [1.0f32, 0.0, 0.5, 0.25];
+        let a = rec.program(&params, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let b = IdealEngine
+            .program(&params, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(log.observed(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Engine decorator injecting programming imperfections.
+//!
+//! Wraps any [`CrossbarEngine`] so that each tile's target conductance
+//! levels pass through [`xbar::apply_variations`] before programming —
+//! modelling lognormal programming spread and stuck-at faults on top of
+//! whichever non-ideality backend is active.
+//!
+//! Each programmed tile draws a distinct defect map (the wrapper
+//! advances a per-tile seed), mirroring a chip where each physical
+//! array has its own faults.
+
+use crate::engine::{CrossbarEngine, ProgrammedXbar};
+use crate::FuncsimError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xbar::{apply_variations, ConductanceMatrix, CrossbarParams, VariationConfig};
+
+/// A [`CrossbarEngine`] whose tiles are programmed imperfectly.
+pub struct VariationEngine<E> {
+    inner: E,
+    config: VariationConfig,
+    tile_counter: AtomicU64,
+}
+
+impl<E: CrossbarEngine> VariationEngine<E> {
+    /// Wraps `inner`; every programmed tile gets its own defect map
+    /// derived from `config.seed` plus a per-tile counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VariationConfig::validate`] failures.
+    pub fn new(inner: E, config: VariationConfig) -> Result<Self, FuncsimError> {
+        config.validate()?;
+        Ok(VariationEngine {
+            inner,
+            config,
+            tile_counter: AtomicU64::new(0),
+        })
+    }
+}
+
+impl<E: CrossbarEngine> CrossbarEngine for VariationEngine<E> {
+    fn name(&self) -> &'static str {
+        "variation"
+    }
+
+    fn program(
+        &self,
+        params: &CrossbarParams,
+        g_levels: &[f32],
+    ) -> Result<Box<dyn ProgrammedXbar>, FuncsimError> {
+        let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
+        let target = ConductanceMatrix::from_levels(params, &levels)?;
+        let tile_seed = self
+            .config
+            .seed
+            .wrapping_add(self.tile_counter.fetch_add(1, Ordering::Relaxed));
+        let varied = apply_variations(
+            params,
+            &target,
+            &VariationConfig {
+                seed: tile_seed,
+                ..self.config
+            },
+        )?;
+        let varied_levels: Vec<f32> = varied
+            .to_levels(params)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect();
+        self.inner.program(params, &varied_levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::IdealEngine;
+
+    fn params() -> CrossbarParams {
+        CrossbarParams::builder(8, 8).build().unwrap()
+    }
+
+    #[test]
+    fn zero_variation_is_transparent() {
+        let p = params();
+        let engine = VariationEngine::new(IdealEngine, VariationConfig::none()).unwrap();
+        let g = [0.5f32; 64];
+        let v = [1.0f32; 8];
+        let a = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let b = IdealEngine
+            .program(&p, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn variation_perturbs_currents() {
+        let p = params();
+        let engine = VariationEngine::new(
+            IdealEngine,
+            VariationConfig {
+                conductance_sigma: 0.3,
+                seed: 5,
+                ..VariationConfig::none()
+            },
+        )
+        .unwrap();
+        let g = [0.5f32; 64];
+        let v = [1.0f32; 8];
+        let varied = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let clean = IdealEngine
+            .program(&p, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
+        let max_rel = varied
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| ((a - b) / b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_rel > 0.01, "variation should visibly move currents");
+    }
+
+    #[test]
+    fn tiles_get_distinct_defect_maps() {
+        let p = params();
+        let engine = VariationEngine::new(
+            IdealEngine,
+            VariationConfig {
+                stuck_off_rate: 0.3,
+                seed: 5,
+                ..VariationConfig::none()
+            },
+        )
+        .unwrap();
+        let g = [1.0f32; 64];
+        let v = [1.0f32; 8];
+        let t1 = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let t2 = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        assert_ne!(t1, t2, "successive tiles must differ in fault pattern");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(VariationEngine::new(
+            IdealEngine,
+            VariationConfig {
+                stuck_off_rate: 2.0,
+                ..VariationConfig::none()
+            }
+        )
+        .is_err());
+    }
+}

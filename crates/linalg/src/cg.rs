@@ -1,0 +1,331 @@
+use crate::vec_ops::{all_finite, axpy, dot, norm2, xpby};
+use crate::{CsrMatrix, LinalgError};
+
+/// Options controlling [`conjugate_gradient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance: converged when
+    /// `||b - A x|| <= tolerance * ||b||` (absolute when `||b|| == 0`).
+    pub tolerance: f64,
+    /// Hard iteration cap; `None` means `10 * n + 100`.
+    pub max_iterations: Option<usize>,
+    /// Initial guess; `None` means the zero vector.
+    pub initial_guess: Option<Vec<f64>>,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tolerance: 1e-10,
+            max_iterations: None,
+            initial_guess: None,
+        }
+    }
+}
+
+/// Result of a converged CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final (true, recomputed) residual norm `||b - A x||`.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` using
+/// Jacobi-preconditioned conjugate gradients.
+///
+/// The linearized crossbar circuit produces a weighted graph Laplacian
+/// plus a positive diagonal, which is SPD, so CG is the natural solver.
+/// The Jacobi (diagonal) preconditioner is important here because wire
+/// conductances (1/2.5 Ω) and device conductances (≈ 1/100 kΩ) differ by
+/// five orders of magnitude.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::ShapeMismatch`] if `b` or the initial guess has the
+///   wrong length.
+/// * [`LinalgError::NonFinite`] if `b` contains NaN/inf.
+/// * [`LinalgError::NoConvergence`] if the tolerance is not reached
+///   within the iteration cap.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// use linalg::{TripletMatrix, CsrMatrix, conjugate_gradient, CgOptions};
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.add(0, 0, 2.0);
+/// t.add(1, 1, 2.0);
+/// let a = CsrMatrix::from_triplets(&t)?;
+/// let sol = conjugate_gradient(&a, &[2.0, 4.0], &CgOptions::default())?;
+/// assert!((sol.x[0] - 1.0).abs() < 1e-9 && (sol.x[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    options: &CgOptions,
+) -> Result<CgSolution, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "cg: matrix is {n}x{n} but rhs has length {}",
+            b.len()
+        )));
+    }
+    if !all_finite(b) {
+        return Err(LinalgError::NonFinite("cg right-hand side".into()));
+    }
+
+    let max_iterations = options.max_iterations.unwrap_or(10 * n + 100);
+    let b_norm = norm2(b);
+    // Absolute floor avoids chasing noise when b ~ 0 (all-zero input rows).
+    let threshold = if b_norm > 0.0 {
+        options.tolerance * b_norm
+    } else {
+        options.tolerance
+    };
+
+    let mut x = match &options.initial_guess {
+        Some(guess) => {
+            if guess.len() != n {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "cg: initial guess has length {} but system is {n}x{n}",
+                    guess.len()
+                )));
+            }
+            guess.clone()
+        }
+        None => vec![0.0; n],
+    };
+
+    // Jacobi preconditioner: M^-1 = 1/diag(A). Fall back to identity on
+    // zero diagonal entries (should not happen for SPD inputs).
+    let diag = a.diagonal();
+    let inv_diag: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d.abs() > f64::MIN_POSITIVE { 1.0 / d } else { 1.0 })
+        .collect();
+
+    let mut r = vec![0.0; n];
+    a.matvec_into(&x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        if norm2(&r) <= threshold {
+            break;
+        }
+        a.matvec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Not SPD (or numerically broken down).
+            return Err(LinalgError::NoConvergence {
+                iterations,
+                residual: norm2(&r),
+                tolerance: threshold,
+            });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        xpby(&z, beta, &mut p);
+        iterations += 1;
+    }
+
+    // Recompute the true residual: accumulated recurrences can drift.
+    let mut true_r = vec![0.0; n];
+    a.matvec_into(&x, &mut true_r);
+    for i in 0..n {
+        true_r[i] = b[i] - true_r[i];
+    }
+    let residual = norm2(&true_r);
+    if residual > threshold.max(1e-8 * (1.0 + b_norm)) {
+        return Err(LinalgError::NoConvergence {
+            iterations,
+            residual,
+            tolerance: threshold,
+        });
+    }
+
+    Ok(CgSolution {
+        x,
+        iterations,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Tridiagonal [ -1, 2.1, -1 ]: SPD.
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 2.1);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        CsrMatrix::from_triplets(&t).unwrap()
+    }
+
+    #[test]
+    fn solves_diagonal_system() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, 2.0);
+        t.add(2, 2, 4.0);
+        let a = CsrMatrix::from_triplets(&t).unwrap();
+        let sol = conjugate_gradient(&a, &[1.0, 1.0, 1.0], &CgOptions::default()).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+        assert!((sol.x[1] - 0.5).abs() < 1e-9);
+        assert!((sol.x[2] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_laplacian_verifies_residual() {
+        let n = 64;
+        let a = laplacian_1d(n);
+        let mut rng = StdRng::seed_from_u64(7);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sol = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let ax = a.matvec(&sol.x).unwrap();
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-7, "row {i}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian_1d(8);
+        let sol = conjugate_gradient(&a, &vec![0.0; 8], &CgOptions::default()).unwrap();
+        assert!(sol.x.iter().all(|&x| x.abs() < 1e-12));
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn initial_guess_near_solution_converges_fast() {
+        let a = laplacian_1d(16);
+        let b = vec![1.0; 16];
+        let exact = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+        let warm = conjugate_gradient(
+            &a,
+            &b,
+            &CgOptions {
+                initial_guess: Some(exact.x.clone()),
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(warm.iterations <= 1);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let mut t = TripletMatrix::new(2, 3);
+        t.add(0, 0, 1.0);
+        let a = CsrMatrix::from_triplets(&t).unwrap();
+        assert!(matches!(
+            conjugate_gradient(&a, &[1.0, 1.0], &CgOptions::default()),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = laplacian_1d(4);
+        assert!(conjugate_gradient(&a, &[1.0], &CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nan_rhs_rejected() {
+        let a = laplacian_1d(4);
+        assert!(matches!(
+            conjugate_gradient(&a, &[1.0, f64::NAN, 0.0, 0.0], &CgOptions::default()),
+            Err(LinalgError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_no_convergence() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, -1.0);
+        let a = CsrMatrix::from_triplets(&t).unwrap();
+        // rhs chosen to exercise the negative-curvature direction
+        let result = conjugate_gradient(&a, &[0.0, 1.0], &CgOptions::default());
+        assert!(matches!(result, Err(LinalgError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = laplacian_1d(128);
+        let b = vec![1.0; 128];
+        let result = conjugate_gradient(
+            &a,
+            &b,
+            &CgOptions {
+                max_iterations: Some(1),
+                tolerance: 1e-14,
+                ..CgOptions::default()
+            },
+        );
+        assert!(matches!(result, Err(LinalgError::NoConvergence { .. })));
+    }
+
+    proptest! {
+        /// CG on random SPD systems (A = L + diag) recovers solutions that
+        /// satisfy the system to tolerance.
+        #[test]
+        fn random_spd_systems(seed in 0u64..64) {
+            let n = 24;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                t.add(i, i, 2.0 + rng.gen_range(0.0..2.0));
+                if i + 1 < n {
+                    let w = -rng.gen_range(0.0..1.0);
+                    t.add(i, i + 1, w);
+                    t.add(i + 1, i, w);
+                }
+            }
+            let a = CsrMatrix::from_triplets(&t).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sol = conjugate_gradient(&a, &b, &CgOptions::default()).unwrap();
+            let ax = a.matvec(&sol.x).unwrap();
+            for i in 0..n {
+                prop_assert!((ax[i] - b[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+use crate::LinalgError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// `Mat` is the workhorse for the analytical crossbar model's effective
+/// matrices and for small dense solves. It deliberately keeps a compact
+/// API: construction, element access, and the products the workspace
+/// needs.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// use linalg::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let y = a.matvec(&[1.0, 1.0])?;
+/// assert_eq!(y, vec![3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the rows have unequal
+    /// lengths or `rows` is empty with no deducible width.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Ok(Mat::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "row {i} has length {} but row 0 has length {cols}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "buffer of length {} cannot form a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matvec: matrix is {}x{} but vector has length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            y[i] = crate::vec_ops::dot(self.row(i), x);
+        }
+        Ok(y)
+    }
+
+    /// Matrix-matrix product `A * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != b.rows()`.
+    pub fn matmul(&self, b: &Mat) -> Result<Mat, LinalgError> {
+        if self.cols != b.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matmul: {}x{} * {}x{}",
+                self.rows, self.cols, b.rows, b.cols
+            )));
+        }
+        let mut out = Mat::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let orow = out.row_mut(i);
+                for j in 0..brow.len() {
+                    orow[j] += aik * brow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Maximum absolute element (0 for an empty matrix).
+    pub fn norm_inf(&self) -> f64 {
+        crate::vec_ops::norm_inf(&self.data)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Mat::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let id = Mat::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(id.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Mat::from_rows(&[&[1.0, 2.0], &[1.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Mat::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Mat::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matvec_shape_check() {
+        let a = Mat::zeros(2, 3);
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Mat::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn display_not_empty() {
+        let a = Mat::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+        proptest::collection::vec(-10.0f64..10.0, rows * cols)
+            .prop_map(move |v| Mat::from_vec(rows, cols, v).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_associative_with_vector(
+            a in arb_mat(3, 4),
+            b in arb_mat(4, 2),
+            x in proptest::collection::vec(-10.0f64..10.0, 2),
+        ) {
+            // (A*B)*x == A*(B*x)
+            let lhs = a.matmul(&b).unwrap().matvec(&x).unwrap();
+            let rhs = a.matvec(&b.matvec(&x).unwrap()).unwrap();
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn transpose_swaps_matvec(
+            a in arb_mat(3, 3),
+            x in proptest::collection::vec(-10.0f64..10.0, 3),
+            y in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            // y' (A x) == x' (A' y)
+            let ax = a.matvec(&x).unwrap();
+            let aty = a.transpose().matvec(&y).unwrap();
+            let lhs = crate::vec_ops::dot(&y, &ax);
+            let rhs = crate::vec_ops::dot(&x, &aty);
+            prop_assert!((lhs - rhs).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+use crate::LinalgError;
+
+/// A coordinate-format (COO) accumulator used to assemble sparse matrices.
+///
+/// Circuit stamping naturally produces duplicate entries (several branches
+/// touching the same node pair); duplicates are summed when converting to
+/// [`CsrMatrix`], which is exactly the stamping semantics a modified-nodal
+/// -analysis assembler needs.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// use linalg::{TripletMatrix, CsrMatrix};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.add(0, 0, 1.0);
+/// t.add(0, 0, 2.0); // duplicate: summed
+/// let a = CsrMatrix::from_triplets(&t)?;
+/// assert_eq!(a.matvec(&[1.0, 0.0])?, vec![3.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty accumulator for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty accumulator with room for `capacity` entries.
+    pub fn with_capacity(rows: usize, cols: usize, capacity: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of (possibly duplicate) stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates are summed on conversion.
+    ///
+    /// Out-of-bounds indices are detected at conversion time so that hot
+    /// assembly loops stay branch-light.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.entries.push((row, col, value));
+    }
+
+    /// Clears all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over raw (row, col, value) entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, f64)> {
+        self.entries.iter()
+    }
+}
+
+/// A compressed-sparse-row matrix.
+///
+/// Built from a [`TripletMatrix`]; rows are stored contiguously with
+/// column-sorted entries, duplicates summed. This is the Jacobian storage
+/// for the crossbar circuit solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from triplets, summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::IndexOutOfBounds`] if any triplet lies outside the
+    ///   declared dimensions.
+    /// * [`LinalgError::NonFinite`] if any value is NaN or infinite.
+    pub fn from_triplets(t: &TripletMatrix) -> Result<Self, LinalgError> {
+        for &(r, c, v) in t.iter() {
+            if r >= t.rows || c >= t.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows: t.rows,
+                    cols: t.cols,
+                });
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::NonFinite(format!(
+                    "triplet at ({r}, {c}) is {v}"
+                )));
+            }
+        }
+
+        // Count entries per row, then bucket and sort each row by column,
+        // merging duplicates.
+        let mut counts = vec![0usize; t.rows];
+        for &(r, _, _) in t.iter() {
+            counts[r] += 1;
+        }
+        let mut row_start = vec![0usize; t.rows + 1];
+        for i in 0..t.rows {
+            row_start[i + 1] = row_start[i] + counts[i];
+        }
+        let mut scratch_cols = vec![0usize; t.len()];
+        let mut scratch_vals = vec![0.0f64; t.len()];
+        let mut cursor = row_start.clone();
+        for &(r, c, v) in t.iter() {
+            let pos = cursor[r];
+            scratch_cols[pos] = c;
+            scratch_vals[pos] = v;
+            cursor[r] += 1;
+        }
+
+        let mut row_ptr = Vec::with_capacity(t.rows + 1);
+        let mut col_idx = Vec::with_capacity(t.len());
+        let mut values = Vec::with_capacity(t.len());
+        row_ptr.push(0);
+        let mut perm: Vec<usize> = Vec::new();
+        for r in 0..t.rows {
+            let lo = row_start[r];
+            let hi = row_start[r + 1];
+            perm.clear();
+            perm.extend(lo..hi);
+            perm.sort_unstable_by_key(|&k| scratch_cols[k]);
+            let mut k = 0;
+            while k < perm.len() {
+                let c = scratch_cols[perm[k]];
+                let mut v = scratch_vals[perm[k]];
+                k += 1;
+                while k < perm.len() && scratch_cols[perm[k]] == c {
+                    v += scratch_vals[perm[k]];
+                    k += 1;
+                }
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        Ok(CsrMatrix {
+            rows: t.rows,
+            cols: t.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "csr matvec: matrix is {}x{} but vector has length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// Matrix-vector product writing into a caller-provided buffer
+    /// (allocation-free hot path for iterative solvers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`;
+    /// the buffer sizes are fixed by the solver that owns them.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "csr matvec_into: x length");
+        assert_eq!(y.len(), self.rows, "csr matvec_into: y length");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Returns the diagonal as a vector (structural zeros become 0.0).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        let mut d = vec![0.0; n];
+        for (r, entry) in d.iter_mut().enumerate() {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.col_idx[k] == r {
+                    *entry = self.values[k];
+                    break;
+                }
+            }
+        }
+        d
+    }
+
+    /// Returns the stored value at `(row, col)`, or 0.0 if structurally zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "csr get out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(off) => self.values[lo + off],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Checks symmetry within tolerance `tol` (absolute, element-wise).
+    ///
+    /// Used by tests to validate that stamped circuit Jacobians are
+    /// symmetric, which CG requires.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                if (self.values[k] - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_csr() -> CsrMatrix {
+        // [[2, -1, 0], [-1, 2, -1], [0, -1, 2]]
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.add(i, i, 2.0);
+        }
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 2, -1.0);
+        t.add(2, 1, -1.0);
+        CsrMatrix::from_triplets(&t).unwrap()
+    }
+
+    #[test]
+    fn assembly_sums_duplicates() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.5);
+        t.add(0, 0, 0.5);
+        t.add(1, 1, 1.0);
+        let a = CsrMatrix::from_triplets(&t).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(2, 0, 1.0);
+        assert!(matches!(
+            CsrMatrix::from_triplets(&t),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.add(0, 0, f64::NAN);
+        assert!(matches!(
+            CsrMatrix::from_triplets(&t),
+            Err(LinalgError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = small_csr();
+        let y = a.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_shape_check() {
+        let a = small_csr();
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = small_csr();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn get_structural_zero() {
+        let a = small_csr();
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = small_csr();
+        assert!(a.is_symmetric(0.0));
+
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 1, 1.0);
+        let b = CsrMatrix::from_triplets(&t).unwrap();
+        assert!(!b.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let t = TripletMatrix::new(0, 0);
+        let a = CsrMatrix::from_triplets(&t).unwrap();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.matvec(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    proptest! {
+        /// CSR matvec must agree with a dense reference built from the
+        /// same triplets.
+        #[test]
+        fn csr_matches_dense_reference(
+            entries in proptest::collection::vec((0usize..6, 0usize..6, -5.0f64..5.0), 0..40),
+            x in proptest::collection::vec(-5.0f64..5.0, 6),
+        ) {
+            let mut t = TripletMatrix::new(6, 6);
+            let mut dense = vec![0.0f64; 36];
+            for (r, c, v) in entries {
+                t.add(r, c, v);
+                dense[r * 6 + c] += v;
+            }
+            let a = CsrMatrix::from_triplets(&t).unwrap();
+            let y = a.matvec(&x).unwrap();
+            for r in 0..6 {
+                let expect: f64 = (0..6).map(|c| dense[r * 6 + c] * x[c]).sum();
+                prop_assert!((y[r] - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Mini-batch iteration utilities.
+//!
+//! A [`BatchIter`] yields shuffled index batches per epoch with a
+//! deterministic seed — the pattern every trainer in this workspace
+//! follows, factored out so custom training loops don't re-implement
+//! the shuffle/chunk bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic shuffled mini-batch index generator.
+///
+/// # Example
+///
+/// ```
+/// use nn::data::BatchIter;
+/// let mut batches = BatchIter::new(10, 4, 7);
+/// let epoch: Vec<Vec<usize>> = batches.epoch().collect();
+/// assert_eq!(epoch.len(), 3); // 4 + 4 + 2
+/// let all: Vec<usize> = epoch.iter().flatten().copied().collect();
+/// let mut sorted = all.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..10).collect::<Vec<_>>()); // a permutation
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    rng: StdRng,
+    epochs_drawn: usize,
+}
+
+impl BatchIter {
+    /// Creates an iterator over `len` samples in batches of
+    /// `batch_size` (the final batch of an epoch may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(len: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        BatchIter {
+            order: (0..len).collect(),
+            batch_size,
+            rng: StdRng::seed_from_u64(seed),
+            epochs_drawn: 0,
+        }
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Epochs drawn so far.
+    pub fn epochs_drawn(&self) -> usize {
+        self.epochs_drawn
+    }
+
+    /// Reshuffles and returns this epoch's batches.
+    ///
+    /// Each call advances the RNG, so successive epochs see different
+    /// permutations while the whole sequence stays reproducible from
+    /// the seed.
+    pub fn epoch(&mut self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        self.order.shuffle(&mut self.rng);
+        self.epochs_drawn += 1;
+        self.order
+            .chunks(self.batch_size)
+            .map(|chunk| chunk.to_vec())
+    }
+}
+
+/// Splits `len` sample indices into deterministic train/validation
+/// parts: the first `len - floor(len·fraction)` indices train, the
+/// rest validate.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= fraction < 1.0`.
+pub fn train_validation_split(len: usize, fraction: f64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..1.0).contains(&fraction),
+        "fraction must be in [0, 1)"
+    );
+    let val = ((len as f64) * fraction).floor() as usize;
+    let cut = len - val;
+    ((0..cut).collect(), (cut..len).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_permutations_and_differ() {
+        let mut it = BatchIter::new(16, 5, 3);
+        assert_eq!(it.batches_per_epoch(), 4);
+        let e1: Vec<usize> = it.epoch().flatten().collect();
+        let e2: Vec<usize> = it.epoch().flatten().collect();
+        assert_eq!(it.epochs_drawn(), 2);
+        let mut s1 = e1.clone();
+        s1.sort_unstable();
+        assert_eq!(s1, (0..16).collect::<Vec<_>>());
+        assert_ne!(e1, e2, "epochs should reshuffle");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BatchIter::new(8, 3, 9);
+        let mut b = BatchIter::new(8, 3, 9);
+        assert_eq!(
+            a.epoch().collect::<Vec<_>>(),
+            b.epoch().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_batches() {
+        let mut it = BatchIter::new(0, 4, 1);
+        assert_eq!(it.batches_per_epoch(), 0);
+        assert_eq!(it.epoch().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_panics() {
+        BatchIter::new(4, 0, 1);
+    }
+
+    #[test]
+    fn split_behaviour() {
+        let (train, val) = train_validation_split(10, 0.3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(val.len(), 3);
+        assert_eq!(val, vec![7, 8, 9]);
+        let (train, val) = train_validation_split(10, 0.0);
+        assert_eq!(train.len(), 10);
+        assert!(val.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn bad_fraction_panics() {
+        train_validation_split(10, 1.0);
+    }
+}

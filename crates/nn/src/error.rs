@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors produced by the neural-network library.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes were incompatible for the requested operation.
+    Shape(String),
+    /// A model architecture specification was invalid.
+    InvalidArchitecture(String),
+    /// A serialized model file was malformed.
+    Format(String),
+    /// An underlying I/O error during model save/load.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            NnError::InvalidArchitecture(msg) => write!(f, "invalid architecture: {msg}"),
+            NnError::Format(msg) => write!(f, "malformed model file: {msg}"),
+            NnError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(err: std::io::Error) -> Self {
+        NnError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = NnError::Shape("2x3 vs 4".into());
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.source().is_none());
+
+        let io = NnError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

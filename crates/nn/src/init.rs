@@ -1,0 +1,66 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Kaiming/He uniform initialization for a buffer feeding a ReLU:
+/// uniform in `±sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(buffer: &mut [f32], fan_in: usize, rng: &mut StdRng) {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    for w in buffer.iter_mut() {
+        *w = rng.gen_range(-bound..bound);
+    }
+}
+
+/// Xavier/Glorot uniform initialization: uniform in
+/// `±sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(buffer: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    for w in buffer.iter_mut() {
+        *w = rng.gen_range(-bound..bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![0.0; 1000];
+        kaiming_uniform(&mut buf, 64, &mut rng);
+        let bound = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(buf.iter().all(|w| w.abs() < bound));
+        // Not degenerate: spread across the range.
+        assert!(buf.iter().any(|w| *w > 0.5 * bound));
+        assert!(buf.iter().any(|w| *w < -0.5 * bound));
+    }
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![0.0; 1000];
+        xavier_uniform(&mut buf, 64, 32, &mut rng);
+        let bound = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(buf.iter().all(|w| w.abs() < bound));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        kaiming_uniform(&mut a, 8, &mut StdRng::seed_from_u64(9));
+        kaiming_uniform(&mut b, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = vec![0.0; 4];
+        kaiming_uniform(&mut buf, 0, &mut rng);
+        assert!(buf.iter().all(|w| w.is_finite()));
+    }
+}

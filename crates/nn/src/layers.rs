@@ -1,0 +1,857 @@
+//! Neural-network layers with manual forward/backward passes.
+//!
+//! Each layer owns its parameters and their gradients. `forward`
+//! caches whatever the matching `backward` needs; `backward` consumes
+//! the cached activation, accumulates parameter gradients, and returns
+//! the gradient with respect to the layer input.
+//!
+//! Shapes use NCHW for convolutional data.
+
+use crate::init::kaiming_uniform;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Common interface of all layers.
+///
+/// # Panics
+///
+/// `forward`/`backward` panic on malformed shapes: layer wiring is
+/// internal program structure, not user input, so a mismatch is a bug
+/// in the calling model.
+pub trait Layer {
+    /// Forward pass. `train` enables behaviour that differs between
+    /// training and inference (none of the current layers do, but the
+    /// flag keeps the interface future-proof and mirrors the framework
+    /// the paper used).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the forward input.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits `(parameter, gradient)` buffer pairs in a stable order.
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grad(&mut self) {}
+}
+
+/// Fully-connected layer: `y = x · Wᵀ + b`, weights stored `[out, in]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = vec![0.0f32; out_features * in_features];
+        kaiming_uniform(&mut w, in_features, &mut rng);
+        Dense {
+            weight: Tensor::from_vec(w, &[out_features, in_features])
+                .expect("dense weight shape"),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Borrow of the weight tensor (`[out, in]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Borrow of the bias tensor (`[out]`).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Replaces the parameters (used by model deserialization and by
+    /// the functional simulator when injecting quantized weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match the layer's architecture.
+    pub fn set_params(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.shape(), "dense weight shape");
+        assert_eq!(bias.shape(), self.bias.shape(), "dense bias shape");
+        self.weight = weight;
+        self.bias = bias;
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "dense input must be [batch, in]");
+        assert_eq!(input.shape()[1], self.in_features(), "dense input width");
+        let mut out = input
+            .matmul_transpose(&self.weight)
+            .expect("dense forward product");
+        let out_f = self.out_features();
+        for row in out.data_mut().chunks_mut(out_f) {
+            for (o, b) in row.iter_mut().zip(self.bias.data()) {
+                *o += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("dense backward without cached forward");
+        let batch = input.shape()[0];
+        assert_eq!(grad_output.shape(), &[batch, self.out_features()]);
+
+        // dW[o, i] += sum_b grad[b, o] * x[b, i]  ==  gradᵀ · x
+        let grad_t = grad_output.transpose2().expect("rank 2");
+        let dw = grad_t.matmul(&input).expect("dense grad weight");
+        for (g, d) in self.grad_weight.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        // db[o] += sum_b grad[b, o]
+        let out_f = self.out_features();
+        for row in grad_output.data().chunks(out_f) {
+            for (g, d) in self.grad_bias.data_mut().iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dX = grad · W
+        grad_output.matmul(&self.weight).expect("dense grad input")
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(self.weight.data_mut(), self.grad_weight.data_mut());
+        visitor(self.bias.data_mut(), self.grad_bias.data_mut());
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+}
+
+/// 2-D convolution (NCHW), weights `[out_c, in_c, kh, kw]`, implemented
+/// via im2col so the functional simulator's iterative-MVM view of
+/// convolution mirrors this exact lowering.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    /// (kernel_h, kernel_w)
+    kernel: (usize, usize),
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with square kernel `k`, the given
+    /// stride and zero-padding, Kaiming-uniform weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_channels * k * k;
+        let mut w = vec![0.0f32; out_channels * fan_in];
+        kaiming_uniform(&mut w, fan_in, &mut rng);
+        Conv2d {
+            weight: Tensor::from_vec(w, &[out_channels, in_channels, k, k])
+                .expect("conv weight shape"),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, k, k]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            kernel: (k, k),
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let (kh, kw) = self.kernel;
+        (
+            (h + 2 * self.padding - kh) / self.stride + 1,
+            (w + 2 * self.padding - kw) / self.stride + 1,
+        )
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Kernel size `(kh, kw)`.
+    pub fn kernel(&self) -> (usize, usize) {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Borrow of the weight tensor (`[out_c, in_c, kh, kw]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Borrow of the bias tensor (`[out_c]`).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Replaces the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match the layer's architecture.
+    pub fn set_params(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.shape(), "conv weight shape");
+        assert_eq!(bias.shape(), self.bias.shape(), "conv bias shape");
+        self.weight = weight;
+        self.bias = bias;
+    }
+
+    /// Lowers one batch item to a `[in_c*kh*kw, out_h*out_w]` patch
+    /// matrix (im2col).
+    fn im2col(&self, input: &Tensor, b: usize, out_h: usize, out_w: usize) -> Tensor {
+        let [_, c, h, w] = *<&[usize; 4]>::try_from(input.shape()).expect("nchw input");
+        let (kh, kw) = self.kernel;
+        let mut col = Tensor::zeros(&[c * kh * kw, out_h * out_w]);
+        let cd = col.data_mut();
+        let id = input.data();
+        let base = b * c * h * w;
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    for oy in 0..out_h {
+                        let iy = (oy * self.stride + ki) as isize - self.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..out_w {
+                            let ix = (ox * self.stride + kj) as isize - self.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cd[row * out_h * out_w + oy * out_w + ox] =
+                                id[base + ci * h * w + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Scatters a patch-matrix gradient back to input space (col2im).
+    fn col2im(
+        &self,
+        col_grad: &Tensor,
+        grad_input: &mut Tensor,
+        b: usize,
+        out_h: usize,
+        out_w: usize,
+    ) {
+        let [_, c, h, w] = *<&[usize; 4]>::try_from(grad_input.shape()).expect("nchw grad");
+        let (kh, kw) = self.kernel;
+        let cg = col_grad.data();
+        let gi = grad_input.data_mut();
+        let base = b * c * h * w;
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ci * kh + ki) * kw + kj;
+                    for oy in 0..out_h {
+                        let iy = (oy * self.stride + ki) as isize - self.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..out_w {
+                            let ix = (ox * self.stride + kj) as isize - self.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            gi[base + ci * h * w + iy as usize * w + ix as usize] +=
+                                cg[row * out_h * out_w + oy * out_w + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [batch, c, h, w] = *<&[usize; 4]>::try_from(input.shape())
+            .expect("conv input must be [batch, c, h, w]");
+        assert_eq!(c, self.in_channels(), "conv input channels");
+        let (out_h, out_w) = self.output_hw(h, w);
+        let oc = self.out_channels();
+        let fan_in = c * self.kernel.0 * self.kernel.1;
+        let w_mat = self
+            .weight
+            .reshape(&[oc, fan_in])
+            .expect("conv weight as matrix");
+
+        let mut out = Tensor::zeros(&[batch, oc, out_h, out_w]);
+        for b in 0..batch {
+            let col = self.im2col(input, b, out_h, out_w);
+            let prod = w_mat.matmul(&col).expect("conv forward product");
+            let od = out.data_mut();
+            let base = b * oc * out_h * out_w;
+            for o in 0..oc {
+                let bias = self.bias.data()[o];
+                for p in 0..out_h * out_w {
+                    od[base + o * out_h * out_w + p] = prod.data()[o * out_h * out_w + p] + bias;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("conv backward without cached forward");
+        let [batch, c, h, w] = *<&[usize; 4]>::try_from(input.shape()).expect("nchw");
+        let (out_h, out_w) = self.output_hw(h, w);
+        let oc = self.out_channels();
+        assert_eq!(grad_output.shape(), &[batch, oc, out_h, out_w]);
+        let fan_in = c * self.kernel.0 * self.kernel.1;
+        let w_mat = self
+            .weight
+            .reshape(&[oc, fan_in])
+            .expect("conv weight as matrix");
+
+        let mut grad_input = Tensor::zeros(input.shape());
+        for b in 0..batch {
+            let col = self.im2col(&input, b, out_h, out_w);
+            let go_slice = &grad_output.data()
+                [b * oc * out_h * out_w..(b + 1) * oc * out_h * out_w];
+            let go_mat = Tensor::from_vec(go_slice.to_vec(), &[oc, out_h * out_w])
+                .expect("grad output matrix");
+
+            // dW += go · colᵀ  (both operands share the patch dimension)
+            let dw = go_mat.matmul_transpose(&col).expect("conv grad weight");
+            for (g, d) in self.grad_weight.data_mut().iter_mut().zip(dw.data()) {
+                *g += d;
+            }
+            // db += row sums of go
+            for o in 0..oc {
+                let sum: f32 = go_mat.data()[o * out_h * out_w..(o + 1) * out_h * out_w]
+                    .iter()
+                    .sum();
+                self.grad_bias.data_mut()[o] += sum;
+            }
+            // dCol = Wᵀ · go, scattered back with col2im.
+            let dcol = w_mat
+                .transpose2()
+                .expect("rank 2")
+                .matmul(&go_mat)
+                .expect("conv grad col");
+            self.col2im(&dcol, &mut grad_input, b, out_h, out_w);
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(self.weight.data_mut(), self.grad_weight.data_mut());
+        visitor(self.bias.data_mut(), self.grad_bias.data_mut());
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+}
+
+/// Rectified linear unit, element-wise.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = input.data().iter().map(|&x| x > 0.0).collect();
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "relu backward without matching forward"
+        );
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape()).expect("relu grad shape")
+    }
+}
+
+/// 2×2 max pooling with stride 2 (NCHW).
+///
+/// # Panics
+///
+/// `forward` panics if the spatial dimensions are odd.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    /// Flat input index of each output's argmax, plus the input shape.
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2/stride-2 max-pool layer.
+    pub fn new() -> Self {
+        MaxPool2::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [batch, c, h, w] = *<&[usize; 4]>::try_from(input.shape()).expect("nchw input");
+        assert!(h % 2 == 0 && w % 2 == 0, "maxpool2 needs even spatial dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[batch, c, oh, ow]);
+        let mut argmax = vec![0usize; batch * c * oh * ow];
+        let id = input.data();
+        let od = out.data_mut();
+        for b in 0..batch {
+            for ci in 0..c {
+                let in_base = (b * c + ci) * h * w;
+                let out_base = (b * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_idx = in_base + (2 * oy) * w + 2 * ox;
+                        let mut best = id[best_idx];
+                        for (dy, dx) in [(0, 1), (1, 0), (1, 1)] {
+                            let idx = in_base + (2 * oy + dy) * w + 2 * ox + dx;
+                            if id[idx] > best {
+                                best = id[idx];
+                                best_idx = idx;
+                            }
+                        }
+                        od[out_base + oy * ow + ox] = best;
+                        argmax[out_base + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = argmax;
+            self.input_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_output.len(),
+            self.argmax.len(),
+            "maxpool backward without matching forward"
+        );
+        let mut grad_input = Tensor::zeros(&self.input_shape);
+        let gi = grad_input.data_mut();
+        for (g, &idx) in grad_output.data().iter().zip(&self.argmax) {
+            gi[idx] += g;
+        }
+        grad_input
+    }
+}
+
+/// Global average pooling: `[b, c, h, w] -> [b, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [batch, c, h, w] = *<&[usize; 4]>::try_from(input.shape()).expect("nchw input");
+        let mut out = Tensor::zeros(&[batch, c]);
+        let scale = 1.0 / (h * w) as f32;
+        let id = input.data();
+        let od = out.data_mut();
+        for b in 0..batch {
+            for ci in 0..c {
+                let base = (b * c + ci) * h * w;
+                od[b * c + ci] = id[base..base + h * w].iter().sum::<f32>() * scale;
+            }
+        }
+        if train {
+            self.input_shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let [batch, c, h, w] = *<&[usize; 4]>::try_from(self.input_shape.as_slice())
+            .expect("avgpool backward without matching forward");
+        let mut grad_input = Tensor::zeros(&self.input_shape);
+        let scale = 1.0 / (h * w) as f32;
+        let gi = grad_input.data_mut();
+        for b in 0..batch {
+            for ci in 0..c {
+                let g = grad_output.data()[b * c + ci] * scale;
+                let base = (b * c + ci) * h * w;
+                for v in &mut gi[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        grad_input
+    }
+}
+
+/// Flattens `[b, ...] -> [b, prod(...)]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.input_shape = input.shape().to_vec();
+        }
+        input.reshape(&[batch, rest]).expect("flatten reshape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        grad_output
+            .reshape(&self.input_shape)
+            .expect("flatten backward without matching forward")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Central-difference gradient check for a layer's input gradient.
+    fn check_input_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let out = layer.forward(input, true);
+        // Loss = sum of outputs; dLoss/dOut = ones.
+        let ones = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+        let grad = layer.backward(&ones);
+
+        let eps = 1e-2f32;
+        let mut rng = StdRng::seed_from_u64(123);
+        // Probe a handful of random coordinates.
+        for _ in 0..10 {
+            let idx = rng.gen_range(0..input.len());
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let f_plus: f32 = layer.forward(&plus, false).data().iter().sum();
+            let f_minus: f32 = layer.forward(&minus, false).data().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grad.data()[idx];
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Gradient check for parameters via visit_params.
+    fn check_param_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        layer.zero_grad();
+        let out = layer.forward(input, true);
+        let ones = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+        layer.backward(&ones);
+
+        // Collect analytic grads (copy out).
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+
+        let eps = 1e-2f32;
+        for (buf_idx, grads) in analytic.iter().enumerate() {
+            // Probe first/last/middle coordinates of each buffer.
+            let probes: Vec<usize> = [0, grads.len() / 2, grads.len().saturating_sub(1)]
+                .into_iter()
+                .collect();
+            for &pi in probes.iter() {
+                // Perturb +eps
+                let mut k = 0;
+                layer.visit_params(&mut |p, _| {
+                    if k == buf_idx {
+                        p[pi] += eps;
+                    }
+                    k += 1;
+                });
+                let f_plus: f32 = layer.forward(input, false).data().iter().sum();
+                let mut k = 0;
+                layer.visit_params(&mut |p, _| {
+                    if k == buf_idx {
+                        p[pi] -= 2.0 * eps;
+                    }
+                    k += 1;
+                });
+                let f_minus: f32 = layer.forward(input, false).data().iter().sum();
+                let mut k = 0;
+                layer.visit_params(&mut |p, _| {
+                    if k == buf_idx {
+                        p[pi] += eps;
+                    }
+                    k += 1;
+                });
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                let a = grads[pi];
+                assert!(
+                    (numeric - a).abs() <= tol * (1.0 + numeric.abs()),
+                    "param grad mismatch buffer {buf_idx} index {pi}: \
+                     numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn dense_forward_known() {
+        let mut d = Dense::new(2, 2, 0);
+        d.set_params(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap(),
+            Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap(),
+        );
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = d.forward(&x, false);
+        // y = [1+2+0.5, 3+4-0.5]
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradients() {
+        let mut d = Dense::new(3, 4, 7);
+        let x = random_tensor(&[2, 3], 1);
+        check_input_gradient(&mut d, &x, 2e-2);
+        check_param_gradient(&mut d, &x, 2e-2);
+    }
+
+    #[test]
+    fn dense_grad_accumulates_until_zeroed() {
+        let mut d = Dense::new(2, 2, 0);
+        let x = random_tensor(&[1, 2], 2);
+        let y = d.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
+        d.backward(&ones);
+        let mut first = Vec::new();
+        d.visit_params(&mut |_, g| first.push(g.to_vec()));
+
+        let y = d.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape()).unwrap();
+        d.backward(&ones);
+        let mut second = Vec::new();
+        d.visit_params(&mut |_, g| second.push(g.to_vec()));
+        for (a, b) in first.iter().zip(&second) {
+            for (x1, x2) in a.iter().zip(b) {
+                assert!((2.0 * x1 - x2).abs() < 1e-5, "grads must accumulate");
+            }
+        }
+
+        d.zero_grad();
+        let mut zeroed = Vec::new();
+        d.visit_params(&mut |_, g| zeroed.push(g.to_vec()));
+        assert!(zeroed.iter().flatten().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let c = Conv2d::new(3, 8, 3, 1, 1, 0);
+        assert_eq!(c.output_hw(12, 12), (12, 12));
+        let c = Conv2d::new(3, 8, 3, 2, 1, 0);
+        assert_eq!(c.output_hw(12, 12), (6, 6));
+        assert_eq!(c.in_channels(), 3);
+        assert_eq!(c.out_channels(), 8);
+    }
+
+    #[test]
+    fn conv_forward_identity_kernel() {
+        // A 1x1 kernel with weight 1 reproduces the input channel.
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, 0);
+        c.set_params(
+            Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap(),
+            Tensor::zeros(&[1]),
+        );
+        let x = random_tensor(&[1, 1, 4, 4], 3);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_forward_known_sum_kernel() {
+        // 3x3 all-ones kernel over a constant image of 1s with padding 1:
+        // interior outputs are 9, corners 4, edges 6.
+        let mut c = Conv2d::new(1, 1, 3, 1, 1, 0);
+        c.set_params(
+            Tensor::from_vec(vec![1.0; 9], &[1, 1, 3, 3]).unwrap(),
+            Tensor::zeros(&[1]),
+        );
+        let x = Tensor::from_vec(vec![1.0; 16], &[1, 1, 4, 4]).unwrap();
+        let y = c.forward(&x, false);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 6.0);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
+    }
+
+    #[test]
+    fn conv_gradients() {
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, 11);
+        let x = random_tensor(&[2, 2, 5, 5], 4);
+        check_input_gradient(&mut c, &x, 3e-2);
+        check_param_gradient(&mut c, &x, 3e-2);
+    }
+
+    #[test]
+    fn conv_gradients_strided_unpadded() {
+        let mut c = Conv2d::new(1, 2, 3, 2, 0, 13);
+        let x = random_tensor(&[1, 1, 7, 7], 5);
+        check_input_gradient(&mut c, &x, 3e-2);
+        check_param_gradient(&mut c, &x, 3e-2);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]).unwrap();
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = r.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]).unwrap());
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                0.0, -1.0, 0.0, 0.5,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[4.0, 8.0, 0.0, 1.0]);
+        let g = p.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 1, 2, 2]).unwrap());
+        // Gradient lands exactly on the argmax positions.
+        assert_eq!(g.at(&[0, 0, 1, 1]), 1.0); // the 4.0
+        assert_eq!(g.at(&[0, 0, 1, 3]), 1.0); // the 8.0
+        assert_eq!(g.at(&[0, 0, 2, 2]), 1.0); // the 1.0
+        assert_eq!(g.at(&[0, 0, 0, 0]), 0.0);
+        let total: f32 = g.data().iter().sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+        let g = p.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap());
+        assert!(g.data()[..4].iter().all(|&v| v == 1.0));
+        assert!(g.data()[4..].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = random_tensor(&[2, 3, 2, 2], 6);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+}

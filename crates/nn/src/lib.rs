@@ -1,0 +1,57 @@
+//! A minimal neural-network library with manual backpropagation.
+//!
+//! This crate plays the role PyTorch plays in the GENIEx paper: it
+//! trains the GENIEx surrogate MLP (via [`Mlp`]) and the MicroResNet
+//! vision models (via the individual [`layers`]), and provides the
+//! deterministic forward passes the functional simulator re-implements
+//! in crossbar arithmetic.
+//!
+//! Design notes:
+//!
+//! * [`Tensor`] is a dense row-major `f32` array with an explicit shape.
+//!   Convolutional data uses NCHW layout.
+//! * Layers own their parameters *and* their parameter gradients, cache
+//!   whatever they need on `forward`, and produce input gradients on
+//!   `backward` — the classic manual-backprop architecture.
+//! * Optimizers ([`Sgd`], [`Adam`]) visit parameter/gradient pairs in a
+//!   stable order through [`layers::Layer::visit_params`].
+//! * Everything is seeded; there is no ambient randomness.
+//!
+//! # Example: fitting XOR
+//!
+//! ```
+//! # fn main() -> Result<(), nn::NnError> {
+//! use nn::{Mlp, Tensor, loss::mse, Adam, Optimizer};
+//!
+//! let mut mlp = Mlp::new(&[2, 8, 1], 42)?;
+//! let x = Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2])?;
+//! let t = Tensor::from_vec(vec![0., 1., 1., 0.], &[4, 1])?;
+//! let mut opt = Adam::new(0.05);
+//! for _ in 0..400 {
+//!     let y = mlp.forward_train(&x);
+//!     let (loss, grad) = mse(&y, &t)?;
+//!     mlp.zero_grad();
+//!     mlp.backward(&grad);
+//!     opt.step(&mut mlp);
+//!     if loss < 1e-4 { break; }
+//! }
+//! let y = mlp.forward(&x);
+//! assert!((y.data()[0]).abs() < 0.15 && (y.data()[1] - 1.0).abs() < 0.15);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod data;
+mod error;
+pub mod init;
+pub mod layers;
+pub mod loss;
+mod mlp;
+mod optim;
+pub mod serialize;
+mod tensor;
+
+pub use error::NnError;
+pub use mlp::Mlp;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,229 @@
+//! Loss functions returning `(loss, gradient)` pairs.
+
+use crate::tensor::Tensor;
+use crate::NnError;
+
+/// Mean-squared-error loss over all elements.
+///
+/// Returns the scalar loss and the gradient with respect to the
+/// prediction (`2 (y - t) / n`).
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] if the shapes differ.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> Result<(f32, Tensor), NnError> {
+    if prediction.shape() != target.shape() {
+        return Err(NnError::Shape(format!(
+            "mse: prediction {:?} vs target {:?}",
+            prediction.shape(),
+            target.shape()
+        )));
+    }
+    let n = prediction.len().max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(prediction.shape());
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(prediction.data())
+        .zip(target.data())
+    {
+        let d = p - t;
+        loss += (d * d) as f64;
+        *g = 2.0 * d / n;
+    }
+    Ok(((loss / n as f64) as f32, grad))
+}
+
+/// Softmax cross-entropy over logits `[batch, classes]` with integer
+/// class labels.
+///
+/// Returns the mean loss and the gradient with respect to the logits
+/// (`(softmax - onehot) / batch`).
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] if `logits` is not rank-2, the label
+/// count differs from the batch size, or any label is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), NnError> {
+    if logits.shape().len() != 2 {
+        return Err(NnError::Shape(format!(
+            "softmax_cross_entropy: logits must be [batch, classes], got {:?}",
+            logits.shape()
+        )));
+    }
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != batch {
+        return Err(NnError::Shape(format!(
+            "softmax_cross_entropy: {} labels for batch {batch}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NnError::Shape(format!(
+            "softmax_cross_entropy: label {bad} out of range for {classes} classes"
+        )));
+    }
+
+    let mut grad = Tensor::zeros(&[batch, classes]);
+    let mut loss = 0.0f64;
+    for b in 0..batch {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &x| a.max(x));
+        let exp: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let label = labels[b];
+        loss -= ((exp[label] / sum).max(1e-30) as f64).ln();
+        let g = &mut grad.data_mut()[b * classes..(b + 1) * classes];
+        for (k, gk) in g.iter_mut().enumerate() {
+            let p = exp[k] / sum;
+            *gk = (p - if k == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    Ok(((loss / batch as f64) as f32, grad))
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] under the same conditions as
+/// [`softmax_cross_entropy`].
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64, NnError> {
+    if logits.shape().len() != 2 {
+        return Err(NnError::Shape(format!(
+            "accuracy: logits must be [batch, classes], got {:?}",
+            logits.shape()
+        )));
+    }
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != batch {
+        return Err(NnError::Shape(format!(
+            "accuracy: {} labels for batch {batch}",
+            labels.len()
+        )));
+    }
+    if batch == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for b in 0..batch {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row");
+        if pred == labels[b] {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / batch as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let y = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let (loss, grad) = mse(&y, &y).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let y = Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, grad) = mse(&y, &t).unwrap();
+        assert!((loss - 5.0).abs() < 1e-6); // (1 + 9) / 2
+        assert!((grad.data()[0] - 1.0).abs() < 1e-6); // 2*1/2
+        assert!((grad.data()[1] - 3.0).abs() < 1e-6); // 2*3/2
+    }
+
+    #[test]
+    fn mse_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(mse(&a, &b).is_err());
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        // Gradient: 1/4 for wrong classes, 1/4 - 1 for the label.
+        assert!((grad.data()[0] - 0.25).abs() < 1e-6);
+        assert!((grad.data()[2] + 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_confident_correct_has_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.7, 0.0, -0.5], &[2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]).unwrap();
+        for b in 0..2 {
+            let s: f32 = grad.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_numeric_gradient() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 1.2], &[1, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut plus = logits.clone();
+            plus.data_mut()[k] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[k] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &[0]).unwrap();
+            let (lm, _) = softmax_cross_entropy(&minus, &[0]).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[k]).abs() < 1e-3,
+                "coordinate {k}: numeric {numeric} vs {}",
+                grad.data()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_ce_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[4]), &[0]).is_err());
+    }
+
+    #[test]
+    fn softmax_ce_large_logits_stable() {
+        let logits = Tensor::from_vec(vec![1000.0, 999.0], &[1, 2]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.1], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Multi-layer perceptron: dense layers with ReLU between them.
+//!
+//! This is the exact topology class GENIEx uses — the paper's surrogate
+//! is `(N² + N) × P × N` with one ReLU hidden layer — kept general over
+//! depth so ablations can sweep architecture.
+
+use crate::layers::{Dense, Layer, Relu};
+use crate::serialize::{expect_magic, read_f32_slice, read_u32, write_f32_slice, write_magic, write_u32};
+use crate::tensor::Tensor;
+use crate::NnError;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8] = b"GMLP";
+/// Upper bound on deserialized buffer sizes (guards corrupt files).
+const MAX_BUFFER: usize = 256 * 1024 * 1024 / 4;
+
+/// A fully-connected network `sizes[0] -> sizes[1] -> ... -> sizes[last]`
+/// with ReLU after every layer except the last.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), nn::NnError> {
+/// use nn::Mlp;
+/// let mlp = Mlp::new(&[10, 20, 3], 7)?;
+/// assert_eq!(mlp.layer_sizes(), &[10, 20, 3]);
+/// assert_eq!(mlp.parameter_count(), 10 * 20 + 20 + 20 * 3 + 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    dense: Vec<Dense>,
+    relu: Vec<Relu>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes and a deterministic
+    /// per-layer initialization derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArchitecture`] if fewer than two sizes
+    /// are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Result<Self, NnError> {
+        if sizes.len() < 2 {
+            return Err(NnError::InvalidArchitecture(format!(
+                "mlp needs at least input and output sizes, got {sizes:?}"
+            )));
+        }
+        if sizes.iter().any(|&s| s == 0) {
+            return Err(NnError::InvalidArchitecture(format!(
+                "mlp layer sizes must be positive, got {sizes:?}"
+            )));
+        }
+        let dense = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(k, pair)| Dense::new(pair[0], pair[1], seed.wrapping_add(k as u64)))
+            .collect::<Vec<_>>();
+        let relu = (0..sizes.len().saturating_sub(2)).map(|_| Relu::new()).collect();
+        Ok(Mlp {
+            sizes: sizes.to_vec(),
+            dense,
+            relu,
+        })
+    }
+
+    /// The layer sizes this network was built with.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.sizes
+            .windows(2)
+            .map(|p| p[0] * p[1] + p[1])
+            .sum()
+    }
+
+    /// Borrow of the dense layers (for weight export, e.g. mapping the
+    /// surrogate itself onto crossbars, or the fast-forward split).
+    pub fn dense_layers(&self) -> &[Dense] {
+        &self.dense
+    }
+
+    /// Inference forward pass (no caches kept).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.run(input, false)
+    }
+
+    /// Training forward pass (caches activations for `backward`).
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.run(input, true)
+    }
+
+    fn run(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        let n = self.dense.len();
+        for k in 0..n {
+            x = self.dense[k].forward(&x, train);
+            if k + 1 < n {
+                x = self.relu[k].forward(&x, train);
+            }
+        }
+        x
+    }
+
+    /// Backward pass from the output gradient; returns the input
+    /// gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`forward_train`]
+    /// (layer caches are missing).
+    ///
+    /// [`forward_train`]: Mlp::forward_train
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        let n = self.dense.len();
+        for k in (0..n).rev() {
+            if k + 1 < n {
+                g = self.relu[k].backward(&g);
+            }
+            g = self.dense[k].backward(&g);
+        }
+        g
+    }
+
+    /// Clears accumulated parameter gradients (inherent convenience so
+    /// callers don't need the [`Layer`] trait in scope).
+    pub fn zero_grad(&mut self) {
+        for d in &mut self.dense {
+            d.zero_grad();
+        }
+    }
+
+    /// Serializes the model to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&self, w: &mut W) -> Result<(), NnError> {
+        write_magic(w, MAGIC)?;
+        write_u32(w, self.sizes.len() as u32)?;
+        for &s in &self.sizes {
+            write_u32(w, s as u32)?;
+        }
+        for d in &self.dense {
+            write_f32_slice(w, d.weight().data())?;
+            write_f32_slice(w, d.bias().data())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a model written by [`save`](Mlp::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Format`] on a malformed file and propagates
+    /// I/O errors.
+    pub fn load<R: Read>(r: &mut R) -> Result<Self, NnError> {
+        expect_magic(r, MAGIC)?;
+        let n_sizes = read_u32(r)? as usize;
+        if !(2..=64).contains(&n_sizes) {
+            return Err(NnError::Format(format!(
+                "implausible layer count {n_sizes}"
+            )));
+        }
+        let mut sizes = Vec::with_capacity(n_sizes);
+        for _ in 0..n_sizes {
+            sizes.push(read_u32(r)? as usize);
+        }
+        let mut mlp = Mlp::new(&sizes, 0)?;
+        for (k, pair) in sizes.windows(2).enumerate() {
+            let w = read_f32_slice(r, MAX_BUFFER)?;
+            let b = read_f32_slice(r, MAX_BUFFER)?;
+            if w.len() != pair[0] * pair[1] || b.len() != pair[1] {
+                return Err(NnError::Format(format!(
+                    "layer {k} buffer sizes do not match architecture {sizes:?}"
+                )));
+            }
+            mlp.dense[k].set_params(
+                Tensor::from_vec(w, &[pair[1], pair[0]])?,
+                Tensor::from_vec(b, &[pair[1]])?,
+            );
+        }
+        Ok(mlp)
+    }
+}
+
+impl Layer for Mlp {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.run(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        Mlp::backward(self, grad_output)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for d in &mut self.dense {
+            d.visit_params(visitor);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for d in &mut self.dense {
+            d.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::{Adam, Optimizer};
+    use std::io::Cursor;
+
+    #[test]
+    fn architecture_validation() {
+        assert!(Mlp::new(&[4], 0).is_err());
+        assert!(Mlp::new(&[4, 0, 2], 0).is_err());
+        assert!(Mlp::new(&[4, 2], 0).is_ok());
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mlp = Mlp::new(&[3, 5, 2], 0).unwrap();
+        assert_eq!(mlp.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut mlp = Mlp::new(&[4, 8, 2], 1).unwrap();
+        let x = Tensor::zeros(&[3, 4]);
+        assert_eq!(mlp.forward(&x).shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Mlp::new(&[4, 8, 2], 5).unwrap();
+        let mut b = Mlp::new(&[4, 8, 2], 5).unwrap();
+        let mut c = Mlp::new(&[4, 8, 2], 6).unwrap();
+        let x = Tensor::from_vec((0..4).map(|i| i as f32).collect(), &[1, 4]).unwrap();
+        assert_eq!(a.forward(&x), b.forward(&x));
+        assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn trains_on_simple_regression() {
+        // y = [sum(x), -sum(x)]
+        let mut mlp = Mlp::new(&[3, 16, 2], 9).unwrap();
+        let mut opt = Adam::new(0.02);
+        let xs: Vec<f32> = (0..30).map(|i| (i as f32 / 10.0) - 1.5).collect();
+        let x = Tensor::from_vec(xs.clone(), &[10, 3]).unwrap();
+        let t_data: Vec<f32> = xs
+            .chunks(3)
+            .flat_map(|c| {
+                let s: f32 = c.iter().sum();
+                [s, -s]
+            })
+            .collect();
+        let t = Tensor::from_vec(t_data, &[10, 2]).unwrap();
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..600 {
+            let y = mlp.forward_train(&x);
+            let (loss, grad) = mse(&y, &t).unwrap();
+            final_loss = loss;
+            mlp.zero_grad();
+            Mlp::backward(&mut mlp, &grad);
+            opt.step(&mut mlp);
+        }
+        assert!(final_loss < 1e-3, "final loss {final_loss}");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut mlp = Mlp::new(&[6, 10, 3], 17).unwrap();
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        let mut loaded = Mlp::load(&mut Cursor::new(&buf)).unwrap();
+        let x = Tensor::from_vec((0..6).map(|i| 0.1 * i as f32).collect(), &[1, 6]).unwrap();
+        assert_eq!(mlp.forward(&x), loaded.forward(&x));
+        assert_eq!(loaded.layer_sizes(), &[6, 10, 3]);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files() {
+        assert!(Mlp::load(&mut Cursor::new(b"XXXX".to_vec())).is_err());
+        // Valid magic but truncated body.
+        let mut buf = Vec::new();
+        write_magic(&mut buf, MAGIC).unwrap();
+        write_u32(&mut buf, 3).unwrap();
+        assert!(Mlp::load(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn load_rejects_mismatched_buffers() {
+        let mlp = Mlp::new(&[2, 3], 0).unwrap();
+        let mut buf = Vec::new();
+        mlp.save(&mut buf).unwrap();
+        // Corrupt the declared weight length field.
+        // Layout: magic(4) + count(4) + sizes(8) + weight len(4)...
+        buf[16] = 0xFF;
+        assert!(Mlp::load(&mut Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Minimal binary (de)serialization helpers for model files.
+//!
+//! The format is deliberately simple and dependency-free: little-endian
+//! integers and IEEE-754 `f32` buffers framed by explicit lengths, with
+//! a magic tag per container type. This keeps the workspace inside the
+//! allowed dependency set (no serde needed for flat numeric payloads).
+
+use crate::NnError;
+use std::io::{Read, Write};
+
+/// Writes a little-endian `u32`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_u32<W: Write>(w: &mut W, value: u32) -> Result<(), NnError> {
+    w.write_all(&value.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a little-endian `u32`.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including unexpected EOF) from the reader.
+pub fn read_u32<R: Read>(r: &mut R) -> Result<u32, NnError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes an `f32` slice prefixed by its length.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; rejects buffers longer than
+/// `u32::MAX` elements.
+pub fn write_f32_slice<W: Write>(w: &mut W, values: &[f32]) -> Result<(), NnError> {
+    let len = u32::try_from(values.len())
+        .map_err(|_| NnError::Format("buffer too large to serialize".into()))?;
+    write_u32(w, len)?;
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads an `f32` buffer written by [`write_f32_slice`].
+///
+/// # Errors
+///
+/// Propagates I/O errors; returns [`NnError::Format`] if the declared
+/// length exceeds `limit` (guarding against corrupt headers allocating
+/// unbounded memory).
+pub fn read_f32_slice<R: Read>(r: &mut R, limit: usize) -> Result<Vec<f32>, NnError> {
+    let len = read_u32(r)? as usize;
+    if len > limit {
+        return Err(NnError::Format(format!(
+            "declared buffer length {len} exceeds limit {limit}"
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(f32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Writes a magic tag (exactly 4 bytes).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `magic` is not exactly 4 bytes (a compile-time constant in
+/// all callers).
+pub fn write_magic<W: Write>(w: &mut W, magic: &[u8]) -> Result<(), NnError> {
+    assert_eq!(magic.len(), 4, "magic tags are 4 bytes");
+    w.write_all(magic)?;
+    Ok(())
+}
+
+/// Reads and verifies a magic tag.
+///
+/// # Errors
+///
+/// Returns [`NnError::Format`] if the tag does not match.
+pub fn expect_magic<R: Read>(r: &mut R, magic: &[u8]) -> Result<(), NnError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    if buf != magic[..4] {
+        return Err(NnError::Format(format!(
+            "bad magic: expected {:?}, found {:?}",
+            magic, buf
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes every parameter buffer of a layer (or whole model) in
+/// `visit_params` order, prefixed by a buffer count.
+///
+/// Together with [`load_params`] this gives any [`Layer`] durable
+/// persistence without bespoke formats — buffer order is stable by the
+/// trait's contract.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// [`Layer`]: crate::layers::Layer
+pub fn save_params<W: Write>(
+    layer: &mut dyn crate::layers::Layer,
+    w: &mut W,
+) -> Result<(), NnError> {
+    write_magic(w, b"GPAR")?;
+    let mut buffers: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p, _| buffers.push(p.to_vec()));
+    write_u32(w, buffers.len() as u32)?;
+    for b in &buffers {
+        write_f32_slice(w, b)?;
+    }
+    Ok(())
+}
+
+/// Restores parameters written by [`save_params`] into a structurally
+/// identical layer/model.
+///
+/// # Errors
+///
+/// Returns [`NnError::Format`] if the buffer count or any buffer
+/// length does not match the target's architecture.
+pub fn load_params<R: Read>(
+    layer: &mut dyn crate::layers::Layer,
+    r: &mut R,
+) -> Result<(), NnError> {
+    expect_magic(r, b"GPAR")?;
+    let count = read_u32(r)? as usize;
+    let mut expected = 0usize;
+    layer.visit_params(&mut |_, _| expected += 1);
+    if count != expected {
+        return Err(NnError::Format(format!(
+            "file has {count} parameter buffers, model has {expected}"
+        )));
+    }
+    let mut buffers = Vec::with_capacity(count);
+    for _ in 0..count {
+        buffers.push(read_f32_slice(r, 256 * 1024 * 1024 / 4)?);
+    }
+    let mut index = 0usize;
+    let mut mismatch: Option<String> = None;
+    layer.visit_params(&mut |p, _| {
+        let src = &buffers[index];
+        if src.len() == p.len() {
+            p.copy_from_slice(src);
+        } else if mismatch.is_none() {
+            mismatch = Some(format!(
+                "buffer {index} has {} values, model expects {}",
+                src.len(),
+                p.len()
+            ));
+        }
+        index += 1;
+    });
+    match mismatch {
+        Some(msg) => Err(NnError::Format(msg)),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        let v = read_u32(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(v, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn f32_slice_round_trip() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &data).unwrap();
+        let back = read_f32_slice(&mut Cursor::new(buf), 1024).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn f32_slice_limit_enforced() {
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &[0.0; 100]).unwrap();
+        assert!(matches!(
+            read_f32_slice(&mut Cursor::new(buf), 10),
+            Err(NnError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn magic_round_trip_and_mismatch() {
+        let mut buf = Vec::new();
+        write_magic(&mut buf, b"GNX1").unwrap();
+        expect_magic(&mut Cursor::new(&buf), b"GNX1").unwrap();
+        assert!(matches!(
+            expect_magic(&mut Cursor::new(&buf), b"GNX2"),
+            Err(NnError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_io_error() {
+        let buf = vec![1u8, 2];
+        assert!(matches!(
+            read_u32(&mut Cursor::new(buf)),
+            Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn layer_params_round_trip() {
+        use crate::layers::{Dense, Layer};
+        let mut a = Dense::new(3, 4, 7);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+
+        let mut b = Dense::new(3, 4, 99); // different init
+        load_params(&mut b, &mut Cursor::new(&buf)).unwrap();
+        let x = crate::Tensor::from_vec(vec![0.3, -0.7, 1.1], &[1, 3]).unwrap();
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn load_params_rejects_architecture_mismatch() {
+        use crate::layers::Dense;
+        let mut a = Dense::new(3, 4, 7);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+
+        // Wrong shape (same buffer count, different sizes).
+        let mut c = Dense::new(4, 3, 0);
+        assert!(matches!(
+            load_params(&mut c, &mut Cursor::new(&buf)),
+            Err(NnError::Format(_))
+        ));
+
+        // Wrong buffer count.
+        let mut mlp = crate::Mlp::new(&[3, 4, 2], 0).unwrap();
+        assert!(matches!(
+            load_params(&mut mlp, &mut Cursor::new(&buf)),
+            Err(NnError::Format(_))
+        ));
+    }
+}

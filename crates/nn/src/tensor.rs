@@ -1,0 +1,395 @@
+use crate::NnError;
+use std::fmt;
+
+/// A dense, row-major `f32` tensor with an explicit shape.
+///
+/// Convolutional data uses NCHW layout: `[batch, channels, height,
+/// width]`. Fully-connected data uses `[batch, features]`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), nn::NnError> {
+/// use nn::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.at(&[1, 2]), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `data.len()` does not equal the
+    /// product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, NnError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(NnError::Shape(format!(
+                "buffer of length {} cannot form shape {:?} ({expected} elements)",
+                data.len(),
+                shape
+            )));
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (k, (&i, &d)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < d, "index {i} out of bounds for dim {k} (size {d})");
+            off = off * d + i;
+        }
+        off
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, NnError> {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        if self.shape != other.shape {
+            return Err(NnError::Shape(format!(
+                "add: {:?} vs {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Element-wise scale by a constant.
+    pub fn scale(&self, k: f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// 2-D matrix product: `self` is `[m, k]`, `other` is `[k, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if either tensor is not rank-2 or the
+    /// inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        let (&[m, k1], &[k2, n]) = (
+            <&[usize; 2]>::try_from(self.shape.as_slice()).map_err(|_| {
+                NnError::Shape(format!("matmul lhs must be rank 2, got {:?}", self.shape))
+            })?,
+            <&[usize; 2]>::try_from(other.shape.as_slice()).map_err(|_| {
+                NnError::Shape(format!("matmul rhs must be rank 2, got {:?}", other.shape))
+            })?,
+        );
+        if k1 != k2 {
+            return Err(NnError::Shape(format!(
+                "matmul: [{m}, {k1}] x [{k2}, {n}]"
+            )));
+        }
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the inner loop contiguous in both the
+        // rhs and the output.
+        for i in 0..m {
+            for k in 0..k1 {
+                let a = self.data[i * k1 + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &other.data[k * n..(k + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a * rhs_row[j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// 2-D matrix product with the *transpose* of `other`:
+    /// `self` is `[m, k]`, `other` is `[n, k]`, result `[m, n]`.
+    ///
+    /// This is the layout-friendly primitive for `x · Wᵀ` with weights
+    /// stored `[out, in]`, avoiding an explicit transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on rank or dimension mismatch.
+    pub fn matmul_transpose(&self, other: &Tensor) -> Result<Tensor, NnError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 {
+            return Err(NnError::Shape(format!(
+                "matmul_transpose: ranks {:?} x {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let (m, k1) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        if k1 != k2 {
+            return Err(NnError::Shape(format!(
+                "matmul_transpose: [{m}, {k1}] x [{n}, {k2}]ᵀ"
+            )));
+        }
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let lhs_row = &self.data[i * k1..(i + 1) * k1];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, out_val) in out_row.iter_mut().enumerate() {
+                let rhs_row = &other.data[j * k1..(j + 1) * k1];
+                let mut acc = 0.0f32;
+                for k in 0..k1 {
+                    acc += lhs_row[k] * rhs_row[k];
+                }
+                *out_val = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Returns the transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if the tensor is not rank-2.
+    pub fn transpose2(&self) -> Result<Tensor, NnError> {
+        if self.shape.len() != 2 {
+            return Err(NnError::Shape(format!(
+                "transpose2 needs rank 2, got {:?}",
+                self.shape
+            )));
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |a, &x| a.max(x.abs()))
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} [", self.shape)?;
+        for (i, v) in self.data.iter().take(8).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > 8 {
+            write!(f, ", ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).unwrap();
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![], &[0]).is_ok());
+    }
+
+    #[test]
+    fn set_and_reshape() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 5.0);
+        assert_eq!(t.at(&[1, 0]), 5.0);
+        let r = t.reshape(&[4]).unwrap();
+        assert_eq!(r.at(&[2]), 5.0);
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_bounds_checked() {
+        let t = Tensor::zeros(&[2, 2]);
+        t.at(&[2, 0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Tensor::from_vec(vec![1., 2.], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10., 20.], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[11., 22.]);
+        assert_eq!(a.scale(3.0).data(), &[3., 6.]);
+        assert!(a.add(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&Tensor::zeros(&[2, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+        assert!(Tensor::zeros(&[2]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let w = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[4, 3]).unwrap();
+        let via_t = a.matmul(&w.transpose2().unwrap()).unwrap();
+        let direct = a.matmul_transpose(&w).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn transpose2_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(a.transpose2().unwrap().transpose2().unwrap(), a);
+        assert!(Tensor::zeros(&[2, 2, 2]).transpose2().is_err());
+    }
+
+    #[test]
+    fn map_and_max_abs() {
+        let a = Tensor::from_vec(vec![-3., 1.], &[2]).unwrap();
+        assert_eq!(a.map(|x| x * x).data(), &[9., 1.]);
+        assert_eq!(a.max_abs(), 3.0);
+        assert_eq!(Tensor::zeros(&[0]).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn display_short() {
+        let t = Tensor::zeros(&[3]);
+        assert!(format!("{t}").starts_with("Tensor[3]"));
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_add(
+            a_data in proptest::collection::vec(-2.0f32..2.0, 6),
+            b_data in proptest::collection::vec(-2.0f32..2.0, 6),
+            c_data in proptest::collection::vec(-2.0f32..2.0, 6),
+        ) {
+            let a = Tensor::from_vec(a_data, &[2, 3]).unwrap();
+            let b = Tensor::from_vec(b_data, &[3, 2]).unwrap();
+            let c = Tensor::from_vec(c_data, &[3, 2]).unwrap();
+            let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+            let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced by dataset generation and model training.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum VisionError {
+    /// Invalid dataset or training configuration.
+    InvalidConfig(String),
+    /// An index into the dataset was out of bounds.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// The neural-network substrate failed.
+    Network(nn::NnError),
+}
+
+impl fmt::Display for VisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            VisionError::IndexOutOfBounds { index, len } => {
+                write!(f, "sample index {index} out of bounds for dataset of {len}")
+            }
+            VisionError::Network(err) => write!(f, "neural network failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for VisionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VisionError::Network(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<nn::NnError> for VisionError {
+    fn from(err: nn::NnError) -> Self {
+        VisionError::Network(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VisionError::IndexOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VisionError>();
+    }
+}

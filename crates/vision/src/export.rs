@@ -1,0 +1,121 @@
+//! Image export for visual inspection of SynthVision samples.
+//!
+//! Writes NetPBM files (PGM for grayscale, PPM for RGB) — the simplest
+//! formats any image viewer opens, with no dependencies.
+
+use crate::dataset::SynthVision;
+use crate::VisionError;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders sample `index` as a NetPBM string (P2 for 1-channel, P3 for
+/// 3-channel images).
+///
+/// # Errors
+///
+/// Returns [`VisionError::IndexOutOfBounds`] for bad indices.
+pub fn to_netpbm(data: &SynthVision, index: usize) -> Result<String, VisionError> {
+    let (images, _) = data.batch(&[index])?;
+    let (c, h, w) = data.spec().image_shape();
+    let mut out = String::new();
+    match c {
+        1 => {
+            let _ = writeln!(out, "P2\n{w} {h}\n255");
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (images.at(&[0, 0, y, x]).clamp(0.0, 1.0) * 255.0) as u8;
+                    let _ = write!(out, "{v} ");
+                }
+                out.push('\n');
+            }
+        }
+        _ => {
+            let _ = writeln!(out, "P3\n{w} {h}\n255");
+            for y in 0..h {
+                for x in 0..w {
+                    for ch in 0..3.min(c) {
+                        let v =
+                            (images.at(&[0, ch, y, x]).clamp(0.0, 1.0) * 255.0) as u8;
+                        let _ = write!(out, "{v} ");
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes one sample per class into `dir` as `class_<k>.p{g,p}m`.
+///
+/// # Errors
+///
+/// Propagates index and filesystem errors (filesystem errors surface
+/// as [`VisionError::Network`]-wrapped I/O, keeping a single error
+/// type).
+pub fn export_class_gallery<P: AsRef<Path>>(
+    data: &SynthVision,
+    dir: P,
+) -> Result<Vec<std::path::PathBuf>, VisionError> {
+    std::fs::create_dir_all(&dir).map_err(|e| VisionError::Network(e.into()))?;
+    let classes = data.spec().classes();
+    let ext = if data.spec().image_shape().0 == 1 {
+        "pgm"
+    } else {
+        "ppm"
+    };
+    let mut written = Vec::new();
+    for class in 0..classes {
+        // Samples are interleaved: the first sample of class k is at
+        // index k.
+        let body = to_netpbm(data, class)?;
+        let path = dir.as_ref().join(format!("class_{class}.{ext}"));
+        let mut f =
+            std::fs::File::create(&path).map_err(|e| VisionError::Network(e.into()))?;
+        f.write_all(body.as_bytes())
+            .map_err(|e| VisionError::Network(e.into()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthSpec;
+
+    #[test]
+    fn grayscale_netpbm_structure() {
+        let data = SynthVision::generate(SynthSpec::SynthS, 1, 3).unwrap();
+        let body = to_netpbm(&data, 0).unwrap();
+        assert!(body.starts_with("P2\n12 12\n255"));
+        // 12 rows of 12 values after 3 header lines.
+        let value_lines: Vec<&str> = body.lines().skip(3).collect();
+        assert_eq!(value_lines.len(), 12);
+        assert_eq!(value_lines[0].split_whitespace().count(), 12);
+        assert!(to_netpbm(&data, 999).is_err());
+    }
+
+    #[test]
+    fn rgb_netpbm_structure() {
+        let data = SynthVision::generate(SynthSpec::SynthL, 1, 3).unwrap();
+        let body = to_netpbm(&data, 0).unwrap();
+        assert!(body.starts_with("P3\n16 16\n255"));
+        let value_lines: Vec<&str> = body.lines().skip(3).collect();
+        assert_eq!(value_lines.len(), 16);
+        assert_eq!(value_lines[0].split_whitespace().count(), 48); // 16 px * 3
+    }
+
+    #[test]
+    fn gallery_round_trip() {
+        let data = SynthVision::generate(SynthSpec::SynthS, 1, 3).unwrap();
+        let dir = std::env::temp_dir().join("geniex_gallery_test");
+        let files = export_class_gallery(&data, &dir).unwrap();
+        assert_eq!(files.len(), 8);
+        for f in &files {
+            assert!(f.exists());
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,51 @@
+//! SynthVision datasets and MicroResNet models for the GENIEx
+//! reproduction.
+//!
+//! The paper evaluates ResNet-20 on CIFAR-100 and ResNet-18 on an
+//! ImageNet subset. Training those in a from-scratch Rust stack is out
+//! of laptop reach, so this crate provides the documented substitution
+//! (DESIGN.md §1):
+//!
+//! * [`SynthVision`] — deterministic procedural image-classification
+//!   datasets at two scales: [`SynthSpec::SynthS`] (12×12 grayscale,
+//!   8 classes; the CIFAR-100 stand-in) and [`SynthSpec::SynthL`]
+//!   (16×16 RGB, 16 classes; the ImageNet-subset stand-in).
+//! * [`MicroResNet`] — small residual CNNs trained with the `nn` crate;
+//!   skip connections are preserved because they are the paths along
+//!   which crossbar non-ideality errors propagate in the paper's
+//!   networks.
+//! * [`NetworkSpec`] — a frozen, framework-independent description of a
+//!   trained network (ops + weights) that the functional simulator
+//!   re-executes in crossbar arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), vision::VisionError> {
+//! use vision::{SynthSpec, SynthVision, MicroResNet};
+//!
+//! let data = SynthVision::generate(SynthSpec::SynthS, 16, 42)?;
+//! assert_eq!(data.len(), 16 * 8); // 16 images per class, 8 classes
+//! let mut model = MicroResNet::new(SynthSpec::SynthS, 7);
+//! let (images, labels) = data.batch(&[0, 1, 2])?;
+//! let logits = model.forward(&images);
+//! assert_eq!(logits.shape(), &[3, 8]);
+//! # let _ = labels;
+//! # Ok(())
+//! # }
+//! ```
+
+mod dataset;
+mod error;
+pub mod export;
+mod models;
+mod quantize;
+mod spec;
+mod train;
+
+pub use dataset::{SynthSpec, SynthVision};
+pub use error::VisionError;
+pub use models::MicroResNet;
+pub use quantize::rescale_for_fxp;
+pub use spec::{spec_forward, NetworkSpec, SpecOp};
+pub use train::{evaluate, train_model, TrainOptions, TrainStats};

@@ -1,0 +1,466 @@
+//! The MicroResNet model family.
+//!
+//! Scaled-down residual CNNs standing in for the paper's ResNet-20 /
+//! ResNet-18 (see DESIGN.md §1). The residual topology is preserved —
+//! skip connections are the paths along which crossbar errors propagate
+//! unattenuated, which is central to how non-idealities accumulate over
+//! depth in the paper's experiments.
+
+use crate::dataset::SynthSpec;
+use crate::spec::{NetworkSpec, SpecOp};
+use nn::layers::{Conv2d, Dense, GlobalAvgPool, Layer, MaxPool2, Relu};
+use nn::Tensor;
+
+/// A residual block: `y = ReLU(conv2(ReLU(conv1(x))) + x)`.
+#[derive(Debug, Clone)]
+struct ResBlock {
+    conv1: Conv2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    relu_out: Relu,
+    cached_input: Option<Tensor>,
+}
+
+impl ResBlock {
+    fn new(channels: usize, seed: u64) -> Self {
+        ResBlock {
+            conv1: Conv2d::new(channels, channels, 3, 1, 1, seed),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(channels, channels, 3, 1, 1, seed.wrapping_add(1)),
+            relu_out: Relu::new(),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for ResBlock {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let a = self.conv1.forward(input, train);
+        let b = self.relu1.forward(&a, train);
+        let c = self.conv2.forward(&b, train);
+        let s = c.add(input).expect("residual shapes match by construction");
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        self.relu_out.forward(&s, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let gs = self.relu_out.backward(grad_output);
+        let gb = self.conv2.backward(&gs);
+        let ga = self.relu1.backward(&gb);
+        let gx_branch = self.conv1.backward(&ga);
+        self.cached_input
+            .take()
+            .expect("resblock backward without forward");
+        gx_branch.add(&gs).expect("residual gradient shapes")
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.conv1.visit_params(visitor);
+        self.conv2.visit_params(visitor);
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv1.zero_grad();
+        self.conv2.zero_grad();
+    }
+}
+
+/// One stage of the sequential model.
+#[derive(Debug, Clone)]
+enum Block {
+    Conv(Conv2d),
+    Relu(Relu),
+    Res(ResBlock),
+    Pool(MaxPool2),
+    Gap(GlobalAvgPool),
+    Dense(Dense),
+}
+
+impl Block {
+    fn as_layer(&mut self) -> &mut dyn Layer {
+        match self {
+            Block::Conv(l) => l,
+            Block::Relu(l) => l,
+            Block::Res(l) => l,
+            Block::Pool(l) => l,
+            Block::Gap(l) => l,
+            Block::Dense(l) => l,
+        }
+    }
+}
+
+/// A small residual CNN for a SynthVision variant.
+///
+/// Architectures:
+///
+/// * synth-s: `conv(1→8) → res(8) → pool → conv(8→16) → res(16) → gap
+///   → fc(16→8)` — ≈ 7.7k parameters.
+/// * synth-l: `conv(3→12) → res(12) → pool → conv(12→24) → res(24) →
+///   pool → conv(24→32) → gap → fc(32→16)` — ≈ 25k parameters.
+#[derive(Debug, Clone)]
+pub struct MicroResNet {
+    spec: SynthSpec,
+    blocks: Vec<Block>,
+}
+
+impl MicroResNet {
+    /// Creates a freshly initialized model for the given dataset
+    /// variant, deterministic in `seed`.
+    pub fn new(spec: SynthSpec, seed: u64) -> Self {
+        let mut blocks = Vec::new();
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(101);
+            s
+        };
+        match spec {
+            SynthSpec::SynthS => {
+                blocks.push(Block::Conv(Conv2d::new(1, 8, 3, 1, 1, next())));
+                blocks.push(Block::Relu(Relu::new()));
+                blocks.push(Block::Res(ResBlock::new(8, next())));
+                blocks.push(Block::Pool(MaxPool2::new()));
+                blocks.push(Block::Conv(Conv2d::new(8, 16, 3, 1, 1, next())));
+                blocks.push(Block::Relu(Relu::new()));
+                blocks.push(Block::Res(ResBlock::new(16, next())));
+                blocks.push(Block::Gap(GlobalAvgPool::new()));
+                blocks.push(Block::Dense(Dense::new(16, 8, next())));
+            }
+            SynthSpec::SynthL => {
+                blocks.push(Block::Conv(Conv2d::new(3, 12, 3, 1, 1, next())));
+                blocks.push(Block::Relu(Relu::new()));
+                blocks.push(Block::Res(ResBlock::new(12, next())));
+                blocks.push(Block::Pool(MaxPool2::new()));
+                blocks.push(Block::Conv(Conv2d::new(12, 24, 3, 1, 1, next())));
+                blocks.push(Block::Relu(Relu::new()));
+                blocks.push(Block::Res(ResBlock::new(24, next())));
+                blocks.push(Block::Pool(MaxPool2::new()));
+                blocks.push(Block::Conv(Conv2d::new(24, 32, 3, 1, 1, next())));
+                blocks.push(Block::Relu(Relu::new()));
+                blocks.push(Block::Gap(GlobalAvgPool::new()));
+                blocks.push(Block::Dense(Dense::new(32, 16, next())));
+            }
+        }
+        MicroResNet { spec, blocks }
+    }
+
+    /// The dataset variant this model targets.
+    pub fn spec(&self) -> SynthSpec {
+        self.spec
+    }
+
+    /// Inference forward pass: images `[batch, c, h, w]` to logits
+    /// `[batch, classes]`.
+    pub fn forward(&mut self, images: &Tensor) -> Tensor {
+        self.run(images, false)
+    }
+
+    /// Training forward pass (caches activations for backward).
+    pub fn forward_train(&mut self, images: &Tensor) -> Tensor {
+        self.run(images, true)
+    }
+
+    fn run(&mut self, images: &Tensor, train: bool) -> Tensor {
+        let mut x = images.clone();
+        for b in &mut self.blocks {
+            x = b.as_layer().forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training forward pass.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut g = grad_logits.clone();
+        for b in self.blocks.iter_mut().rev() {
+            g = b.as_layer().backward(&g);
+        }
+        g
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for b in &mut self.blocks {
+            b.as_layer().zero_grad();
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn parameter_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _| count += p.len());
+        count
+    }
+
+    /// Serializes the model (variant tag + all parameters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: std::io::Write>(&mut self, w: &mut W) -> Result<(), crate::VisionError> {
+        nn::serialize::write_magic(w, b"GMRN")?;
+        nn::serialize::write_u32(
+            w,
+            match self.spec {
+                SynthSpec::SynthS => 0,
+                SynthSpec::SynthL => 1,
+            },
+        )?;
+        nn::serialize::save_params(self, w)?;
+        Ok(())
+    }
+
+    /// Deserializes a model written by [`save`](MicroResNet::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns a format error for unknown variant tags or mismatched
+    /// parameter buffers.
+    pub fn load<R: std::io::Read>(r: &mut R) -> Result<Self, crate::VisionError> {
+        nn::serialize::expect_magic(r, b"GMRN")?;
+        let spec = match nn::serialize::read_u32(r)? {
+            0 => SynthSpec::SynthS,
+            1 => SynthSpec::SynthL,
+            other => {
+                return Err(crate::VisionError::Network(nn::NnError::Format(format!(
+                    "unknown model variant tag {other}"
+                ))))
+            }
+        };
+        let mut model = MicroResNet::new(spec, 0);
+        nn::serialize::load_params(&mut model, r)?;
+        Ok(model)
+    }
+
+    /// Exports the frozen network as a framework-independent spec for
+    /// the functional simulator (weights are cloned).
+    pub fn to_spec(&self) -> NetworkSpec {
+        let mut ops = Vec::new();
+        for b in &self.blocks {
+            match b {
+                Block::Conv(c) => {
+                    ops.push(SpecOp::Conv2d {
+                        weight: c.weight().clone(),
+                        bias: c.bias().clone(),
+                        stride: c.stride(),
+                        padding: c.padding(),
+                    });
+                }
+                Block::Relu(_) => ops.push(SpecOp::Relu),
+                Block::Res(r) => {
+                    ops.push(SpecOp::ResidualBegin);
+                    ops.push(SpecOp::Conv2d {
+                        weight: r.conv1.weight().clone(),
+                        bias: r.conv1.bias().clone(),
+                        stride: r.conv1.stride(),
+                        padding: r.conv1.padding(),
+                    });
+                    ops.push(SpecOp::Relu);
+                    ops.push(SpecOp::Conv2d {
+                        weight: r.conv2.weight().clone(),
+                        bias: r.conv2.bias().clone(),
+                        stride: r.conv2.stride(),
+                        padding: r.conv2.padding(),
+                    });
+                    ops.push(SpecOp::ResidualAdd);
+                    ops.push(SpecOp::Relu);
+                }
+                Block::Pool(_) => ops.push(SpecOp::MaxPool2),
+                Block::Gap(_) => ops.push(SpecOp::GlobalAvgPool),
+                Block::Dense(d) => {
+                    ops.push(SpecOp::Linear {
+                        weight: d.weight().clone(),
+                        bias: d.bias().clone(),
+                    });
+                }
+            }
+        }
+        let (c, h, w) = self.spec.image_shape();
+        NetworkSpec {
+            ops,
+            input_shape: [c, h, w],
+            classes: self.spec.classes(),
+        }
+    }
+}
+
+impl Layer for MicroResNet {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.run(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        MicroResNet::backward(self, grad_output)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for b in &mut self.blocks {
+            b.as_layer().visit_params(visitor);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        MicroResNet::zero_grad(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::loss::softmax_cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_images(spec: SynthSpec, batch: usize, seed: u64) -> Tensor {
+        let (c, h, w) = spec.image_shape();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..batch * c * h * w)
+            .map(|_| rng.gen_range(0.0f32..1.0))
+            .collect();
+        Tensor::from_vec(data, &[batch, c, h, w]).unwrap()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        for spec in [SynthSpec::SynthS, SynthSpec::SynthL] {
+            let mut model = MicroResNet::new(spec, 1);
+            let x = random_images(spec, 2, 3);
+            let y = model.forward(&x);
+            assert_eq!(y.shape(), &[2, spec.classes()]);
+            assert!(y.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn parameter_counts_in_expected_range() {
+        let mut s = MicroResNet::new(SynthSpec::SynthS, 0);
+        let ps = s.parameter_count();
+        assert!((5_000..12_000).contains(&ps), "synth-s params {ps}");
+        let mut l = MicroResNet::new(SynthSpec::SynthL, 0);
+        let pl = l.parameter_count();
+        assert!((18_000..40_000).contains(&pl), "synth-l params {pl}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = MicroResNet::new(SynthSpec::SynthS, 5);
+        let mut b = MicroResNet::new(SynthSpec::SynthS, 5);
+        let x = random_images(SynthSpec::SynthS, 1, 2);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut model = MicroResNet::new(SynthSpec::SynthS, 3);
+        let x = random_images(SynthSpec::SynthS, 4, 7);
+        let logits = model.forward_train(&x);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        model.zero_grad();
+        model.backward(&grad);
+        let mut buffers = 0;
+        let mut nonzero_buffers = 0;
+        model.visit_params(&mut |_, g| {
+            buffers += 1;
+            if g.iter().any(|&x| x != 0.0) {
+                nonzero_buffers += 1;
+            }
+        });
+        // Every weight/bias buffer must receive gradient signal.
+        assert_eq!(buffers, nonzero_buffers, "dead parameter buffers");
+    }
+
+    #[test]
+    fn residual_block_gradient_check() {
+        let mut block = ResBlock::new(2, 9);
+        let x = {
+            let mut rng = StdRng::seed_from_u64(4);
+            let data = (0..2 * 2 * 4 * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            Tensor::from_vec(data, &[2, 2, 4, 4]).unwrap()
+        };
+        let out = block.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; out.len()], out.shape()).unwrap();
+        let grad = block.backward(&ones);
+
+        // The identity path moves s cells 1:1 with the input, so a
+        // perturbation of size eps flips every ReLU whose pre-activation
+        // sits within eps of zero; keep eps tiny and accumulate sums in
+        // f64 to stay below the flip probability while avoiding
+        // cancellation noise.
+        let eps = 1e-4f32;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut matches = 0;
+        let probes = 12;
+        for _ in 0..probes {
+            let idx = rng.gen_range(0..x.len());
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let fp: f64 = block
+                .forward(&plus, false)
+                .data()
+                .iter()
+                .map(|&v| v as f64)
+                .sum();
+            let fm: f64 = block
+                .forward(&minus, false)
+                .data()
+                .iter()
+                .map(|&v| v as f64)
+                .sum();
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            let analytic = grad.data()[idx];
+            if (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()) {
+                matches += 1;
+            }
+        }
+        assert!(
+            matches >= probes - 1,
+            "only {matches}/{probes} residual-gradient probes matched"
+        );
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut a = MicroResNet::new(SynthSpec::SynthS, 5);
+        let mut buf = Vec::new();
+        a.save(&mut buf).unwrap();
+        let mut b = MicroResNet::load(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(b.spec(), SynthSpec::SynthS);
+        let x = random_images(SynthSpec::SynthS, 2, 8);
+        assert_eq!(a.forward(&x), b.forward(&x));
+
+        // Corrupt variant tag.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(MicroResNet::load(&mut std::io::Cursor::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn spec_export_structure() {
+        let model = MicroResNet::new(SynthSpec::SynthS, 1);
+        let spec = model.to_spec();
+        assert_eq!(spec.input_shape, [1, 12, 12]);
+        assert_eq!(spec.classes, 8);
+        // conv+relu, res(6 ops), pool, conv+relu, res(6), gap, dense
+        assert_eq!(spec.ops.len(), 2 + 6 + 1 + 2 + 6 + 1 + 1);
+        assert!(matches!(spec.ops[0], SpecOp::Conv2d { .. }));
+        assert!(matches!(spec.ops.last(), Some(SpecOp::Linear { .. })));
+        let begins = spec
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SpecOp::ResidualBegin))
+            .count();
+        let adds = spec
+            .ops
+            .iter()
+            .filter(|o| matches!(o, SpecOp::ResidualAdd))
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(adds, 2);
+    }
+}

@@ -1,0 +1,361 @@
+//! Calibration-based activation-range rescaling for fixed-point
+//! deployment.
+//!
+//! The functional simulator's activation format has 3 integer bits
+//! (range ±4, as in the paper's 16-bit/13-fraction format). A freshly
+//! trained FP32 network routinely produces activations and logits far
+//! outside that range, which would saturate every layer. Because ReLU
+//! networks are positively homogeneous, scaling a layer's weights by
+//! `α > 0` scales its output by `α` without changing anything else —
+//! so the standard deployment fix is to fold per-layer scale factors
+//! into the weights such that every intermediate activation fits the
+//! format. The final logits end up uniformly scaled, which preserves
+//! the argmax and therefore the accuracy.
+//!
+//! Residual blocks constrain the folding: the skip path carries the
+//! block input's scale, so the *last* MVM inside a block must return
+//! to that scale for the add to be consistent.
+
+use crate::spec::{NetworkSpec, SpecOp};
+use crate::VisionError;
+use nn::layers::{Conv2d, Dense, GlobalAvgPool, Layer, MaxPool2};
+use nn::Tensor;
+
+/// Per-op output maxima from a calibration forward pass.
+fn calibration_maxima(spec: &NetworkSpec, images: &Tensor) -> Result<Vec<f32>, VisionError> {
+    let mut x = images.clone();
+    let mut residual_stack: Vec<Tensor> = Vec::new();
+    let mut maxima = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        x = match op {
+            SpecOp::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
+                let [oc, ic, kh, _] = *<&[usize; 4]>::try_from(weight.shape())
+                    .map_err(|_| VisionError::InvalidConfig("conv weight rank".into()))?;
+                let mut conv = Conv2d::new(ic, oc, kh, *stride, *padding, 0);
+                conv.set_params(weight.clone(), bias.clone());
+                conv.forward(&x, false)
+            }
+            SpecOp::Linear { weight, bias } => {
+                let [out, inp] = *<&[usize; 2]>::try_from(weight.shape())
+                    .map_err(|_| VisionError::InvalidConfig("linear weight rank".into()))?;
+                let mut dense = Dense::new(inp, out, 0);
+                dense.set_params(weight.clone(), bias.clone());
+                dense.forward(&x, false)
+            }
+            SpecOp::Relu => x.map(|v| v.max(0.0)),
+            SpecOp::MaxPool2 => MaxPool2::new().forward(&x, false),
+            SpecOp::GlobalAvgPool => GlobalAvgPool::new().forward(&x, false),
+            SpecOp::Flatten => {
+                let batch = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                x.reshape(&[batch, rest])?
+            }
+            SpecOp::ResidualBegin => {
+                residual_stack.push(x.clone());
+                x
+            }
+            SpecOp::ResidualAdd => {
+                let saved = residual_stack.pop().ok_or_else(|| {
+                    VisionError::InvalidConfig("ResidualAdd without ResidualBegin".into())
+                })?;
+                x.add(&saved)?
+            }
+        };
+        maxima.push(x.max_abs());
+    }
+    Ok(maxima)
+}
+
+/// Assigns each op's output to a *scale group*. A new group starts
+/// after every MVM except the final MVM inside a residual region
+/// (whose output must stay in the region's input group so the skip
+/// add is consistent). `ResidualAdd` outputs rejoin the input group.
+fn scale_groups(spec: &NetworkSpec) -> Result<Vec<usize>, VisionError> {
+    // Identify, per residual region, the last MVM inside it.
+    let mut forced_mvms = vec![false; spec.ops.len()];
+    let mut begin_stack: Vec<usize> = Vec::new();
+    let mut last_mvm_in_region: Vec<Option<usize>> = Vec::new();
+    for (i, op) in spec.ops.iter().enumerate() {
+        match op {
+            SpecOp::ResidualBegin => {
+                if !begin_stack.is_empty() {
+                    return Err(VisionError::InvalidConfig(
+                        "nested residual regions are not supported by fxp rescaling".into(),
+                    ));
+                }
+                begin_stack.push(i);
+                last_mvm_in_region.push(None);
+            }
+            SpecOp::ResidualAdd => {
+                begin_stack.pop().ok_or_else(|| {
+                    VisionError::InvalidConfig("ResidualAdd without ResidualBegin".into())
+                })?;
+                if let Some(Some(k)) = last_mvm_in_region.pop() {
+                    forced_mvms[k] = true;
+                } else {
+                    return Err(VisionError::InvalidConfig(
+                        "residual region without an MVM cannot be rescaled".into(),
+                    ));
+                }
+            }
+            SpecOp::Conv2d { .. } | SpecOp::Linear { .. } => {
+                if let Some(slot) = last_mvm_in_region.last_mut() {
+                    if !begin_stack.is_empty() {
+                        *slot = Some(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if !begin_stack.is_empty() {
+        return Err(VisionError::InvalidConfig(
+            "unterminated residual region".into(),
+        ));
+    }
+
+    // Walk ops assigning groups. Group 0 is the network input.
+    let mut groups = vec![0usize; spec.ops.len()];
+    let mut current = 0usize;
+    let mut next_group = 1usize;
+    // Scale group at each ResidualBegin, restored at the matching Add
+    // and forced onto the region's last MVM.
+    let mut region_entry_group: Option<usize> = None;
+    for (i, op) in spec.ops.iter().enumerate() {
+        match op {
+            SpecOp::ResidualBegin => {
+                region_entry_group = Some(current);
+                groups[i] = current;
+            }
+            SpecOp::ResidualAdd => {
+                current = region_entry_group.take().expect("validated above");
+                groups[i] = current;
+            }
+            SpecOp::Conv2d { .. } | SpecOp::Linear { .. } => {
+                if forced_mvms[i] {
+                    current = region_entry_group.expect("forced mvm inside region");
+                } else {
+                    current = next_group;
+                    next_group += 1;
+                }
+                groups[i] = current;
+            }
+            _ => {
+                groups[i] = current;
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// Rescales a frozen network so that, on the calibration batch, every
+/// intermediate activation magnitude is at most `target`.
+///
+/// Returns the transformed spec. The final logits come out scaled by a
+/// positive constant, so classification decisions are unchanged; use a
+/// `target` with safety margin below the fixed-point range limit
+/// (e.g. 3.5 for a ±4 format).
+///
+/// # Errors
+///
+/// * [`VisionError::InvalidConfig`] if `target` is not positive, the
+///   calibration batch is empty, or the spec's residual structure is
+///   malformed/nested.
+pub fn rescale_for_fxp(
+    spec: &NetworkSpec,
+    calibration: &Tensor,
+    target: f32,
+) -> Result<NetworkSpec, VisionError> {
+    if !(target > 0.0) {
+        return Err(VisionError::InvalidConfig(format!(
+            "target must be positive, got {target}"
+        )));
+    }
+    if calibration.is_empty() {
+        return Err(VisionError::InvalidConfig(
+            "calibration batch is empty".into(),
+        ));
+    }
+    let maxima = calibration_maxima(spec, calibration)?;
+    let groups = scale_groups(spec)?;
+    let group_count = groups.iter().copied().max().unwrap_or(0) + 1;
+
+    // Raw maximum per group (inputs are in [0, 1] -> group 0 max 1).
+    let mut group_max = vec![0.0f32; group_count];
+    group_max[0] = 1.0;
+    for (i, &g) in groups.iter().enumerate() {
+        group_max[g] = group_max[g].max(maxima[i]);
+    }
+    // Scale per group: group 0 keeps scale 1 (inputs are consumed
+    // as-is); other groups scale their maxima to `target`.
+    let mut group_scale = vec![1.0f32; group_count];
+    for g in 1..group_count {
+        group_scale[g] = if group_max[g] > 0.0 {
+            target / group_max[g]
+        } else {
+            1.0
+        };
+    }
+
+    // Transform each MVM: W' = W * s_out / s_in, b' = b * s_out.
+    let mut ops = Vec::with_capacity(spec.ops.len());
+    let mut in_group = 0usize;
+    for (i, op) in spec.ops.iter().enumerate() {
+        let out_group = groups[i];
+        let transformed = match op {
+            SpecOp::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
+                let s_in = group_scale[in_group];
+                let s_out = group_scale[out_group];
+                SpecOp::Conv2d {
+                    weight: weight.scale(s_out / s_in),
+                    bias: bias.scale(s_out),
+                    stride: *stride,
+                    padding: *padding,
+                }
+            }
+            SpecOp::Linear { weight, bias } => {
+                let s_in = group_scale[in_group];
+                let s_out = group_scale[out_group];
+                SpecOp::Linear {
+                    weight: weight.scale(s_out / s_in),
+                    bias: bias.scale(s_out),
+                }
+            }
+            other => other.clone(),
+        };
+        ops.push(transformed);
+        // The next op consumes this op's output group — except inside
+        // a residual branch, where ops consume the branch chain; the
+        // group bookkeeping above already encodes that correctly
+        // because branch MVMs get their own groups in sequence.
+        in_group = out_group;
+    }
+
+    Ok(NetworkSpec {
+        ops,
+        input_shape: spec.input_shape,
+        classes: spec.classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_forward;
+    use crate::{MicroResNet, SynthSpec, SynthVision};
+
+    fn trained_like_spec(seed: u64) -> (NetworkSpec, Tensor) {
+        // An untrained model already exercises the machinery; scale it
+        // up so activations exceed the target.
+        let model = MicroResNet::new(SynthSpec::SynthS, seed);
+        let mut spec = model.to_spec();
+        // Inflate the stem conv to force large activations.
+        if let SpecOp::Conv2d { weight, .. } = &mut spec.ops[0] {
+            *weight = weight.scale(30.0);
+        }
+        let data = SynthVision::generate(SynthSpec::SynthS, 2, 5).unwrap();
+        let (images, _) = data.full_batch().unwrap();
+        (spec, images)
+    }
+
+    #[test]
+    fn rescaled_network_fits_target() {
+        let (spec, images) = trained_like_spec(3);
+        let rescaled = rescale_for_fxp(&spec, &images, 3.5).unwrap();
+        let maxima = calibration_maxima(&rescaled, &images).unwrap();
+        for (i, m) in maxima.iter().enumerate() {
+            assert!(*m <= 3.5 * 1.0001, "op {i} still produces {m}");
+        }
+    }
+
+    #[test]
+    fn rescaling_preserves_argmax() {
+        let (spec, images) = trained_like_spec(7);
+        let rescaled = rescale_for_fxp(&spec, &images, 3.5).unwrap();
+        let a = spec_forward(&spec, &images).unwrap();
+        let b = spec_forward(&rescaled, &images).unwrap();
+        let n = images.shape()[0];
+        let classes = 8;
+        for k in 0..n {
+            let argmax = |t: &Tensor| {
+                t.data()[k * classes..(k + 1) * classes]
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap()
+            };
+            assert_eq!(argmax(&a), argmax(&b), "sample {k}");
+        }
+    }
+
+    #[test]
+    fn logits_scaled_by_positive_constant() {
+        let (spec, images) = trained_like_spec(9);
+        let rescaled = rescale_for_fxp(&spec, &images, 3.5).unwrap();
+        let a = spec_forward(&spec, &images).unwrap();
+        let b = spec_forward(&rescaled, &images).unwrap();
+        // Ratio must be constant across all logits (where a is not ~0).
+        let mut ratio = None;
+        for (x, y) in a.data().iter().zip(b.data()) {
+            if x.abs() > 1e-3 {
+                let r = y / x;
+                match ratio {
+                    None => ratio = Some(r),
+                    Some(r0) => assert!(
+                        (r - r0).abs() < 1e-3 * r0.abs().max(1.0),
+                        "ratio drifted: {r0} vs {r}"
+                    ),
+                }
+            }
+        }
+        assert!(ratio.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn residual_group_structure() {
+        let model = MicroResNet::new(SynthSpec::SynthS, 1);
+        let spec = model.to_spec();
+        let groups = scale_groups(&spec).unwrap();
+        // ops: conv relu | begin conv relu conv add relu | pool conv
+        //      relu | begin conv relu conv add relu | gap dense
+        // The add output (idx 6) must share the stem conv's group
+        // (idx 0), and the second in-block conv (idx 5) likewise.
+        assert_eq!(groups[0], groups[6]);
+        assert_eq!(groups[5], groups[0]);
+        // conv1 in block gets its own group.
+        assert_ne!(groups[3], groups[0]);
+        // Final dense is its own group.
+        assert_eq!(groups.last(), groups.last());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (spec, images) = trained_like_spec(1);
+        assert!(rescale_for_fxp(&spec, &images, 0.0).is_err());
+        assert!(rescale_for_fxp(&spec, &Tensor::zeros(&[0, 1, 12, 12]), 3.5).is_err());
+
+        let bad = NetworkSpec {
+            ops: vec![SpecOp::ResidualBegin],
+            input_shape: [1, 12, 12],
+            classes: 8,
+        };
+        assert!(scale_groups(&bad).is_err());
+        let bad = NetworkSpec {
+            ops: vec![SpecOp::ResidualBegin, SpecOp::ResidualAdd],
+            input_shape: [1, 12, 12],
+            classes: 8,
+        };
+        assert!(scale_groups(&bad).is_err());
+    }
+}

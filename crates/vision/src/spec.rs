@@ -1,0 +1,173 @@
+//! Framework-independent description of a frozen (trained) network.
+//!
+//! The functional simulator consumes a [`NetworkSpec`] and re-executes
+//! it with crossbar arithmetic (tiling + bit-slicing + non-ideality
+//! backends). [`spec_forward`] executes the same spec in plain `f32`,
+//! which serves as the FP32 reference and as the parity check for the
+//! simulator's ideal mode.
+
+use crate::VisionError;
+use nn::layers::{Conv2d, Dense, GlobalAvgPool, Layer, MaxPool2};
+use nn::Tensor;
+
+/// One operation of a frozen network, weights included.
+#[derive(Debug, Clone)]
+pub enum SpecOp {
+    /// 2-D convolution with NCHW weights `[out_c, in_c, kh, kw]`.
+    Conv2d {
+        /// Kernel weights.
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Tensor,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Fully-connected layer with weights `[out, in]`.
+    Linear {
+        /// Weight matrix.
+        weight: Tensor,
+        /// Bias vector.
+        bias: Tensor,
+    },
+    /// Element-wise ReLU.
+    Relu,
+    /// 2×2 max pooling, stride 2.
+    MaxPool2,
+    /// Global average pooling `[b, c, h, w] -> [b, c]`.
+    GlobalAvgPool,
+    /// Flatten to `[b, features]`.
+    Flatten,
+    /// Push the current activation onto the residual stack.
+    ResidualBegin,
+    /// Pop the residual stack and add it to the current activation.
+    ResidualAdd,
+}
+
+/// A frozen network: ordered ops plus input/output metadata.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    /// The operations, in execution order.
+    pub ops: Vec<SpecOp>,
+    /// Input image shape `[channels, height, width]`.
+    pub input_shape: [usize; 3],
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl NetworkSpec {
+    /// Number of MVM-bearing ops (convolutions + linear layers) — the
+    /// layers the functional simulator maps onto crossbars.
+    pub fn mvm_op_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, SpecOp::Conv2d { .. } | SpecOp::Linear { .. }))
+            .count()
+    }
+}
+
+/// Executes a spec in plain `f32` — the FP32 reference path.
+///
+/// # Errors
+///
+/// Returns [`VisionError::InvalidConfig`] if a `ResidualAdd` has no
+/// matching `ResidualBegin`, and propagates shape errors from the
+/// underlying tensor ops.
+pub fn spec_forward(spec: &NetworkSpec, images: &Tensor) -> Result<Tensor, VisionError> {
+    let mut x = images.clone();
+    let mut residual_stack: Vec<Tensor> = Vec::new();
+    for op in &spec.ops {
+        x = match op {
+            SpecOp::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
+                let [oc, ic, kh, _kw] = *<&[usize; 4]>::try_from(weight.shape())
+                    .map_err(|_| VisionError::InvalidConfig("conv weight rank".into()))?;
+                let mut conv = Conv2d::new(ic, oc, kh, *stride, *padding, 0);
+                conv.set_params(weight.clone(), bias.clone());
+                conv.forward(&x, false)
+            }
+            SpecOp::Linear { weight, bias } => {
+                let [out, inp] = *<&[usize; 2]>::try_from(weight.shape())
+                    .map_err(|_| VisionError::InvalidConfig("linear weight rank".into()))?;
+                let mut dense = Dense::new(inp, out, 0);
+                dense.set_params(weight.clone(), bias.clone());
+                dense.forward(&x, false)
+            }
+            SpecOp::Relu => x.map(|v| v.max(0.0)),
+            SpecOp::MaxPool2 => MaxPool2::new().forward(&x, false),
+            SpecOp::GlobalAvgPool => GlobalAvgPool::new().forward(&x, false),
+            SpecOp::Flatten => {
+                let batch = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                x.reshape(&[batch, rest])?
+            }
+            SpecOp::ResidualBegin => {
+                residual_stack.push(x.clone());
+                x
+            }
+            SpecOp::ResidualAdd => {
+                let saved = residual_stack.pop().ok_or_else(|| {
+                    VisionError::InvalidConfig("ResidualAdd without ResidualBegin".into())
+                })?;
+                x.add(&saved)?
+            }
+        };
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MicroResNet, SynthSpec, SynthVision};
+
+    #[test]
+    fn spec_forward_matches_model_forward() {
+        let mut model = MicroResNet::new(SynthSpec::SynthS, 11);
+        let spec = model.to_spec();
+        let data = SynthVision::generate(SynthSpec::SynthS, 2, 5).unwrap();
+        let (x, _) = data.full_batch().unwrap();
+        let direct = model.forward(&x);
+        let via_spec = spec_forward(&spec, &x).unwrap();
+        assert_eq!(direct.shape(), via_spec.shape());
+        for (a, b) in direct.data().iter().zip(via_spec.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn spec_forward_matches_for_large_variant() {
+        let mut model = MicroResNet::new(SynthSpec::SynthL, 3);
+        let spec = model.to_spec();
+        let data = SynthVision::generate(SynthSpec::SynthL, 1, 8).unwrap();
+        let (x, _) = data.batch(&[0, 7]).unwrap();
+        let direct = model.forward(&x);
+        let via_spec = spec_forward(&spec, &x).unwrap();
+        for (a, b) in direct.data().iter().zip(via_spec.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unbalanced_residual_rejected() {
+        let spec = NetworkSpec {
+            ops: vec![SpecOp::ResidualAdd],
+            input_shape: [1, 2, 2],
+            classes: 2,
+        };
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(spec_forward(&spec, &x).is_err());
+    }
+
+    #[test]
+    fn mvm_op_count() {
+        let model = MicroResNet::new(SynthSpec::SynthS, 0);
+        // stem conv + 2 res convs + conv + 2 res convs + fc = 7
+        assert_eq!(model.to_spec().mvm_op_count(), 7);
+    }
+}

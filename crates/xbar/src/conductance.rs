@@ -1,0 +1,273 @@
+//! The programmed conductance state of a crossbar.
+
+use crate::{CrossbarParams, XbarError};
+use rand::Rng;
+
+/// A dense `rows x cols` matrix of programmed device conductances
+/// (siemens), row-major.
+///
+/// This is the `G` of the paper's `f_R(V, G)`: the state the NVM devices
+/// were programmed to, before any non-ideality acts on it.
+///
+/// # Example
+///
+/// ```
+/// use xbar::ConductanceMatrix;
+/// let mut g = ConductanceMatrix::uniform(2, 2, 1e-5);
+/// g.set(0, 1, 2e-5);
+/// assert_eq!(g.get(0, 1), 2e-5);
+/// assert_eq!(g.get(1, 1), 1e-5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConductanceMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ConductanceMatrix {
+    /// Creates a matrix with every device programmed to `g` siemens.
+    pub fn uniform(rows: usize, cols: usize, g: f64) -> Self {
+        ConductanceMatrix {
+            rows,
+            cols,
+            data: vec![g; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::Shape`] if `data.len() != rows * cols`, and
+    /// [`XbarError::OutOfRange`] if any conductance is negative or
+    /// non-finite.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, XbarError> {
+        if data.len() != rows * cols {
+            return Err(XbarError::Shape(format!(
+                "conductance buffer of length {} for a {rows}x{cols} crossbar",
+                data.len()
+            )));
+        }
+        if let Some(bad) = data.iter().find(|&&g| !g.is_finite() || g < 0.0) {
+            return Err(XbarError::OutOfRange(format!(
+                "conductance {bad} is negative or non-finite"
+            )));
+        }
+        Ok(ConductanceMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix of normalized levels in `[0, 1]` mapped into the
+    /// `[g_off, g_on]` range of `params`.
+    ///
+    /// This is how the functional simulator maps weight slices onto
+    /// devices: level 0 → `g_off`, level 1 → `g_on`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::Shape`] on length mismatch and
+    /// [`XbarError::OutOfRange`] if any level is outside `[0, 1]`.
+    pub fn from_levels(
+        params: &CrossbarParams,
+        levels: &[f64],
+    ) -> Result<Self, XbarError> {
+        if levels.len() != params.rows * params.cols {
+            return Err(XbarError::Shape(format!(
+                "{} levels for a {}x{} crossbar",
+                levels.len(),
+                params.rows,
+                params.cols
+            )));
+        }
+        let g_on = params.g_on();
+        let g_off = params.g_off();
+        let mut data = Vec::with_capacity(levels.len());
+        for &l in levels {
+            if !(0.0..=1.0).contains(&l) {
+                return Err(XbarError::OutOfRange(format!(
+                    "level {l} outside [0, 1]"
+                )));
+            }
+            data.push(g_off + l * (g_on - g_off));
+        }
+        Ok(ConductanceMatrix {
+            rows: params.rows,
+            cols: params.cols,
+            data,
+        })
+    }
+
+    /// Creates a random matrix where each device is `g_off` with
+    /// probability `sparsity` and otherwise uniform in `[g_off, g_on]`.
+    ///
+    /// Bit-slicing produces highly sparse conductance patterns; the
+    /// GENIEx training set stratifies over `sparsity` to cover them
+    /// (Section 4, "Dataset").
+    pub fn random_sparse<R: Rng>(
+        params: &CrossbarParams,
+        sparsity: f64,
+        rng: &mut R,
+    ) -> Self {
+        let g_on = params.g_on();
+        let g_off = params.g_off();
+        let data = (0..params.rows * params.cols)
+            .map(|_| {
+                if rng.gen::<f64>() < sparsity {
+                    g_off
+                } else {
+                    rng.gen_range(g_off..=g_on)
+                }
+            })
+            .collect();
+        ConductanceMatrix {
+            rows: params.rows,
+            cols: params.cols,
+            data,
+        }
+    }
+
+    /// Number of rows (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bit lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Conductance at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the conductance at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds or `g` is negative or
+    /// non-finite (programming a device to a non-physical state is an
+    /// internal bug, not user input).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, g: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        assert!(g.is_finite() && g >= 0.0, "non-physical conductance {g}");
+        self.data[row * self.cols + col] = g;
+    }
+
+    /// Borrow of the flat row-major conductances.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Normalizes all conductances to `[0, 1]` levels relative to
+    /// `[g_off, g_on]` — the representation the GENIEx surrogate
+    /// consumes.
+    pub fn to_levels(&self, params: &CrossbarParams) -> Vec<f64> {
+        let g_on = params.g_on();
+        let g_off = params.g_off();
+        let span = g_on - g_off;
+        self.data
+            .iter()
+            .map(|&g| ((g - g_off) / span).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Fraction of devices programmed at or below `g_off + eps`.
+    pub fn sparsity(&self, params: &CrossbarParams) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let threshold = params.g_off() * (1.0 + 1e-9);
+        let off_count = self.data.iter().filter(|&&g| g <= threshold).count();
+        off_count as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> CrossbarParams {
+        CrossbarParams::builder(8, 8).build().unwrap()
+    }
+
+    #[test]
+    fn uniform_fill() {
+        let g = ConductanceMatrix::uniform(3, 5, 1e-5);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 5);
+        assert!(g.as_slice().iter().all(|&x| x == 1e-5));
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(ConductanceMatrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(ConductanceMatrix::from_vec(2, 2, vec![-1.0, 0.0, 0.0, 0.0]).is_err());
+        assert!(ConductanceMatrix::from_vec(2, 2, vec![f64::NAN; 4]).is_err());
+        assert!(ConductanceMatrix::from_vec(2, 2, vec![1e-5; 4]).is_ok());
+    }
+
+    #[test]
+    fn levels_round_trip() {
+        let p = params();
+        let levels: Vec<f64> = (0..64).map(|i| (i % 5) as f64 / 4.0).collect();
+        let g = ConductanceMatrix::from_levels(&p, &levels).unwrap();
+        let back = g.to_levels(&p);
+        for (a, b) in levels.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn levels_validated() {
+        let p = params();
+        let mut levels = vec![0.5; 64];
+        levels[0] = 1.5;
+        assert!(ConductanceMatrix::from_levels(&p, &levels).is_err());
+        assert!(ConductanceMatrix::from_levels(&p, &[0.5; 3]).is_err());
+    }
+
+    #[test]
+    fn level_zero_is_g_off_level_one_is_g_on() {
+        let p = params();
+        let g = ConductanceMatrix::from_levels(&p, &vec![0.0; 64]).unwrap();
+        assert!((g.get(0, 0) - p.g_off()).abs() < 1e-18);
+        let g = ConductanceMatrix::from_levels(&p, &vec![1.0; 64]).unwrap();
+        assert!((g.get(0, 0) - p.g_on()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn random_sparse_respects_range_and_sparsity() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = ConductanceMatrix::random_sparse(&p, 0.8, &mut rng);
+        for &x in g.as_slice() {
+            assert!(x >= p.g_off() && x <= p.g_on());
+        }
+        let s = g.sparsity(&p);
+        assert!(s > 0.6 && s < 0.95, "sparsity was {s}");
+    }
+
+    #[test]
+    fn sparsity_of_dense_matrix_is_zero() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(8, 8, p.g_on());
+        assert_eq!(g.sparsity(&p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-physical")]
+    fn set_rejects_negative() {
+        let mut g = ConductanceMatrix::uniform(2, 2, 1e-5);
+        g.set(0, 0, -1.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! SPICE netlist export.
+//!
+//! Emits the exact parasitic crossbar this crate solves as a SPICE
+//! deck, so the solver can be cross-checked against an external
+//! simulator (ngspice/HSPICE) — the reverse of the substitution this
+//! reproduction makes. Linear elements map to `R` cards; the RRAM and
+//! access devices map to behavioural current sources (`B` cards,
+//! ngspice syntax) with the same `sinh`/`tanh` laws and the same
+//! closed-loop conductance calibration as [`crate::CrossbarCircuit`].
+
+use crate::conductance::ConductanceMatrix;
+use crate::params::CrossbarParams;
+use crate::XbarError;
+use std::fmt::Write as _;
+
+/// Renders a SPICE deck for the crossbar at one operating point.
+///
+/// Node naming: word-line segments are `w_i_j`, bit-line segments
+/// `b_i_j`, cell-internal nodes `m_i_j` (present only when the access
+/// device is enabled), drivers `in_i`.
+///
+/// The deck ends with a `.op` card and prints the sink currents.
+///
+/// # Errors
+///
+/// * [`XbarError::Shape`] if `g` does not match `params`.
+/// * [`XbarError::Shape`] if `v.len() != params.rows`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), xbar::XbarError> {
+/// use xbar::{netlist, ConductanceMatrix, CrossbarParams};
+/// let params = CrossbarParams::builder(2, 2).build()?;
+/// let g = ConductanceMatrix::uniform(2, 2, params.g_on());
+/// let deck = netlist::to_spice(&params, &g, &[0.25, 0.25])?;
+/// assert!(deck.contains(".op"));
+/// assert!(deck.contains("Rwire_w_0_0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_spice(
+    params: &CrossbarParams,
+    g: &ConductanceMatrix,
+    v: &[f64],
+) -> Result<String, XbarError> {
+    if g.rows() != params.rows || g.cols() != params.cols {
+        return Err(XbarError::Shape(format!(
+            "conductance matrix is {}x{} but crossbar is {}x{}",
+            g.rows(),
+            g.cols(),
+            params.rows,
+            params.cols
+        )));
+    }
+    if v.len() != params.rows {
+        return Err(XbarError::Shape(format!(
+            "{} input voltages for {} word lines",
+            v.len(),
+            params.rows
+        )));
+    }
+
+    let cfg = params.nonideality;
+    let dev = &params.device;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "* GENIEx reproduction crossbar: {}x{}, Ron={} ohm, ON/OFF={}",
+        params.rows, params.cols, params.r_on, params.on_off_ratio
+    );
+    let _ = writeln!(
+        out,
+        "* parasitics: Rsource={} Rsink={} Rwire={} (ohm)",
+        params.r_source, params.r_sink, params.r_wire
+    );
+
+    // Drivers and source resistances.
+    for i in 0..params.rows {
+        let _ = writeln!(out, "Vin_{i} in_{i} 0 DC {v}", v = v[i]);
+        let _ = writeln!(
+            out,
+            "Rsource_{i} in_{i} w_{i}_0 {r}",
+            r = params.r_source
+        );
+    }
+    // Word-line wire segments.
+    for i in 0..params.rows {
+        for j in 0..params.cols.saturating_sub(1) {
+            let _ = writeln!(
+                out,
+                "Rwire_w_{i}_{j} w_{i}_{j} w_{i}_{jn} {r}",
+                jn = j + 1,
+                r = params.r_wire
+            );
+        }
+    }
+    // Bit-line wire segments and sinks.
+    for j in 0..params.cols {
+        for i in 0..params.rows.saturating_sub(1) {
+            let _ = writeln!(
+                out,
+                "Rwire_b_{i}_{j} b_{i}_{j} b_{inn}_{j} {r}",
+                inn = i + 1,
+                r = params.r_wire
+            );
+        }
+        let _ = writeln!(
+            out,
+            "Rsink_{j} b_{last}_{j} 0 {r}",
+            last = params.rows - 1,
+            r = params.r_sink
+        );
+    }
+
+    // Cross-point devices.
+    for i in 0..params.rows {
+        for j in 0..params.cols {
+            let gij = g.get(i, j);
+            match (cfg.device_nonlinearity, cfg.access_device) {
+                (false, false) => {
+                    // Plain resistor (guard against a fully open cell).
+                    let r = if gij > 0.0 {
+                        format!("{}", 1.0 / gij)
+                    } else {
+                        "1e15".to_string()
+                    };
+                    let _ = writeln!(out, "Rcell_{i}_{j} w_{i}_{j} b_{i}_{j} {r}");
+                }
+                (true, false) => {
+                    // Behavioural sinh source, small-signal calibrated.
+                    let a = gij * dev.v0;
+                    let _ = writeln!(
+                        out,
+                        "Bcell_{i}_{j} w_{i}_{j} b_{i}_{j} I={a}*sinh((V(w_{i}_{j})-V(b_{i}_{j}))/{v0})",
+                        v0 = dev.v0
+                    );
+                }
+                (nonlinear, true) => {
+                    // Series access device + memristor through the
+                    // internal node, with closed-loop calibration.
+                    if gij >= dev.access_g {
+                        return Err(XbarError::InvalidParameter(format!(
+                            "programmed conductance {gij} S is not reachable \
+                             through an access device of {} S",
+                            dev.access_g
+                        )));
+                    }
+                    let g_m = gij * dev.access_g / (dev.access_g - gij);
+                    let _ = writeln!(
+                        out,
+                        "Bacc_{i}_{j} w_{i}_{j} m_{i}_{j} I={ga}*{vs}*tanh((V(w_{i}_{j})-V(m_{i}_{j}))/{vs})",
+                        ga = dev.access_g,
+                        vs = dev.access_v_sat
+                    );
+                    if nonlinear {
+                        let a = g_m * dev.v0;
+                        let _ = writeln!(
+                            out,
+                            "Bmem_{i}_{j} m_{i}_{j} b_{i}_{j} I={a}*sinh((V(m_{i}_{j})-V(b_{i}_{j}))/{v0})",
+                            v0 = dev.v0
+                        );
+                    } else {
+                        let r = if g_m > 0.0 {
+                            format!("{}", 1.0 / g_m)
+                        } else {
+                            "1e15".to_string()
+                        };
+                        let _ = writeln!(out, "Rmem_{i}_{j} m_{i}_{j} b_{i}_{j} {r}");
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = writeln!(out, ".op");
+    let currents: Vec<String> = (0..params.cols).map(|j| format!("i(Rsink_{j})")).collect();
+    let _ = writeln!(out, ".print op {}", currents.join(" "));
+    let _ = writeln!(out, ".end");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NonIdealityConfig;
+
+    fn params() -> CrossbarParams {
+        CrossbarParams::builder(3, 2).build().unwrap()
+    }
+
+    #[test]
+    fn full_deck_structure() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(3, 2, p.g_on());
+        let deck = to_spice(&p, &g, &[0.25, 0.1, 0.0]).unwrap();
+        // Count element *cards* (lines starting with the name — the
+        // .print card mentions sinks too).
+        let cards = |prefix: &str| deck.lines().filter(|l| l.starts_with(prefix)).count();
+        // 3 drivers, 3 source resistors, 2 sinks.
+        assert_eq!(cards("Vin_"), 3);
+        assert_eq!(cards("Rsource_"), 3);
+        assert_eq!(cards("Rsink_"), 2);
+        // WL wires: 3 rows x 1 segment; BL wires: 2 cols x 2 segments.
+        assert_eq!(cards("Rwire_w_"), 3);
+        assert_eq!(cards("Rwire_b_"), 4);
+        // Full 1T1R cells: access + memristor per junction.
+        assert_eq!(cards("Bacc_"), 6);
+        assert_eq!(cards("Bmem_"), 6);
+        assert!(deck.contains(".op"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn linear_only_uses_resistors() {
+        let mut p = params();
+        p.nonideality = NonIdealityConfig::linear_only();
+        let g = ConductanceMatrix::uniform(3, 2, p.g_on());
+        let deck = to_spice(&p, &g, &[0.25, 0.1, 0.0]).unwrap();
+        assert_eq!(deck.matches("Rcell_").count(), 6);
+        assert!(!deck.contains("Bacc_"));
+        assert!(!deck.contains("sinh"));
+    }
+
+    #[test]
+    fn device_only_uses_sinh_sources() {
+        let mut p = params();
+        p.nonideality.access_device = false;
+        let g = ConductanceMatrix::uniform(3, 2, p.g_on());
+        let deck = to_spice(&p, &g, &[0.25, 0.1, 0.0]).unwrap();
+        assert_eq!(deck.matches("Bcell_").count(), 6);
+        assert!(deck.contains("sinh"));
+        assert!(!deck.contains("tanh"));
+    }
+
+    #[test]
+    fn zero_conductance_cell_is_open() {
+        let mut p = params();
+        p.nonideality = NonIdealityConfig::linear_only();
+        let mut g = ConductanceMatrix::uniform(3, 2, p.g_on());
+        g.set(0, 0, 0.0);
+        let deck = to_spice(&p, &g, &[0.25, 0.1, 0.0]).unwrap();
+        assert!(deck.contains("Rcell_0_0 w_0_0 b_0_0 1e15"));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(2, 2, 1e-5);
+        assert!(to_spice(&p, &g, &[0.1, 0.1, 0.1]).is_err());
+        let g = ConductanceMatrix::uniform(3, 2, 1e-5);
+        assert!(to_spice(&p, &g, &[0.1]).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! The non-ideality factor (NF) metric and its summary statistics.
+//!
+//! Section 3 of the paper defines, per bit-line,
+//!
+//! ```text
+//! NF = (I_ideal - I_non_ideal) / I_ideal
+//! ```
+//!
+//! NF ≈ 0 means the column behaved ideally; NF > 0 means parasitics
+//! lost current; NF < 0 means the sinh non-linearity *boosted* current
+//! past ideal (observed at high supply voltage and extreme sparsity —
+//! the effect behind the 1-bit/1-bit anomaly of Fig. 9).
+
+/// Per-column non-ideality factors for one MVM.
+///
+/// Columns whose ideal current is (numerically) zero are skipped: NF is
+/// undefined there, and bit-sliced workloads produce many all-zero
+/// columns.
+pub fn non_ideality_factors(i_ideal: &[f64], i_non_ideal: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        i_ideal.len(),
+        i_non_ideal.len(),
+        "nf: current vectors must have equal length"
+    );
+    i_ideal
+        .iter()
+        .zip(i_non_ideal)
+        .filter(|(id, _)| id.abs() > 1e-18)
+        .map(|(id, ni)| (id - ni) / id)
+        .collect()
+}
+
+/// Five-number summary (plus mean and RMS) of an NF sample — the
+/// statistics behind the paper's box plots (Fig. 2 b–d).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfSummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Root mean square (used for the paper's RMSE comparisons when
+    /// applied to NF *errors*).
+    pub rms: f64,
+}
+
+impl NfSummary {
+    /// Summarizes a sample of NF values.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("nf samples must not be NaN"));
+        let n = sorted.len();
+        let quantile = |q: f64| -> f64 {
+            if n == 1 {
+                return sorted[0];
+            }
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let rms = (sorted.iter().map(|x| x * x).sum::<f64>() / n as f64).sqrt();
+        Some(NfSummary {
+            count: n,
+            min: sorted[0],
+            q1: quantile(0.25),
+            median: quantile(0.5),
+            q3: quantile(0.75),
+            max: sorted[n - 1],
+            mean,
+            rms,
+        })
+    }
+
+    /// Interquartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Root-mean-square error between a model's NF predictions and the
+/// reference (circuit-solver) NF values — the paper's Fig. 5 metric.
+///
+/// Both slices must pair up one-to-one (same columns, same order).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn nf_rmse(nf_reference: &[f64], nf_model: &[f64]) -> f64 {
+    assert_eq!(
+        nf_reference.len(),
+        nf_model.len(),
+        "nf_rmse: sample count mismatch"
+    );
+    if nf_reference.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = nf_reference
+        .iter()
+        .zip(nf_model)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    (sum_sq / nf_reference.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nf_basic() {
+        let nf = non_ideality_factors(&[1.0, 2.0], &[0.9, 1.0]);
+        assert!((nf[0] - 0.1).abs() < 1e-12);
+        assert!((nf[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nf_skips_zero_ideal_columns() {
+        let nf = non_ideality_factors(&[0.0, 1.0], &[0.1, 0.5]);
+        assert_eq!(nf.len(), 1);
+        assert!((nf[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nf_negative_when_boosted() {
+        let nf = non_ideality_factors(&[1.0], &[1.2]);
+        assert!(nf[0] < 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = NfSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.iqr() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = NfSummary::from_samples(&[0.7]).unwrap();
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.q1, 0.7);
+        assert_eq!(s.median, 0.7);
+        assert_eq!(s.max, 0.7);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(NfSummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn rmse_of_identical_is_zero() {
+        assert_eq!(nf_rmse(&[0.1, 0.2], &[0.1, 0.2]), 0.0);
+        assert_eq!(nf_rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known() {
+        // errors 0.3 and 0.4 -> rms = 0.35355...
+        let r = nf_rmse(&[1.0, 1.0], &[0.7, 0.6]);
+        assert!((r - (0.125f64).sqrt()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn summary_invariants(samples in proptest::collection::vec(-2.0f64..2.0, 1..64)) {
+            let s = NfSummary::from_samples(&samples).unwrap();
+            prop_assert!(s.min <= s.q1);
+            prop_assert!(s.q1 <= s.median);
+            prop_assert!(s.median <= s.q3);
+            prop_assert!(s.q3 <= s.max);
+            prop_assert!(s.mean >= s.min && s.mean <= s.max);
+            prop_assert!(s.rms >= 0.0);
+            prop_assert_eq!(s.count, samples.len());
+        }
+
+        #[test]
+        fn nf_zero_iff_ideal(currents in proptest::collection::vec(1e-9f64..1e-3, 1..32)) {
+            let nf = non_ideality_factors(&currents, &currents);
+            prop_assert!(nf.iter().all(|x| x.abs() < 1e-12));
+        }
+    }
+}

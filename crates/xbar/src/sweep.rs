@@ -1,0 +1,202 @@
+//! Design-space sweep drivers behind the Fig. 2 / Fig. 3 analyses.
+//!
+//! These generate random sparse (V, G) workloads — the same kind of
+//! stimulus the paper applies in its SPICE analysis — drive the circuit
+//! solver, and collect [`NfSummary`] statistics per design point.
+
+use crate::circuit::CrossbarCircuit;
+use crate::conductance::ConductanceMatrix;
+use crate::nf::{non_ideality_factors, NfSummary};
+use crate::params::CrossbarParams;
+use crate::{ideal_mvm, XbarError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomly generated MVM stimulus: input voltages plus the
+/// conductance state they are applied to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stimulus {
+    /// Input voltage vector (volts), entries in `[0, v_supply]`.
+    pub voltages: Vec<f64>,
+    /// Programmed conductance state.
+    pub conductances: ConductanceMatrix,
+}
+
+/// Generates a random stimulus with the given input/weight sparsity.
+///
+/// `v_sparsity` / `g_sparsity` are the probabilities that an input is
+/// 0 V or a device is at `g_off`, mirroring the sparsity the paper's
+/// bit-sliced workloads exhibit. Non-zero inputs are quantized to a
+/// small number of DAC levels, like a real bit-sliced input stream.
+pub fn random_stimulus(
+    params: &CrossbarParams,
+    v_sparsity: f64,
+    g_sparsity: f64,
+    rng: &mut StdRng,
+) -> Stimulus {
+    let dac_levels = 16;
+    let voltages = (0..params.rows)
+        .map(|_| {
+            if rng.gen::<f64>() < v_sparsity {
+                0.0
+            } else {
+                let level = rng.gen_range(1..=dac_levels);
+                params.v_supply * level as f64 / dac_levels as f64
+            }
+        })
+        .collect();
+    let conductances = ConductanceMatrix::random_sparse(params, g_sparsity, rng);
+    Stimulus {
+        voltages,
+        conductances,
+    }
+}
+
+/// One design point's NF distribution over a batch of random stimuli.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable label of the swept value (e.g. `"64"` or `"100k"`).
+    pub label: String,
+    /// NF summary across all stimuli and columns.
+    pub summary: NfSummary,
+    /// Raw NF samples, for scatter plots / downstream analysis.
+    pub samples: Vec<f64>,
+}
+
+/// Runs `n_stimuli` random MVMs against the full nonlinear circuit at
+/// one design point and summarizes the NF distribution.
+///
+/// # Errors
+///
+/// Propagates circuit construction/solve failures.
+pub fn nf_distribution(
+    params: &CrossbarParams,
+    n_stimuli: usize,
+    seed: u64,
+    label: &str,
+) -> Result<SweepPoint, XbarError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    for _ in 0..n_stimuli {
+        // Mix of sparsity regimes, as the paper's dataset generation does.
+        let v_sparsity = rng.gen_range(0.0..0.9);
+        let g_sparsity = rng.gen_range(0.0..0.9);
+        let stimulus = random_stimulus(params, v_sparsity, g_sparsity, &mut rng);
+        let circuit = CrossbarCircuit::new(params, &stimulus.conductances)?;
+        let report = circuit.solve(&stimulus.voltages)?;
+        let ideal = ideal_mvm(&stimulus.voltages, &stimulus.conductances)?;
+        samples.extend(non_ideality_factors(&ideal, &report.currents));
+    }
+    let summary = NfSummary::from_samples(&samples).unwrap_or(NfSummary {
+        count: 0,
+        min: 0.0,
+        q1: 0.0,
+        median: 0.0,
+        q3: 0.0,
+        max: 0.0,
+        mean: 0.0,
+        rms: 0.0,
+    });
+    Ok(SweepPoint {
+        label: label.to_owned(),
+        summary,
+        samples,
+    })
+}
+
+/// Paired ideal and non-ideal currents from one batch of stimuli —
+/// the raw material for the Fig. 2(a) scatter and Fig. 3 distributions.
+#[derive(Debug, Clone, Default)]
+pub struct CurrentPairs {
+    /// Ideal currents (amperes), one entry per sensed column.
+    pub ideal: Vec<f64>,
+    /// Matching non-ideal currents from the circuit solver.
+    pub non_ideal: Vec<f64>,
+}
+
+/// Collects paired ideal/non-ideal currents over random stimuli.
+///
+/// # Errors
+///
+/// Propagates circuit construction/solve failures.
+pub fn current_pairs(
+    params: &CrossbarParams,
+    n_stimuli: usize,
+    seed: u64,
+) -> Result<CurrentPairs, XbarError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = CurrentPairs::default();
+    for _ in 0..n_stimuli {
+        let v_sparsity = rng.gen_range(0.0..0.9);
+        let g_sparsity = rng.gen_range(0.0..0.9);
+        let stimulus = random_stimulus(params, v_sparsity, g_sparsity, &mut rng);
+        let circuit = CrossbarCircuit::new(params, &stimulus.conductances)?;
+        let report = circuit.solve(&stimulus.voltages)?;
+        let ideal = ideal_mvm(&stimulus.voltages, &stimulus.conductances)?;
+        pairs.ideal.extend_from_slice(&ideal);
+        pairs.non_ideal.extend_from_slice(&report.currents);
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> CrossbarParams {
+        CrossbarParams::builder(8, 8).build().unwrap()
+    }
+
+    #[test]
+    fn stimulus_respects_sparsity_extremes() {
+        let p = small_params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let all_zero = random_stimulus(&p, 1.0, 1.0, &mut rng);
+        assert!(all_zero.voltages.iter().all(|&v| v == 0.0));
+        assert!(all_zero
+            .conductances
+            .as_slice()
+            .iter()
+            .all(|&g| (g - p.g_off()).abs() < 1e-18));
+
+        let dense = random_stimulus(&p, 0.0, 0.0, &mut rng);
+        assert!(dense.voltages.iter().all(|&v| v > 0.0 && v <= p.v_supply));
+    }
+
+    #[test]
+    fn stimulus_is_deterministic_per_seed() {
+        let p = small_params();
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let s1 = random_stimulus(&p, 0.5, 0.5, &mut rng1);
+        let s2 = random_stimulus(&p, 0.5, 0.5, &mut rng2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn nf_distribution_tracks_size_trend() {
+        // Small crossbars are boost-dominated (median NF below the
+        // larger design's): the Fig. 2(b) monotonicity at sweep level.
+        let p8 = small_params();
+        let point8 = nf_distribution(&p8, 4, 42, "8x8").unwrap();
+        assert!(point8.summary.count > 0);
+        assert_eq!(point8.label, "8x8");
+        let p16 = CrossbarParams::builder(16, 16).build().unwrap();
+        let point16 = nf_distribution(&p16, 4, 42, "16x16").unwrap();
+        assert!(
+            point8.summary.median < point16.summary.median,
+            "8x8 median {} should sit below 16x16 median {}",
+            point8.summary.median,
+            point16.summary.median
+        );
+    }
+
+    #[test]
+    fn current_pairs_align() {
+        let p = small_params();
+        let pairs = current_pairs(&p, 3, 5).unwrap();
+        assert_eq!(pairs.ideal.len(), pairs.non_ideal.len());
+        assert_eq!(pairs.ideal.len(), 3 * 8);
+        assert!(pairs.non_ideal.iter().all(|i| i.is_finite()));
+    }
+}

@@ -1,0 +1,279 @@
+//! Device-to-device variation and defect models.
+//!
+//! The paper notes that non-ideality effects "get exacerbated further
+//! due to the device variations" (Section 1) and cites defect-mapping
+//! approaches (stuck-at faults [14], variations [15]) as the other
+//! family of crossbar models. This module provides both as a transform
+//! over programmed conductance states, so any backend — circuit,
+//! analytical, or GENIEx — can be evaluated under imperfect
+//! programming.
+//!
+//! * **Lognormal conductance variation**: `g' = g · exp(σ·z)`, the
+//!   standard model for RRAM programming spread, clamped to the
+//!   physical `[0, g_on]` range.
+//! * **Stuck-at faults**: a device is stuck at `g_off` (stuck-open
+//!   filament) or at `g_on` (shorted cell) regardless of the target.
+
+use crate::conductance::ConductanceMatrix;
+use crate::params::CrossbarParams;
+use crate::XbarError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of programming imperfections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationConfig {
+    /// Sigma of the lognormal conductance spread (0 disables).
+    pub conductance_sigma: f64,
+    /// Probability a device is stuck at `g_off`.
+    pub stuck_off_rate: f64,
+    /// Probability a device is stuck at `g_on`.
+    pub stuck_on_rate: f64,
+    /// RNG seed: the fault pattern is deterministic per seed, as a
+    /// physical chip's defect map is fixed.
+    pub seed: u64,
+}
+
+impl VariationConfig {
+    /// No variations at all (the identity transform).
+    pub fn none() -> Self {
+        VariationConfig {
+            conductance_sigma: 0.0,
+            stuck_off_rate: 0.0,
+            stuck_on_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] for negative sigma or
+    /// fault rates outside `[0, 1]` (jointly ≤ 1).
+    pub fn validate(&self) -> Result<(), XbarError> {
+        if !self.conductance_sigma.is_finite() || self.conductance_sigma < 0.0 {
+            return Err(XbarError::InvalidParameter(format!(
+                "conductance_sigma must be >= 0, got {}",
+                self.conductance_sigma
+            )));
+        }
+        for (name, r) in [
+            ("stuck_off_rate", self.stuck_off_rate),
+            ("stuck_on_rate", self.stuck_on_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(XbarError::InvalidParameter(format!(
+                    "{name} must be in [0, 1], got {r}"
+                )));
+            }
+        }
+        if self.stuck_off_rate + self.stuck_on_rate > 1.0 {
+            return Err(XbarError::InvalidParameter(
+                "stuck_off_rate + stuck_on_rate must not exceed 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// True if this configuration changes nothing.
+    pub fn is_none(&self) -> bool {
+        self.conductance_sigma == 0.0
+            && self.stuck_off_rate == 0.0
+            && self.stuck_on_rate == 0.0
+    }
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig::none()
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency set to
+/// plain `rand`).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Applies programming imperfections to a target conductance state.
+///
+/// The same `config.seed` always produces the same defect map and the
+/// same per-device spread — mirroring a physical chip whose faults are
+/// fixed at manufacturing.
+///
+/// # Errors
+///
+/// * Propagates [`VariationConfig::validate`] failures.
+/// * Returns [`XbarError::Shape`] if `target` does not match `params`.
+pub fn apply_variations(
+    params: &CrossbarParams,
+    target: &ConductanceMatrix,
+    config: &VariationConfig,
+) -> Result<ConductanceMatrix, XbarError> {
+    config.validate()?;
+    if target.rows() != params.rows || target.cols() != params.cols {
+        return Err(XbarError::Shape(format!(
+            "conductance matrix is {}x{} but crossbar is {}x{}",
+            target.rows(),
+            target.cols(),
+            params.rows,
+            params.cols
+        )));
+    }
+    if config.is_none() {
+        return Ok(target.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let g_on = params.g_on();
+    let g_off = params.g_off();
+    let mut out = target.clone();
+    for i in 0..params.rows {
+        for j in 0..params.cols {
+            // Draw the fault roll and the spread sample unconditionally
+            // so the defect map is independent of which effects are
+            // enabled.
+            let fault_roll: f64 = rng.gen();
+            let z = standard_normal(&mut rng);
+            let g = if fault_roll < config.stuck_off_rate {
+                g_off
+            } else if fault_roll < config.stuck_off_rate + config.stuck_on_rate {
+                g_on
+            } else if config.conductance_sigma > 0.0 {
+                (target.get(i, j) * (config.conductance_sigma * z).exp()).clamp(0.0, g_on)
+            } else {
+                target.get(i, j)
+            };
+            out.set(i, j, g);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CrossbarParams {
+        CrossbarParams::builder(16, 16).build().unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(VariationConfig::none().validate().is_ok());
+        assert!(VariationConfig {
+            conductance_sigma: -0.1,
+            ..VariationConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(VariationConfig {
+            stuck_off_rate: 1.5,
+            ..VariationConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(VariationConfig {
+            stuck_off_rate: 0.6,
+            stuck_on_rate: 0.6,
+            ..VariationConfig::none()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn identity_when_disabled() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(16, 16, p.g_on() * 0.5);
+        let out = apply_variations(&p, &g, &VariationConfig::none()).unwrap();
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(16, 16, p.g_on() * 0.5);
+        let cfg = VariationConfig {
+            conductance_sigma: 0.2,
+            stuck_off_rate: 0.01,
+            stuck_on_rate: 0.01,
+            seed: 42,
+        };
+        let a = apply_variations(&p, &g, &cfg).unwrap();
+        let b = apply_variations(&p, &g, &cfg).unwrap();
+        assert_eq!(a, b);
+        let c = apply_variations(
+            &p,
+            &g,
+            &VariationConfig {
+                seed: 43,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spread_is_centered_and_clamped() {
+        let p = params();
+        let g0 = p.g_on() * 0.5;
+        let g = ConductanceMatrix::uniform(16, 16, g0);
+        let out = apply_variations(
+            &p,
+            &g,
+            &VariationConfig {
+                conductance_sigma: 0.1,
+                seed: 3,
+                ..VariationConfig::none()
+            },
+        )
+        .unwrap();
+        let mean: f64 = out.as_slice().iter().sum::<f64>() / 256.0;
+        // Lognormal with small sigma: mean close to the target.
+        assert!((mean - g0).abs() < 0.05 * g0, "mean {mean} vs target {g0}");
+        assert!(out.as_slice().iter().all(|&x| (0.0..=p.g_on()).contains(&x)));
+        // Actually spread out.
+        assert!(out.as_slice().iter().any(|&x| (x - g0).abs() > 0.01 * g0));
+    }
+
+    #[test]
+    fn stuck_rates_are_respected() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(16, 16, p.g_on() * 0.5);
+        let out = apply_variations(
+            &p,
+            &g,
+            &VariationConfig {
+                stuck_off_rate: 0.25,
+                stuck_on_rate: 0.25,
+                seed: 9,
+                ..VariationConfig::none()
+            },
+        )
+        .unwrap();
+        let stuck_off = out
+            .as_slice()
+            .iter()
+            .filter(|&&x| (x - p.g_off()).abs() < 1e-18)
+            .count();
+        let stuck_on = out
+            .as_slice()
+            .iter()
+            .filter(|&&x| (x - p.g_on()).abs() < 1e-18)
+            .count();
+        // 256 devices at 25% each: expect roughly 64 ± a generous margin.
+        assert!((30..=100).contains(&stuck_off), "stuck off {stuck_off}");
+        assert!((30..=100).contains(&stuck_on), "stuck on {stuck_on}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let p = params();
+        let g = ConductanceMatrix::uniform(8, 8, 1e-5);
+        assert!(apply_variations(&p, &g, &VariationConfig::none()).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Design-space exploration: how the non-ideality factor distribution
+//! moves with crossbar size, ON resistance, and ON/OFF ratio — the
+//! Fig. 2 analysis at example scale.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use std::error::Error;
+use xbar::sweep::nf_distribution;
+use xbar::CrossbarParams;
+
+fn print_point(label: &str, params: &CrossbarParams) -> Result<(), Box<dyn Error>> {
+    let point = nf_distribution(params, 12, 42, label)?;
+    let s = point.summary;
+    println!(
+        "{label:>12}: median NF {:+.4}  IQR [{:+.4}, {:+.4}]  range [{:+.4}, {:+.4}]",
+        s.median, s.q1, s.q3, s.min, s.max
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("NF = (I_ideal - I_non_ideal) / I_ideal over random sparse workloads");
+
+    println!("\ncrossbar size sweep (Ron = 100 kΩ, ON/OFF = 6):");
+    for size in [8usize, 16, 32] {
+        let p = CrossbarParams::builder(size, size).build()?;
+        print_point(&format!("{size}x{size}"), &p)?;
+    }
+
+    println!("\nON-resistance sweep (16x16):");
+    for ron in [50e3, 100e3, 300e3] {
+        let p = CrossbarParams::builder(16, 16).r_on(ron).build()?;
+        print_point(&format!("{}k", ron / 1e3), &p)?;
+    }
+
+    println!("\nON/OFF ratio sweep (16x16, Ron = 100 kΩ):");
+    for ratio in [2.0, 6.0, 10.0] {
+        let p = CrossbarParams::builder(16, 16).on_off_ratio(ratio).build()?;
+        print_point(&format!("{ratio}"), &p)?;
+    }
+
+    println!(
+        "\nexpected trends (paper Fig. 2): NF grows with size, shrinks with \
+         Ron, shrinks with ON/OFF ratio"
+    );
+    Ok(())
+}

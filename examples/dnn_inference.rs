@@ -1,0 +1,83 @@
+//! Full pipeline: train a CNN in FP32, map it onto non-ideal crossbars
+//! through the functional simulator, and compare classification
+//! accuracy across simulation backends (ideal / analytical / GENIEx) —
+//! the paper's end-to-end experiment in miniature.
+//!
+//! ```text
+//! cargo run --release --example dnn_inference
+//! ```
+
+use funcsim::{evaluate_spec, AnalyticalEngine, ArchConfig, GeniexEngine, IdealEngine};
+use geniex::dataset::{generate, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use std::error::Error;
+use vision::{evaluate, train_model, MicroResNet, SynthSpec, SynthVision, TrainOptions};
+use xbar::CrossbarParams;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Train the FP32 reference network on SynthVision.
+    println!("training MicroResNet on synth-s...");
+    let train = SynthVision::generate(SynthSpec::SynthS, 60, 1)?;
+    let test = SynthVision::generate(SynthSpec::SynthS, 8, 999)?;
+    let mut model = MicroResNet::new(SynthSpec::SynthS, 2);
+    train_model(
+        &mut model,
+        &train,
+        &TrainOptions {
+            epochs: 20,
+            ..TrainOptions::default()
+        },
+    )?;
+    let fp32 = evaluate(&mut model, &test, 64)?;
+    println!("FP32 test accuracy: {:.2}%", 100.0 * fp32);
+
+    // 2. Pick a crossbar design point and train a GENIEx surrogate
+    //    for it on circuit-simulated data.
+    let xbar = CrossbarParams::builder(16, 16).build()?;
+    let arch = ArchConfig::default().with_xbar(xbar.clone());
+    println!(
+        "crossbar: {}x{}, {}-bit activations/weights, {}-bit streams/slices, {}-bit ADC",
+        xbar.rows,
+        xbar.cols,
+        arch.input_format.total_bits(),
+        arch.stream_width,
+        arch.adc_bits
+    );
+    println!("training GENIEx surrogate for this design point...");
+    let surrogate_data = generate(
+        &xbar,
+        &DatasetConfig {
+            samples: 2500,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )?;
+    let mut surrogate = Geniex::new(&xbar, 150, 3)?;
+    surrogate.train(
+        &surrogate_data,
+        &TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        },
+    )?;
+
+    // 3. Run the same frozen network through the functional simulator
+    //    under each backend.
+    let spec = model.to_spec();
+    println!("evaluating (64 test images per backend)...");
+    let acc_ideal = evaluate_spec(spec.clone(), &arch, &IdealEngine, &test, 16)?;
+    println!("  ideal FxP accuracy:    {:.2}%", 100.0 * acc_ideal);
+    let acc_analytical = evaluate_spec(spec.clone(), &arch, &AnalyticalEngine, &test, 16)?;
+    println!("  analytical accuracy:   {:.2}%", 100.0 * acc_analytical);
+    let acc_geniex = evaluate_spec(spec, &arch, &GeniexEngine::new(surrogate), &test, 16)?;
+    println!("  GENIEx accuracy:       {:.2}%", 100.0 * acc_geniex);
+
+    println!(
+        "\npaper trend: the analytical model overestimates degradation — \
+         its accuracy ({:.2}%) sits at or below GENIEx's ({:.2}%), which \
+         tracks the real (circuit) behavior.",
+        100.0 * acc_analytical,
+        100.0 * acc_geniex
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: train a GENIEx surrogate for one crossbar design point
+//! and compare it against the circuit ground truth and the linear
+//! analytical baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use geniex::benchmark::{compare_models, BenchmarkConfig};
+use geniex::dataset::{generate, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use std::error::Error;
+use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, ideal_mvm};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Describe a crossbar design point (paper Section 6 defaults:
+    //    Ron = 100 kΩ, ON/OFF = 6, Rsource = 500 Ω, Rsink = 100 Ω,
+    //    Rwire = 2.5 Ω/cell, Vsupply = 0.25 V) at a laptop-friendly
+    //    16x16 size.
+    let params = CrossbarParams::builder(16, 16).build()?;
+    println!(
+        "design point: {}x{} crossbar, Ron = {} kΩ, ON/OFF = {}, Vsupply = {} V",
+        params.rows,
+        params.cols,
+        params.r_on / 1e3,
+        params.on_off_ratio,
+        params.v_supply
+    );
+
+    // 2. Show what non-ideality looks like on one MVM: program all
+    //    devices ON, drive all inputs at full scale, and compare the
+    //    circuit solve against the ideal arithmetic.
+    let g = ConductanceMatrix::uniform(params.rows, params.cols, params.g_on());
+    let v = vec![params.v_supply; params.rows];
+    let circuit = CrossbarCircuit::new(&params, &g)?;
+    let non_ideal = circuit.solve(&v)?;
+    let ideal = ideal_mvm(&v, &g)?;
+    println!(
+        "dense pattern, last column: ideal {:.3} µA, circuit {:.3} µA ({:+.1}% error)",
+        ideal[params.cols - 1] * 1e6,
+        non_ideal.currents[params.cols - 1] * 1e6,
+        100.0 * (non_ideal.currents[params.cols - 1] - ideal[params.cols - 1])
+            / ideal[params.cols - 1]
+    );
+
+    // 3. Generate a labelled (V, G) -> f_R dataset on the circuit
+    //    simulator and train the GENIEx surrogate on it.
+    println!("generating 2000 circuit-simulated training samples...");
+    let data = generate(
+        &params,
+        &DatasetConfig {
+            samples: 2000,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )?;
+    let mut surrogate = Geniex::new(&params, 150, 3)?;
+    println!("training the surrogate (150 hidden neurons)...");
+    let report = surrogate.train(
+        &data,
+        &TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        },
+    )?;
+    println!("final training MSE (normalized): {:.5}", report.final_loss);
+
+    // 4. Benchmark on held-out stimuli: NF RMSE of the surrogate and of
+    //    the analytical model against the circuit (the Fig. 5 protocol).
+    let cmp = compare_models(&params, &surrogate, &BenchmarkConfig::default())?;
+    println!(
+        "NF RMSE over {} held-out columns: analytical {:.4}, GENIEx {:.4} ({:.1}x better)",
+        cmp.samples,
+        cmp.analytical_rmse,
+        cmp.geniex_rmse,
+        cmp.improvement_factor()
+    );
+    Ok(())
+}

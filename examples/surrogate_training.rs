@@ -1,0 +1,118 @@
+//! A guided walk through the GENIEx training pipeline: dataset
+//! stratification, label statistics, training dynamics, fast-forward
+//! specialization, and model persistence.
+//!
+//! ```text
+//! cargo run --release --example surrogate_training
+//! ```
+
+use geniex::dataset::{generate, simulate_sample, DatasetConfig};
+use geniex::{Geniex, GeniexTile, TrainConfig};
+use std::error::Error;
+use std::io::Cursor;
+use xbar::CrossbarParams;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let params = CrossbarParams::builder(8, 8).build()?;
+
+    // --- Dataset -----------------------------------------------------
+    // Bit-sliced DNN workloads are sparse, so the generator stratifies
+    // sparsity grades exactly as the paper describes (Section 4).
+    let config = DatasetConfig {
+        samples: 1500,
+        seed: 11,
+        sparsity_grades: vec![0.0, 0.25, 0.5, 0.75, 0.9],
+        dac_levels: 16,
+    };
+    println!("simulating {} operating points on the circuit solver...", config.samples);
+    let data = generate(&params, &config)?;
+    let (train, validation) = data.split(0.9);
+
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut mean = 0.0f64;
+    let mut count = 0usize;
+    for s in &train.samples {
+        for &f in &s.f_r {
+            min = min.min(f);
+            max = max.max(f);
+            mean += f as f64;
+            count += 1;
+        }
+    }
+    println!(
+        "f_R labels: min {min:.4}, max {max:.4}, mean {:.4} over {count} columns",
+        mean / count as f64
+    );
+
+    // --- Training ----------------------------------------------------
+    let mut surrogate = Geniex::new(&params, 100, 3)?;
+    println!(
+        "surrogate topology: ({} + {}) x {} x {}",
+        params.rows,
+        params.rows * params.cols,
+        surrogate.hidden(),
+        params.cols
+    );
+    let report = surrogate.train(
+        &train,
+        &TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    )?;
+    println!(
+        "training MSE: first epoch {:.5} -> final {:.5}",
+        report.epoch_losses[0], report.final_loss
+    );
+
+    // --- Validation --------------------------------------------------
+    let mut sq_err = 0.0f64;
+    let mut n = 0usize;
+    for s in &validation.samples {
+        let predicted = surrogate.predict_f_r(&s.v_levels, &s.g_levels)?;
+        for (p, t) in predicted.iter().zip(&s.f_r) {
+            sq_err += ((p - t) as f64).powi(2);
+            n += 1;
+        }
+    }
+    println!(
+        "held-out f_R RMSE: {:.4} over {n} columns",
+        (sq_err / n as f64).sqrt()
+    );
+
+    // --- Fast forward ------------------------------------------------
+    // Once a tile's conductances are fixed, the G contribution to the
+    // hidden layer is precomputed; each MVM is then two small GEMVs.
+    let probe = simulate_sample(&params, &[1.0; 8], &vec![0.6; 64])?;
+    let tile = GeniexTile::new(&surrogate, &probe.g_levels)?;
+    let fast = tile.f_r_from_levels(&probe.v_levels)?;
+    let full = surrogate.predict_f_r(&probe.v_levels, &probe.g_levels)?;
+    println!(
+        "fast-forward parity: max |fast - full| = {:.2e}",
+        fast.iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    );
+    println!(
+        "circuit f_R on the probe pattern: {:?}",
+        probe.f_r.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>()
+    );
+    println!(
+        "surrogate prediction:             {:?}",
+        full.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>()
+    );
+
+    // --- Persistence -------------------------------------------------
+    let mut buffer = Vec::new();
+    surrogate.save(&mut buffer)?;
+    let mut reloaded = Geniex::load(&mut Cursor::new(&buffer), &params)?;
+    let again = reloaded.predict_f_r(&probe.v_levels, &probe.g_levels)?;
+    assert_eq!(full, again);
+    println!("save/load round trip: {} bytes, predictions identical", buffer.len());
+    Ok(())
+}

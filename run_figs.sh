@@ -1,0 +1,10 @@
+#!/bin/bash
+set -u
+cd /root/repo
+mkdir -p results/logs
+for b in fig7_design_space fig8_quantization fig9_bit_slicing validate_truth cost_report ablation_hidden ablation_sparsity ablation_mapping ablation_variations ablation_target ablation_ensemble; do
+  echo "=== $b start $(date +%H:%M:%S) ===" >> results/logs/progress.txt
+  cargo run -q --release -p geniex-bench --bin $b > results/logs/$b.log 2>&1
+  echo "=== $b done $(date +%H:%M:%S) exit $? ===" >> results/logs/progress.txt
+done
+echo ALL_FIGS_DONE >> results/logs/progress.txt

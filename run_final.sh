@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt > /dev/null
+echo "=== tests done $(date +%H:%M:%S) ===" >> results/logs/progress.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo "=== bench done $(date +%H:%M:%S) ===" >> results/logs/progress.txt
+echo FINAL_DONE >> results/logs/progress.txt

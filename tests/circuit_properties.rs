@@ -1,0 +1,149 @@
+//! Cross-crate physical invariants of the circuit substrate, checked
+//! from the outside (public APIs only).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xbar::nf::{non_ideality_factors, NfSummary};
+use xbar::{
+    ideal_mvm, AnalyticalModel, ConductanceMatrix, CrossbarCircuit, CrossbarParams,
+    NonIdealityConfig,
+};
+
+fn default_params(n: usize) -> CrossbarParams {
+    CrossbarParams::builder(n, n).build().expect("valid params")
+}
+
+#[test]
+fn linear_circuit_equals_analytical_model() {
+    // The analytical model *is* the linear circuit: on a crossbar with
+    // only linear non-idealities they must agree to solver precision.
+    let mut params = default_params(6);
+    params.nonideality = NonIdealityConfig::linear_only();
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = ConductanceMatrix::random_sparse(&params, 0.3, &mut rng);
+    let circuit = CrossbarCircuit::new(&params, &g).unwrap();
+    let model = AnalyticalModel::new(&params, &g).unwrap();
+    let v = vec![0.25, 0.125, 0.0, 0.0625, 0.25, 0.1875];
+    let a = circuit.solve(&v).unwrap().currents;
+    let b = model.mvm(&v).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9 * x.abs().max(1e-12));
+    }
+}
+
+#[test]
+fn nf_grows_with_crossbar_size() {
+    // Fig. 2(b): larger crossbars -> larger NF (longer wires, lower
+    // effective resistance).
+    let mut medians = Vec::new();
+    for n in [4usize, 8, 16] {
+        let params = default_params(n);
+        let g = ConductanceMatrix::uniform(n, n, params.g_on());
+        let circuit = CrossbarCircuit::new(&params, &g).unwrap();
+        let v = vec![params.v_supply; n];
+        let non_ideal = circuit.solve(&v).unwrap().currents;
+        let ideal = ideal_mvm(&v, &g).unwrap();
+        let nf = non_ideality_factors(&ideal, &non_ideal);
+        medians.push(NfSummary::from_samples(&nf).unwrap().median);
+    }
+    assert!(medians[0] < medians[1], "{medians:?}");
+    assert!(medians[1] < medians[2], "{medians:?}");
+}
+
+#[test]
+fn nf_shrinks_with_higher_on_resistance() {
+    // Fig. 2(c): higher Ron -> smaller NF.
+    let mut medians = Vec::new();
+    for ron in [50e3, 100e3, 300e3] {
+        let params = CrossbarParams::builder(8, 8).r_on(ron).build().unwrap();
+        let g = ConductanceMatrix::uniform(8, 8, params.g_on());
+        let circuit = CrossbarCircuit::new(&params, &g).unwrap();
+        let v = vec![params.v_supply; 8];
+        let non_ideal = circuit.solve(&v).unwrap().currents;
+        let ideal = ideal_mvm(&v, &g).unwrap();
+        let nf = non_ideality_factors(&ideal, &non_ideal);
+        medians.push(NfSummary::from_samples(&nf).unwrap().median);
+    }
+    assert!(medians[0] > medians[1], "{medians:?}");
+    assert!(medians[1] > medians[2], "{medians:?}");
+}
+
+#[test]
+fn nonlinearity_error_grows_with_supply_voltage() {
+    // Fig. 3(b): the relative difference between linear-only and full
+    // nonlinear outputs grows with Vsupply.
+    let mut rel_errors = Vec::new();
+    for v_supply in [0.25, 0.5] {
+        let params = CrossbarParams::builder(8, 8)
+            .v_supply(v_supply)
+            .build()
+            .unwrap();
+        let mut linear = params.clone();
+        linear.nonideality = NonIdealityConfig::linear_only();
+        let g = ConductanceMatrix::uniform(8, 8, params.g_on());
+        let v = vec![v_supply; 8];
+        let full = CrossbarCircuit::new(&params, &g)
+            .unwrap()
+            .solve(&v)
+            .unwrap()
+            .currents;
+        let lin = CrossbarCircuit::new(&linear, &g)
+            .unwrap()
+            .solve(&v)
+            .unwrap()
+            .currents;
+        let rel: f64 = full
+            .iter()
+            .zip(&lin)
+            .map(|(a, b)| ((a - b) / b).abs())
+            .sum::<f64>()
+            / 8.0;
+        rel_errors.push(rel);
+    }
+    assert!(
+        rel_errors[1] > rel_errors[0] * 1.5,
+        "nonlinearity error should grow sharply with voltage: {rel_errors:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scaling all inputs down scales every output down (monotone
+    /// passive network).
+    #[test]
+    fn circuit_output_monotone_in_drive(seed in 0u64..500) {
+        let params = default_params(5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = ConductanceMatrix::random_sparse(&params, 0.4, &mut rng);
+        let circuit = CrossbarCircuit::new(&params, &g).unwrap();
+        let v_full = vec![params.v_supply; 5];
+        let v_half: Vec<f64> = v_full.iter().map(|x| x * 0.5).collect();
+        let full = circuit.solve(&v_full).unwrap().currents;
+        let half = circuit.solve(&v_half).unwrap().currents;
+        for (f, h) in full.iter().zip(&half) {
+            prop_assert!(h <= f);
+            prop_assert!(*h >= 0.0);
+        }
+    }
+
+    /// The non-ideal output never exceeds the ideal output by more
+    /// than the sinh boost bound at the operating voltage.
+    #[test]
+    fn non_ideal_current_is_bounded(seed in 0u64..500) {
+        let params = default_params(5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = ConductanceMatrix::random_sparse(&params, 0.2, &mut rng);
+        let circuit = CrossbarCircuit::new(&params, &g).unwrap();
+        let v = vec![params.v_supply; 5];
+        let non_ideal = circuit.solve(&v).unwrap().currents;
+        let ideal = ideal_mvm(&v, &g).unwrap();
+        // sinh(x)/x at x = Vsupply/V0 = 1 is ~1.175.
+        let boost_bound = 1.2;
+        for (ni, id) in non_ideal.iter().zip(&ideal) {
+            prop_assert!(*ni >= 0.0);
+            prop_assert!(*ni <= id * boost_bound + 1e-12);
+        }
+    }
+}

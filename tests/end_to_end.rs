@@ -1,0 +1,159 @@
+//! End-to-end integration: train a CNN, calibrate it for fixed point,
+//! and run it through the functional simulator under several backends.
+
+use funcsim::{
+    evaluate_spec, AnalyticalEngine, ArchConfig, CrossbarNetwork, GeniexEngine, IdealEngine,
+};
+use geniex::dataset::{generate, DatasetConfig};
+use geniex::{Geniex, TrainConfig};
+use vision::{
+    evaluate, rescale_for_fxp, spec_forward, train_model, MicroResNet, SynthSpec, SynthVision,
+    TrainOptions,
+};
+use xbar::CrossbarParams;
+
+/// One shared trained + calibrated workload for all tests in this file
+/// (training is the expensive part; share it).
+fn workload() -> &'static (vision::NetworkSpec, SynthVision, f64) {
+    static WORKLOAD: std::sync::OnceLock<(vision::NetworkSpec, SynthVision, f64)> =
+        std::sync::OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let train = SynthVision::generate(SynthSpec::SynthS, 60, 1).unwrap();
+        let test = SynthVision::generate(SynthSpec::SynthS, 4, 999).unwrap();
+        let mut model = MicroResNet::new(SynthSpec::SynthS, 2);
+        train_model(
+            &mut model,
+            &train,
+            &TrainOptions {
+                epochs: 22,
+                ..TrainOptions::default()
+            },
+        )
+        .unwrap();
+        let fp32 = evaluate(&mut model, &test, 64).unwrap();
+        let (calib, _) = train.batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        let spec = rescale_for_fxp(&model.to_spec(), &calib, 3.5).unwrap();
+        (spec, test, fp32)
+    })
+}
+
+fn small_arch(size: usize) -> ArchConfig {
+    ArchConfig::default().with_xbar(CrossbarParams::builder(size, size).build().unwrap())
+}
+
+#[test]
+fn ideal_backend_matches_fp32_accuracy() {
+    let (spec, test, fp32) = workload().clone();
+    assert!(fp32 > 0.7, "fp32 accuracy {fp32} too low to be meaningful");
+    let acc = evaluate_spec(spec, &small_arch(16), &IdealEngine, &test, 8).unwrap();
+    // 16-bit FxP with calibration loses essentially nothing (Fig. 8's
+    // 16-bit column).
+    assert!(
+        (acc - fp32).abs() <= 0.1,
+        "ideal fxp accuracy {acc} vs fp32 {fp32}"
+    );
+}
+
+#[test]
+fn rescaled_spec_keeps_fp32_argmax() {
+    let (spec, test, fp32) = workload().clone();
+    let (images, labels) = test.full_batch().unwrap();
+    let logits = spec_forward(&spec, &images).unwrap();
+    let classes = 8;
+    let mut correct = 0;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if pred == label {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / labels.len() as f64;
+    assert!((acc - fp32).abs() < 1e-9, "rescaling changed accuracy");
+}
+
+#[test]
+fn analytical_backend_degrades_at_low_ron() {
+    // A hostile design point (large crossbar relative to Ron, low Ron)
+    // must show accuracy loss under the analytical model relative to
+    // ideal — the basic Fig. 7 mechanism.
+    let (spec, test, _) = workload().clone();
+    let hostile = ArchConfig::default().with_xbar(
+        CrossbarParams::builder(32, 32)
+            .r_on(50e3)
+            .on_off_ratio(2.0)
+            .build()
+            .unwrap(),
+    );
+    let ideal = evaluate_spec(spec.clone(), &hostile, &IdealEngine, &test, 8).unwrap();
+    let analytical = evaluate_spec(spec, &hostile, &AnalyticalEngine, &test, 8).unwrap();
+    assert!(
+        analytical < ideal,
+        "analytical {analytical} should degrade below ideal {ideal}"
+    );
+}
+
+#[test]
+fn geniex_backend_runs_end_to_end() {
+    let (spec, test, _) = workload().clone();
+    let xb = CrossbarParams::builder(8, 8).build().unwrap();
+    let arch = ArchConfig::default().with_xbar(xb.clone());
+    let data = generate(
+        &xb,
+        &DatasetConfig {
+            samples: 600,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut surrogate = Geniex::new(&xb, 64, 3).unwrap();
+    surrogate
+        .train(
+            &data,
+            &TrainConfig {
+                epochs: 40,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+    let acc = evaluate_spec(spec, &arch, &GeniexEngine::new(surrogate), &test, 8).unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+    // At a benign 8x8 design point the surrogate-backed network should
+    // still classify far above chance (1/8).
+    assert!(acc > 0.5, "geniex-backend accuracy {acc} collapsed");
+}
+
+#[test]
+fn network_build_rejects_mismatched_surrogate() {
+    let (spec, _, _) = workload().clone();
+    let xb8 = CrossbarParams::builder(8, 8).build().unwrap();
+    let xb16 = CrossbarParams::builder(16, 16).build().unwrap();
+    let data = generate(
+        &xb8,
+        &DatasetConfig {
+            samples: 50,
+            seed: 7,
+            ..DatasetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut surrogate = Geniex::new(&xb8, 16, 3).unwrap();
+    surrogate
+        .train(
+            &data,
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+    // Arch says 16x16 but the surrogate knows 8x8: must fail loudly.
+    let arch = ArchConfig::default().with_xbar(xb16);
+    assert!(CrossbarNetwork::build(spec, &arch, &GeniexEngine::new(surrogate)).is_err());
+}
