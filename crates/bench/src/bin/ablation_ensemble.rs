@@ -18,6 +18,14 @@ use rand::{Rng, SeedableRng};
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "ablation_ensemble",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("members", telemetry::Json::from(4u64)),
+            ("samples", telemetry::Json::from(3000u64)),
+        ],
+    );
     let params = design_point(DEFAULT_SIZE);
     let n = DEFAULT_SIZE;
     let data = generate(
@@ -95,5 +103,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", table.render());
     table.write_csv(results_dir().join("ablation_ensemble.csv"))?;
     println!("expected: RMSE falls roughly like 1/sqrt(k) until the shared bias floor");
+    geniex_bench::manifest::finish(run, &[("rows", telemetry::Json::from(table.len() as u64))]);
     Ok(())
 }

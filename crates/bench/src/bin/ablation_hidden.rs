@@ -15,6 +15,14 @@ use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
 use geniex_bench::table::{fix, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "ablation_hidden",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("hiddens", telemetry::Json::from("25,50,100,200,400")),
+            ("samples", telemetry::Json::from(4000u64)),
+        ],
+    );
     let params = design_point(DEFAULT_SIZE);
     let data = generate(
         &params,
@@ -61,5 +69,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n{}", table.render());
     table.write_csv(results_dir().join("ablation_hidden.csv"))?;
+    geniex_bench::manifest::finish(run, &[("rows", telemetry::Json::from(table.len() as u64))]);
     Ok(())
 }

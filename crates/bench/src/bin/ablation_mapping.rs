@@ -17,6 +17,14 @@ use geniex_bench::table::{pct, Table};
 use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "ablation_mapping",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("mappings", telemetry::Json::from("differential,offset")),
+            ("rons", telemetry::Json::from("50k,100k")),
+        ],
+    );
     let workload = standard_workload(SynthSpec::SynthS);
     let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1)?;
     let (calib, _) = calib_data.full_batch()?;
@@ -58,5 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", table.render());
     table.write_csv(results_dir().join("ablation_mapping.csv"))?;
     println!("expected: offset mapping suffers more IR-drop degradation");
+    geniex_bench::manifest::finish(
+        run,
+        &[(
+            "fp32_accuracy",
+            telemetry::Json::from(workload.fp32_accuracy),
+        )],
+    );
     Ok(())
 }

@@ -17,8 +17,17 @@ use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
 use geniex_bench::table::{fix, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "ablation_sparsity",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("samples", telemetry::Json::from(3000u64)),
+            ("epochs", telemetry::Json::from(80u64)),
+        ],
+    );
     let params = design_point(DEFAULT_SIZE);
     let mut table = Table::new(&["training_set", "geniex_rmse", "analytical_rmse"]);
+    let mut finals: Vec<(String, f64)> = Vec::new();
 
     for (label, grades) in [
         ("stratified (0-0.9)", vec![0.0, 0.25, 0.5, 0.75, 0.9]),
@@ -64,10 +73,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fix(cmp.geniex_rmse, 4),
             fix(cmp.analytical_rmse, 4),
         ]);
+        finals.push((format!("geniex_rmse[{label}]"), cmp.geniex_rmse));
     }
 
     println!("\n{}", table.render());
     table.write_csv(results_dir().join("ablation_sparsity.csv"))?;
     println!("expected: stratified training generalizes best across the sparsity range");
+    let fields: Vec<(&str, telemetry::Json)> = finals
+        .iter()
+        .map(|(k, v)| (k.as_str(), telemetry::Json::from(*v)))
+        .collect();
+    geniex_bench::manifest::finish(run, &fields);
     Ok(())
 }

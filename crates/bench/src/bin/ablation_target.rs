@@ -21,6 +21,14 @@ use rand::{Rng, SeedableRng};
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "ablation_target",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("samples", telemetry::Json::from(3000u64)),
+            ("epochs", telemetry::Json::from(80u64)),
+        ],
+    );
     let params = design_point(DEFAULT_SIZE);
     let n = DEFAULT_SIZE;
     let data = generate(
@@ -58,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Reconstruct the non-ideal currents from f_R and the ideal MVM
         // (exactly what the sample was labelled from).
         let sample = simulate_sample(&params, &s.v_levels, &s.g_levels)?;
-        let volts: Vec<f64> = s.v_levels.iter().map(|&l| l as f64 * params.v_supply).collect();
+        let volts: Vec<f64> = s
+            .v_levels
+            .iter()
+            .map(|&l| l as f64 * params.v_supply)
+            .collect();
         let levels: Vec<f64> = s.g_levels.iter().map(|&l| l as f64).collect();
         let g = ConductanceMatrix::from_levels(&params, &levels)?;
         let circuit = CrossbarCircuit::new(&params, &g)?;
@@ -121,7 +133,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             })
             .collect();
-        let volts: Vec<f64> = v_levels.iter().map(|&l| l as f64 * params.v_supply).collect();
+        let volts: Vec<f64> = v_levels
+            .iter()
+            .map(|&l| l as f64 * params.v_supply)
+            .collect();
         let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
         let g = ConductanceMatrix::from_levels(&params, &levels)?;
         let truth = CrossbarCircuit::new(&params, &g)?.solve(&volts)?.currents;
@@ -147,12 +162,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let rmse = |a: &[f64], b: &[f64]| {
-        (a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            / a.len() as f64)
-            .sqrt()
+        (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
     };
     let ratio_rmse = rmse(&nf_ref, &nf_ratio);
     let direct_rmse = rmse(&nf_ref, &nf_direct);
@@ -165,6 +175,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "expected: the ratio target wins — it spares the network the \
          multiplicative V x G interaction"
+    );
+    geniex_bench::manifest::finish(
+        run,
+        &[
+            ("ratio_rmse", telemetry::Json::from(ratio_rmse)),
+            ("direct_rmse", telemetry::Json::from(direct_rmse)),
+        ],
     );
     Ok(())
 }

@@ -18,6 +18,13 @@ use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 use xbar::VariationConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "ablation_variations",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("seed", telemetry::Json::from(1234u64)),
+        ],
+    );
     let workload = standard_workload(SynthSpec::SynthS);
     let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1)?;
     let (calib, _) = calib_data.full_batch()?;
@@ -67,5 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", table.render());
     table.write_csv(results_dir().join("ablation_variations.csv"))?;
     println!("expected: accuracy degrades with spread and fault rate; IR drop compounds it");
+    geniex_bench::manifest::finish(
+        run,
+        &[(
+            "fp32_accuracy",
+            telemetry::Json::from(workload.fp32_accuracy),
+        )],
+    );
     Ok(())
 }

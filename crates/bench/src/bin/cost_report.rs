@@ -18,6 +18,13 @@ use vision::{MicroResNet, SynthSpec};
 use xbar::CrossbarParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "cost_report",
+        &[
+            ("cost_model", telemetry::Json::from("isaac_class")),
+            ("sizes", telemetry::Json::from("8,16,32,64")),
+        ],
+    );
     let model = CostModel::isaac_class();
     let out_dir = results_dir();
 
@@ -33,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for spec_kind in [SynthSpec::SynthS, SynthSpec::SynthL] {
         let spec = MicroResNet::new(spec_kind, 1).to_spec();
         for size in [8usize, 16, 32, 64] {
-            let arch = ArchConfig::default()
-                .with_xbar(CrossbarParams::builder(size, size).build()?);
+            let arch =
+                ArchConfig::default().with_xbar(CrossbarParams::builder(size, size).build()?);
             let cost = estimate_cost(&spec, &arch, &model)?;
             t.row(&[
                 spec_kind.name().to_string(),
@@ -73,6 +80,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ntakeaway: the 1/1-bit corner that recovers accuracy in Fig. 9 \
          costs ~14x the energy of the 4/4 design — the trade-off the \
          paper's conclusion points at"
+    );
+    geniex_bench::manifest::finish(
+        run,
+        &[(
+            "tables",
+            telemetry::Json::from("cost_size,cost_bit_slicing"),
+        )],
     );
     Ok(())
 }

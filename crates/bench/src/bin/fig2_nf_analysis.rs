@@ -38,6 +38,14 @@ fn summarize(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "fig2_nf_analysis",
+        &[
+            ("stimuli", telemetry::Json::from(STIMULI)),
+            ("seed", telemetry::Json::from(SEED)),
+            ("default_size", telemetry::Json::from(DEFAULT_SIZE)),
+        ],
+    );
     let out_dir = results_dir();
 
     // (a) paired currents for the scatter plot.
@@ -87,8 +95,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", t.render());
     t.write_csv(out_dir.join("fig2d_onoff.csv"))?;
 
-    println!(
-        "\npaper trends: NF grows with size, shrinks with Ron, shrinks with ON/OFF ratio"
+    println!("\npaper trends: NF grows with size, shrinks with Ron, shrinks with ON/OFF ratio");
+    geniex_bench::manifest::finish(
+        run,
+        &[(
+            "tables",
+            telemetry::Json::from("fig2a_scatter,fig2b_size,fig2c_ron,fig2d_onoff"),
+        )],
     );
     Ok(())
 }

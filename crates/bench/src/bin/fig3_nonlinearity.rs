@@ -19,11 +19,12 @@ use xbar::{CrossbarCircuit, CrossbarParams, NonIdealityConfig};
 const STIMULI: usize = 15;
 const SEED: u64 = 303;
 
+/// Paired (linear-only, full) output-current samples.
+type CurrentPairs = Vec<(f64, f64)>;
+
 /// Mean relative difference between linear-only and full outputs at
 /// one supply voltage, plus paired samples for the distribution plot.
-fn compare_at_voltage(
-    v_supply: f64,
-) -> Result<(f64, Vec<(f64, f64)>), Box<dyn std::error::Error>> {
+fn compare_at_voltage(v_supply: f64) -> Result<(f64, CurrentPairs), Box<dyn std::error::Error>> {
     let full_params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
         .v_supply(v_supply)
         .build()?;
@@ -54,14 +55,24 @@ fn compare_at_voltage(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "fig3_nonlinearity",
+        &[
+            ("stimuli", telemetry::Json::from(STIMULI)),
+            ("seed", telemetry::Json::from(SEED)),
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+        ],
+    );
     let out_dir = results_dir();
 
     println!("== Fig 3: linear-only vs linear+nonlinear outputs ==");
     let mut summary = Table::new(&["v_supply", "mean_rel_error_pct"]);
     let mut dist = Table::new(&["v_supply", "i_linear_uA", "i_full_uA"]);
+    let mut rel_errors = Vec::new();
     for v_supply in [0.25, 0.5] {
         let (rel, samples) = compare_at_voltage(v_supply)?;
         summary.row(&[fix(v_supply, 2), fix(100.0 * rel, 2)]);
+        rel_errors.push((format!("rel_error_{v_supply}"), rel));
         for (l, f) in samples {
             dist.row(&[fix(v_supply, 2), fix(l * 1e6, 4), fix(f * 1e6, 4)]);
         }
@@ -74,5 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\npaper trend: the deviation between the cases grows with supply \
          voltage — the data-dependent non-linearity analytical models miss"
     );
+    let fields: Vec<(&str, telemetry::Json)> = rel_errors
+        .iter()
+        .map(|(k, v)| (k.as_str(), telemetry::Json::from(*v)))
+        .collect();
+    geniex_bench::manifest::finish(run, &fields);
     Ok(())
 }

@@ -17,6 +17,14 @@ use geniex_bench::table::{fix, Table};
 use xbar::CrossbarParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "fig5_rmse",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("stimuli", telemetry::Json::from(60u64)),
+            ("v_supplies", telemetry::Json::from("0.25,0.5")),
+        ],
+    );
     let mut table = Table::new(&[
         "v_supply",
         "analytical_rmse",
@@ -24,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "improvement",
         "nf_samples",
     ]);
+    let mut finals: Vec<(String, f64)> = Vec::new();
 
     for v_supply in [0.25, 0.5] {
         let params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
@@ -59,6 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fix(cmp.improvement_factor(), 2),
             cmp.samples.to_string(),
         ]);
+        finals.push((format!("analytical_rmse_{v_supply}"), cmp.analytical_rmse));
+        finals.push((format!("geniex_rmse_{v_supply}"), cmp.geniex_rmse));
     }
 
     println!("\n{}", table.render());
@@ -67,5 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "paper: analytical 1.73/8.99, GENIEx 0.25/0.7 (7x, 12.8x) on 64x64 \
          HSPICE; shape target: GENIEx << analytical, gap widening at 0.5 V"
     );
+    let fields: Vec<(&str, telemetry::Json)> = finals
+        .iter()
+        .map(|(k, v)| (k.as_str(), telemetry::Json::from(*v)))
+        .collect();
+    geniex_bench::manifest::finish(run, &fields);
     Ok(())
 }

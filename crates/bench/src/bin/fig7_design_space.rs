@@ -77,6 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.as_str())
         .unwrap_or("all");
 
+    let run = geniex_bench::manifest::start(
+        "fig7_design_space",
+        &[
+            ("axis", telemetry::Json::from(axis)),
+            ("default_size", telemetry::Json::from(DEFAULT_SIZE)),
+        ],
+    );
     let ctx = context();
     println!("FP32 reference accuracy: {}%", pct(ctx.fp32));
     let out_dir = results_dir();
@@ -135,5 +142,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              (lower accuracy) relative to GENIEx at both voltages"
         );
     }
+    geniex_bench::manifest::finish(run, &[("fp32_accuracy", telemetry::Json::from(ctx.fp32))]);
     Ok(())
 }

@@ -19,6 +19,13 @@ use geniex_bench::table::{pct, Table};
 use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "fig8_quantization",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("precisions", telemetry::Json::from("16,8,4")),
+        ],
+    );
     let out_dir = results_dir();
     let xbar = accuracy_design_point(DEFAULT_SIZE);
 
@@ -63,10 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_xbar(xbar.clone())
                 .with_precision(bits)?
                 .with_bit_slicing(width, width);
-            let ideal =
-                evaluate_spec(net_spec.clone(), &arch, &IdealEngine, &workload.test, 16)?;
-            let analytical =
-                evaluate_spec(net_spec.clone(), &arch, &AnalyticalEngine, &workload.test, 16)?;
+            let ideal = evaluate_spec(net_spec.clone(), &arch, &IdealEngine, &workload.test, 16)?;
+            let analytical = evaluate_spec(
+                net_spec.clone(),
+                &arch,
+                &AnalyticalEngine,
+                &workload.test,
+                16,
+            )?;
             let geniex = evaluate_spec(
                 net_spec.clone(),
                 &arch,
@@ -100,5 +111,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          non-idealities hurt more at lower precision; analytical \
          overestimates the degradation"
     );
+    geniex_bench::manifest::finish(run, &[("rows", telemetry::Json::from(table.len() as u64))]);
     Ok(())
 }

@@ -19,6 +19,14 @@ use geniex_bench::table::{pct, Table};
 use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = geniex_bench::manifest::start(
+        "fig9_bit_slicing",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("stream_bits", telemetry::Json::from("1,2,4")),
+            ("slice_bits", telemetry::Json::from("1,2,4")),
+        ],
+    );
     let mut workload = standard_workload(SynthSpec::SynthS);
     // Narrow digits multiply the crossbar-op count per MVM by up to
     // (15/4)^2 ≈ 14x; halve the test set so the 1-bit cells stay
@@ -46,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &arch,
                 &calib,
             );
-            let ideal =
-                evaluate_spec(net_spec.clone(), &arch, &IdealEngine, &workload.test, 16)?;
+            let ideal = evaluate_spec(net_spec.clone(), &arch, &IdealEngine, &workload.test, 16)?;
             let geniex = evaluate_spec(
                 net_spec.clone(),
                 &arch,
@@ -74,6 +81,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "paper trends: 1-2-bit streams/slices near ideal FxP; 4/4 degrades; \
          the 1/1 corner can dip below its neighbours (NF < 0 regime)"
+    );
+    geniex_bench::manifest::finish(
+        run,
+        &[(
+            "fp32_accuracy",
+            telemetry::Json::from(workload.fp32_accuracy),
+        )],
     );
     Ok(())
 }

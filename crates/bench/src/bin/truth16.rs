@@ -4,6 +4,13 @@ use std::time::Instant;
 use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 
 fn main() {
+    let run = geniex_bench::manifest::start(
+        "truth16",
+        &[
+            ("size", telemetry::Json::from(DEFAULT_SIZE)),
+            ("images", telemetry::Json::from(32u64)),
+        ],
+    );
     let workload = standard_workload(SynthSpec::SynthS);
     let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1).unwrap();
     let (calib, _) = calib_data.full_batch().unwrap();
@@ -15,4 +22,5 @@ fn main() {
     let t = Instant::now();
     let truth = evaluate_spec(spec, &arch, &CircuitEngine, &subset, 16).unwrap();
     println!("TRUTH16 {truth:.4} over 32 images in {:.0?}", t.elapsed());
+    geniex_bench::manifest::finish(run, &[("circuit_accuracy", telemetry::Json::from(truth))]);
 }

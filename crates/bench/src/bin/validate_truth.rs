@@ -27,6 +27,15 @@ use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 use xbar::CrossbarParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let manifest = geniex_bench::manifest::start(
+        "validate_truth",
+        &[
+            ("xbar_size", telemetry::Json::from(8u64)),
+            ("r_on", telemetry::Json::from(50e3)),
+            ("on_off_ratio", telemetry::Json::from(2.0)),
+            ("images", telemetry::Json::from(16u64)),
+        ],
+    );
     let workload = standard_workload(SynthSpec::SynthS);
     let calib_data = SynthVision::generate(SynthSpec::SynthS, 8, 1)?;
     let (calib, _) = calib_data.full_batch()?;
@@ -36,25 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // stream) crossbar op with Newton, which is orders of magnitude
     // slower than any model.
     let subset = SynthVision::generate(SynthSpec::SynthS, 2, 999)?; // 16 images
-    // A hostile small design point so degradation is visible.
+                                                                    // A hostile small design point so degradation is visible.
     let xbar = CrossbarParams::builder(8, 8)
         .r_on(50e3)
         .on_off_ratio(2.0)
         .build()?;
     let arch = ArchConfig::default().with_xbar(xbar.clone());
-    let surrogate = train_surrogate_for_workload(
-        &xbar,
-        &SurrogateBudget::default(),
-        &spec,
-        &arch,
-        &calib,
-    );
+    let surrogate =
+        train_surrogate_for_workload(&xbar, &SurrogateBudget::default(), &spec, &arch, &calib);
 
     let mut table = Table::new(&["model", "accuracy_pct", "seconds"]);
     let mut run = |name: &str, engine: &dyn funcsim::CrossbarEngine| {
         let t = Instant::now();
-        let acc = evaluate_spec(spec.clone(), &arch, engine, &subset, 16)
-            .expect("evaluation");
+        let acc = evaluate_spec(spec.clone(), &arch, engine, &subset, 16).expect("evaluation");
         println!("{name:>12}: {}% in {:.1?}", pct(acc), t.elapsed());
         table.row(&[
             name.to_string(),
@@ -81,6 +84,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "target shape: geniex tracks the circuit truth; analytical \
          overestimates the degradation (sits at or below truth)"
+    );
+    geniex_bench::manifest::finish(
+        manifest,
+        &[
+            ("ideal_accuracy", telemetry::Json::from(ideal)),
+            ("analytical_accuracy", telemetry::Json::from(analytical)),
+            ("geniex_accuracy", telemetry::Json::from(geniex)),
+            ("circuit_accuracy", telemetry::Json::from(truth)),
+        ],
     );
     Ok(())
 }

@@ -5,5 +5,6 @@
 //! Each `src/bin/figN_*.rs` binary prints the same rows/series the
 //! paper reports and writes a CSV into `results/`.
 
+pub mod manifest;
 pub mod setup;
 pub mod table;

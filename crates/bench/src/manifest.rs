@@ -1,0 +1,52 @@
+//! Run-manifest bootstrap shared by every experiment binary.
+//!
+//! Each `src/bin/*` binary opens a manifest first thing in `main` and
+//! finishes it with its headline numbers. The JSON-lines file lands
+//! next to the CSVs, under `results/logs/<name>.jsonl`, so a results
+//! table can always be traced back to the exact configuration, git
+//! revision, solver behaviour, and wall time that produced it.
+
+use telemetry::Json;
+
+/// Enables telemetry, resets all metrics, and opens
+/// `results/logs/<name>.jsonl` (truncating any previous run).
+///
+/// # Panics
+///
+/// Panics if the log directory is not writable (experiment setup is
+/// infallible by construction; a failure is an environment bug).
+pub fn start(name: &str, config: &[(&str, Json)]) -> telemetry::RunManifest {
+    let logs = crate::setup::results_dir().join("logs");
+    telemetry::start_run(&logs, name, config).expect("run manifest creation")
+}
+
+/// Finishes `manifest` with the run's headline numbers, then prints
+/// the metric summary table and the manifest path to stderr.
+///
+/// # Panics
+///
+/// Panics if the manifest file cannot be written.
+pub fn finish(manifest: telemetry::RunManifest, final_fields: &[(&str, Json)]) {
+    let path = manifest
+        .finish(final_fields)
+        .expect("run manifest finalize");
+    eprintln!("\n{}", telemetry::report());
+    eprintln!("[telemetry] run manifest: {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_lands_under_results_logs() {
+        let _guard = telemetry::test_lock();
+        let m = start("manifest-module-unit-test", &[("k", Json::from(1u64))]);
+        let path = m.path().to_path_buf();
+        assert!(path.ends_with("logs/manifest-module-unit-test.jsonl"));
+        finish(m, &[("ok", Json::Bool(true))]);
+        telemetry::set_enabled(false);
+        assert!(path.is_file());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -42,14 +42,15 @@ pub struct Workload {
 /// is infallible by construction; a failure is a bug).
 pub fn standard_workload(spec: SynthSpec) -> Workload {
     let start = Instant::now();
-    let train = SynthVision::generate(spec, TRAIN_PER_CLASS, TRAIN_SEED)
-        .expect("training set generation");
-    let test =
-        SynthVision::generate(spec, TEST_PER_CLASS, TEST_SEED).expect("test set generation");
+    let train =
+        SynthVision::generate(spec, TRAIN_PER_CLASS, TRAIN_SEED).expect("training set generation");
+    let test = SynthVision::generate(spec, TEST_PER_CLASS, TEST_SEED).expect("test set generation");
 
     // Training is deterministic, so a cached model is identical to a
     // fresh one; the cache only saves wall-clock time.
-    let cache = results_dir().join("models").join(format!("{}.bin", spec.name()));
+    let cache = results_dir()
+        .join("models")
+        .join(format!("{}.bin", spec.name()));
     let mut model = match std::fs::read(&cache) {
         Ok(bytes) => {
             let model = MicroResNet::load(&mut std::io::Cursor::new(bytes))
@@ -97,7 +98,11 @@ pub fn standard_workload(spec: SynthSpec) -> Workload {
 }
 
 /// Cache key for a surrogate at one design point and budget.
-fn surrogate_cache_path(params: &CrossbarParams, budget: &SurrogateBudget, tag: &str) -> std::path::PathBuf {
+fn surrogate_cache_path(
+    params: &CrossbarParams,
+    budget: &SurrogateBudget,
+    tag: &str,
+) -> std::path::PathBuf {
     results_dir().join("surrogates").join(format!(
         "{tag}_s{}_r{}k_v{}_o{}_src{}_snk{}_h{}_n{}_e{}.bin",
         params.rows,
@@ -224,14 +229,8 @@ pub fn train_surrogate_for_workload(
         return surrogate;
     }
     let start = Instant::now();
-    let harvested = harvest_stimuli(
-        spec.clone(),
-        arch,
-        sample_images,
-        budget.samples / 2,
-        11,
-    )
-    .expect("stimulus harvesting");
+    let harvested = harvest_stimuli(spec.clone(), arch, sample_images, budget.samples / 2, 11)
+        .expect("stimulus harvesting");
     let pairs: Vec<(&[f32], &[f32])> = harvested
         .iter()
         .map(|s| (s.v_levels.as_slice(), s.g_levels.as_slice()))
@@ -322,7 +321,7 @@ pub fn accuracy_design_point(size: usize) -> CrossbarParams {
 }
 
 /// Evaluates a programmed crossbar network's accuracy with the test
-/// set split across `threads` crossbeam-scoped workers.
+/// set split across `threads` std-scoped workers.
 ///
 /// `CrossbarNetwork::forward` takes `&self` and every backend is
 /// `Send + Sync`, so workers share the programmed state; results are
@@ -339,10 +338,10 @@ pub fn parallel_accuracy(
 ) -> f64 {
     let indices: Vec<usize> = (0..data.len()).collect();
     let chunk_len = indices.len().div_ceil(threads.max(1));
-    let correct: usize = crossbeam::thread::scope(|scope| {
+    let correct: usize = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in indices.chunks(chunk_len.max(1)) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = 0usize;
                 for piece in chunk.chunks(batch_size.max(1)) {
                     let (images, labels) = data.batch(piece).expect("batch assembly");
@@ -365,8 +364,7 @@ pub fn parallel_accuracy(
             }));
         }
         handles.into_iter().map(|h| h.join().expect("worker")).sum()
-    })
-    .expect("crossbeam scope");
+    });
     correct as f64 / data.len().max(1) as f64
 }
 

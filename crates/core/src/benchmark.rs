@@ -1,12 +1,12 @@
 //! The Fig. 5 benchmarking protocol: NF RMSE of each model against the
 //! circuit ground truth on a held-out validation set.
 
+use crate::dataset::live_current_floor;
 use crate::models::{CrossbarModel, GeniexModel, LinearAnalyticalModel, TrueCircuitModel};
 use crate::surrogate::Geniex;
 use crate::GeniexError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use crate::dataset::live_current_floor;
 use xbar::nf::nf_rmse;
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarParams};
 
@@ -50,7 +50,7 @@ impl Default for BenchmarkConfig {
     fn default() -> Self {
         BenchmarkConfig {
             stimuli: 50,
-            seed: 0xF16_5,
+            seed: 0xF165,
             dac_levels: 16,
         }
     }

@@ -128,8 +128,7 @@ pub fn f_r_labels(i_ideal: &[f64], i_non_ideal: &[f64], floor: f64) -> Vec<f32> 
             if id.abs() < floor {
                 1.0
             } else {
-                (id / ni.max(floor * 1e-3))
-                    .clamp(F_R_CLAMP.0 as f64, F_R_CLAMP.1 as f64) as f32
+                (id / ni.max(floor * 1e-3)).clamp(F_R_CLAMP.0 as f64, F_R_CLAMP.1 as f64) as f32
             }
         })
         .collect()
@@ -168,8 +167,8 @@ pub fn generate(
     let mut samples = Vec::with_capacity(config.samples);
     for k in 0..config.samples {
         let v_sparsity = config.sparsity_grades[k % config.sparsity_grades.len()];
-        let g_sparsity =
-            config.sparsity_grades[(k / config.sparsity_grades.len()) % config.sparsity_grades.len()];
+        let g_sparsity = config.sparsity_grades
+            [(k / config.sparsity_grades.len()) % config.sparsity_grades.len()];
 
         // Quantized sparse input levels in [0, 1].
         let v_levels: Vec<f32> = (0..params.rows)
@@ -228,9 +227,7 @@ where
         samples.push(simulate_sample(params, v_levels, g_levels)?);
     }
     if samples.is_empty() {
-        return Err(GeniexError::InvalidConfig(
-            "no stimuli to label".into(),
-        ));
+        return Err(GeniexError::InvalidConfig("no stimuli to label".into()));
     }
     Ok(SurrogateDataset {
         params: params.clone(),
@@ -316,7 +313,14 @@ mod tests {
     #[test]
     fn config_validation() {
         let p = params();
-        assert!(generate(&p, &DatasetConfig { samples: 0, ..DatasetConfig::default() }).is_err());
+        assert!(generate(
+            &p,
+            &DatasetConfig {
+                samples: 0,
+                ..DatasetConfig::default()
+            }
+        )
+        .is_err());
         assert!(generate(
             &p,
             &DatasetConfig {
@@ -387,7 +391,10 @@ mod tests {
     fn dead_columns_get_neutral_label() {
         let floor = live_current_floor(&params());
         assert_eq!(f_r_labels(&[0.0], &[0.0], floor), vec![1.0]);
-        assert_eq!(f_r_labels(&[floor * 0.5], &[floor * 10.0], floor), vec![1.0]);
+        assert_eq!(
+            f_r_labels(&[floor * 0.5], &[floor * 10.0], floor),
+            vec![1.0]
+        );
         // Tiny denominator clamps instead of exploding.
         let labels = f_r_labels(&[1e-5], &[1e-20], floor);
         assert_eq!(labels[0], F_R_CLAMP.1);
@@ -411,7 +418,11 @@ mod tests {
 
         let p16 = CrossbarParams::builder(16, 16).build().unwrap();
         let s16 = simulate_sample(&p16, &[1.0; 16], &[1.0; 256]).unwrap();
-        assert!(s16.f_r.iter().all(|&f| f > 1.0), "16x16 f_r = {:?}", s16.f_r);
+        assert!(
+            s16.f_r.iter().all(|&f| f > 1.0),
+            "16x16 f_r = {:?}",
+            s16.f_r
+        );
     }
 
     #[test]
@@ -461,7 +472,14 @@ mod tests {
             ..DatasetConfig::default()
         };
         let a = generate(&p, &cfg).unwrap();
-        let b = generate(&p, &DatasetConfig { seed: 2, ..cfg.clone() }).unwrap();
+        let b = generate(
+            &p,
+            &DatasetConfig {
+                seed: 2,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
         let merged = merge(vec![a.clone(), b]).unwrap();
         assert_eq!(merged.len(), 6);
 

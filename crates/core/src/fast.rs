@@ -179,8 +179,7 @@ impl GeniexTile {
                 for (w, &hp) in row.iter().zip(&h) {
                     acc += w * hp;
                 }
-                *out_val =
-                    (acc * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
+                *out_val = (acc * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
             }
         }
         Ok(out)
@@ -239,10 +238,7 @@ mod tests {
             let full = s.predict_f_r(&pattern, &g_levels).unwrap();
             let fast = tile.f_r_from_levels(&pattern).unwrap();
             for (a, b) in full.iter().zip(&fast) {
-                assert!(
-                    (a - b).abs() < 1e-4,
-                    "fast-forward diverged: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-4, "fast-forward diverged: {a} vs {b}");
             }
         }
     }

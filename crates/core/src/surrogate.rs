@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::io::{Read, Write};
+use std::time::Instant;
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarParams};
 
 /// Global clamp on `f_R`, applied both to training labels and to
@@ -195,8 +196,7 @@ impl Geniex {
             )));
         }
 
-        let normalizer =
-            Normalizer::fit(data.samples.iter().flat_map(|s| s.f_r.iter().copied()));
+        let normalizer = Normalizer::fit(data.samples.iter().flat_map(|s| s.f_r.iter().copied()));
         self.normalizer = Some(normalizer);
 
         let in_dim = self.params.rows + self.params.rows * self.params.cols;
@@ -235,7 +235,11 @@ impl Geniex {
         let mut best_epoch = 0usize;
         let mut epochs_run = 0usize;
 
+        let _span = telemetry::span("geniex.train");
+        let epoch_timer = telemetry::timer("geniex.train.epoch_seconds");
+
         for epoch in 0..config.epochs {
+            let t_epoch = telemetry::enabled().then(Instant::now);
             // Cosine annealing from the initial rate to
             // `final_lr_fraction` of it across the run.
             let progress = epoch as f32 / config.epochs.max(1) as f32;
@@ -265,14 +269,14 @@ impl Geniex {
                 epoch_loss += loss as f64;
                 batches += 1;
             }
-            epoch_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+            let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
+            epoch_losses.push(train_loss);
             epochs_run = epoch + 1;
 
+            let mut val_this_epoch = None;
             if val_count > 0 {
-                let x = Tensor::from_vec(
-                    x_all[train_count * in_dim..].to_vec(),
-                    &[val_count, in_dim],
-                )?;
+                let x =
+                    Tensor::from_vec(x_all[train_count * in_dim..].to_vec(), &[val_count, in_dim])?;
                 let y = Tensor::from_vec(
                     y_all[train_count * out_dim..].to_vec(),
                     &[val_count, out_dim],
@@ -280,6 +284,30 @@ impl Geniex {
                 let pred = self.mlp.forward(&x);
                 let (val_loss, _) = mse(&pred, &y)?;
                 validation_losses.push(val_loss);
+                val_this_epoch = Some(val_loss);
+            }
+
+            if let Some(t0) = t_epoch {
+                epoch_timer.record(t0.elapsed());
+                let mut fields = vec![
+                    ("epoch".to_string(), telemetry::Json::from(epoch)),
+                    ("loss".to_string(), telemetry::Json::from(train_loss as f64)),
+                    (
+                        "lr".to_string(),
+                        telemetry::Json::from(optimizer.learning_rate as f64),
+                    ),
+                    (
+                        "epoch_s".to_string(),
+                        telemetry::Json::from(t0.elapsed().as_secs_f64()),
+                    ),
+                ];
+                if let Some(v) = val_this_epoch {
+                    fields.push(("val_loss".to_string(), telemetry::Json::from(v as f64)));
+                }
+                telemetry::emit("train_epoch", "geniex.train", fields);
+            }
+
+            if let Some(val_loss) = val_this_epoch {
                 if val_loss < best_val {
                     best_val = val_loss;
                     best_epoch = epoch;
@@ -508,10 +536,22 @@ mod tests {
         let mut s = Geniex::new(&params(), 8, 0).unwrap();
         let data = small_dataset(4, 1);
         assert!(s
-            .train(&data, &TrainConfig { epochs: 0, ..TrainConfig::default() })
+            .train(
+                &data,
+                &TrainConfig {
+                    epochs: 0,
+                    ..TrainConfig::default()
+                }
+            )
             .is_err());
         assert!(s
-            .train(&data, &TrainConfig { batch_size: 0, ..TrainConfig::default() })
+            .train(
+                &data,
+                &TrainConfig {
+                    batch_size: 0,
+                    ..TrainConfig::default()
+                }
+            )
             .is_err());
 
         let other = CrossbarParams::builder(3, 3).build().unwrap();
@@ -548,13 +588,65 @@ mod tests {
     }
 
     #[test]
+    fn training_emits_loss_curve_events() {
+        let mut s = Geniex::new(&params(), 8, 0).unwrap();
+        let data = small_dataset(24, 7);
+        // Serialize against other tests toggling global telemetry.
+        let _lock = telemetry::test_lock();
+        telemetry::set_enabled(true);
+        let sink = std::sync::Arc::new(telemetry::MemorySink::new());
+        let sink_id = telemetry::add_sink(sink.clone());
+        let report = s
+            .train(
+                &data,
+                &TrainConfig {
+                    epochs: 5,
+                    batch_size: 8,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        telemetry::remove_sink(sink_id);
+        telemetry::set_enabled(false);
+
+        let events: Vec<_> = sink
+            .events_for_current_thread()
+            .into_iter()
+            .filter(|e| e.kind == "train_epoch" && e.name == "geniex.train")
+            .collect();
+        assert_eq!(events.len(), report.epochs_run);
+        for (i, (event, &loss)) in events.iter().zip(&report.epoch_losses).enumerate() {
+            assert_eq!(
+                event.field("epoch").and_then(telemetry::Json::as_u64),
+                Some(i as u64)
+            );
+            let emitted = event
+                .field("loss")
+                .and_then(telemetry::Json::as_f64)
+                .unwrap();
+            assert!(
+                (emitted - loss as f64).abs() < 1e-12,
+                "epoch {i}: emitted {emitted} vs report {loss}"
+            );
+            assert!(event.field("epoch_s").is_some());
+        }
+        // The surrogate train span must have been recorded too.
+        let spans: Vec<_> = sink
+            .events_for_current_thread()
+            .into_iter()
+            .filter(|e| e.kind == "span" && e.name == "geniex.train")
+            .collect();
+        assert_eq!(spans.len(), 1);
+    }
+
+    #[test]
     fn trained_surrogate_beats_wild_guess_on_dense_pattern() {
         // The surrogate must learn that dense patterns at 0.25 V have
         // f_R noticeably above 1.
         let mut s = Geniex::new(&params(), 48, 3).unwrap();
         let data = small_dataset(200, 11);
         s.train(
-            &mut &data,
+            &data,
             &TrainConfig {
                 epochs: 120,
                 batch_size: 16,
@@ -567,10 +659,7 @@ mod tests {
         let truth = crate::dataset::simulate_sample(&params(), &[1.0; 4], &[1.0; 16]).unwrap();
         let predicted = s.predict_f_r(&[1.0; 4], &[1.0; 16]).unwrap();
         for (p, t) in predicted.iter().zip(&truth.f_r) {
-            assert!(
-                (p - t).abs() < 0.15 * t,
-                "predicted {p} vs simulated {t}"
-            );
+            assert!((p - t).abs() < 0.15 * t, "predicted {p} vs simulated {t}");
         }
     }
 

@@ -233,8 +233,8 @@ fn layer_cost(
         + adc_conversions as f64 * model.adc_conversion_pj
         + dac_drives as f64 * model.dac_drive_pj
         + shift_adds as f64 * model.shift_add_pj;
-    let latency_ns = xbar_reads as f64 * model.xbar_read_ns
-        + adc_conversions as f64 * model.adc_conversion_ns;
+    let latency_ns =
+        xbar_reads as f64 * model.xbar_read_ns + adc_conversions as f64 * model.adc_conversion_ns;
     LayerCost {
         label,
         positions,
@@ -297,8 +297,7 @@ mod tests {
         let small = estimate_cost(&spec, &arch16(), &CostModel::default()).unwrap();
         let big = estimate_cost(
             &spec,
-            &ArchConfig::default()
-                .with_xbar(CrossbarParams::builder(64, 64).build().unwrap()),
+            &ArchConfig::default().with_xbar(CrossbarParams::builder(64, 64).build().unwrap()),
             &CostModel::default(),
         )
         .unwrap();
@@ -320,7 +319,10 @@ mod tests {
         .unwrap();
         // Offset slices cover 16 bits (4 slices) but use 1 sign copy:
         // exactly half the reads of differential (4 slices x 2 signs).
-        assert_eq!(offset.total_xbar_reads() * 2, differential.total_xbar_reads());
+        assert_eq!(
+            offset.total_xbar_reads() * 2,
+            differential.total_xbar_reads()
+        );
     }
 
     #[test]

@@ -95,8 +95,13 @@ pub fn layer_diagnostics(
         let actual = net.forward(images)?;
 
         let n = reference.len().max(1) as f64;
-        let signal_rms =
-            (reference.data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / n).sqrt();
+        let signal_rms = (reference
+            .data()
+            .iter()
+            .map(|&v| (v as f64).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
         let error_rms = (reference
             .data()
             .iter()
@@ -105,12 +110,33 @@ pub fn layer_diagnostics(
             .sum::<f64>()
             / n)
             .sqrt();
-        out.push(LayerDiagnostic {
+        let diag = LayerDiagnostic {
             op_index: i,
             label,
             signal_rms,
             error_rms,
-        });
+        };
+        telemetry::emit(
+            "layer_snr",
+            "funcsim.layer_diagnostics",
+            vec![
+                ("op_index".to_string(), telemetry::Json::from(diag.op_index)),
+                (
+                    "label".to_string(),
+                    telemetry::Json::from(diag.label.as_str()),
+                ),
+                (
+                    "signal_rms".to_string(),
+                    telemetry::Json::from(diag.signal_rms),
+                ),
+                (
+                    "error_rms".to_string(),
+                    telemetry::Json::from(diag.error_rms),
+                ),
+                ("snr_db".to_string(), telemetry::Json::from(diag.snr_db())),
+            ],
+        );
+        out.push(diag);
     }
     Ok(out)
 }
@@ -170,14 +196,53 @@ mod tests {
             ..ArchConfig::default()
         };
         let ideal = layer_diagnostics(&spec, &hostile, &IdealEngine, &images).unwrap();
-        let analytical =
-            layer_diagnostics(&spec, &hostile, &AnalyticalEngine, &images).unwrap();
+        let analytical = layer_diagnostics(&spec, &hostile, &AnalyticalEngine, &images).unwrap();
         let last_ideal = ideal.last().unwrap().snr_db();
         let last_analytical = analytical.last().unwrap().snr_db();
         assert!(
             last_analytical < last_ideal,
             "analytical {last_analytical} dB should be below ideal {last_ideal} dB"
         );
+    }
+
+    #[test]
+    fn snr_events_mirror_returned_diagnostics() {
+        let (spec, images) = workload();
+        // Serialize against other tests that toggle the global
+        // telemetry state.
+        let _lock = telemetry::test_lock();
+        telemetry::set_enabled(true);
+        let sink = std::sync::Arc::new(telemetry::MemorySink::new());
+        let sink_id = telemetry::add_sink(sink.clone());
+        let diags = layer_diagnostics(&spec, &arch(16), &IdealEngine, &images).unwrap();
+        telemetry::remove_sink(sink_id);
+        telemetry::set_enabled(false);
+
+        let events: Vec<_> = sink
+            .events_for_current_thread()
+            .into_iter()
+            .filter(|e| e.kind == "layer_snr")
+            .collect();
+        assert_eq!(events.len(), diags.len());
+        for (event, diag) in events.iter().zip(&diags) {
+            assert_eq!(event.name, "funcsim.layer_diagnostics");
+            assert_eq!(
+                event.field("op_index").and_then(telemetry::Json::as_u64),
+                Some(diag.op_index as u64)
+            );
+            assert_eq!(
+                event.field("label").and_then(telemetry::Json::as_str),
+                Some(diag.label.as_str())
+            );
+            assert_eq!(
+                event.field("signal_rms").and_then(telemetry::Json::as_f64),
+                Some(diag.signal_rms)
+            );
+            assert_eq!(
+                event.field("error_rms").and_then(telemetry::Json::as_f64),
+                Some(diag.error_rms)
+            );
+        }
     }
 
     #[test]

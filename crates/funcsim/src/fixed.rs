@@ -149,7 +149,7 @@ pub fn rescale_saturate(value: i64, from_frac: u32, to_frac: u32, total_bits: u3
 ///
 /// This implements both weight *slices* and input *streams*.
 pub fn split_digits(magnitude: u64, width: u32, count: u32) -> Vec<u64> {
-    debug_assert!(width >= 1 && width <= 16);
+    debug_assert!((1..=16).contains(&width));
     let mask = (1u64 << width) - 1;
     (0..count)
         .map(|k| (magnitude >> (k * width)) & mask)

@@ -24,6 +24,50 @@ use crate::engine::{CrossbarEngine, ProgrammedXbar};
 use crate::fixed::{digit_count, rescale_saturate, split_digits};
 use crate::FuncsimError;
 use nn::Tensor;
+use std::sync::{Arc, OnceLock};
+
+/// Stack-wide funcsim metrics, resolved once.
+struct SharedMetrics {
+    mvm_calls: Arc<telemetry::Counter>,
+    mvm_vectors: Arc<telemetry::Counter>,
+    batch_size: Arc<telemetry::Histogram>,
+    tile_ops: Arc<telemetry::Counter>,
+    adc_saturations: Arc<telemetry::Counter>,
+    adc_clips: Arc<telemetry::Counter>,
+}
+
+fn shared_metrics() -> &'static SharedMetrics {
+    static METRICS: OnceLock<SharedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SharedMetrics {
+        mvm_calls: telemetry::counter("funcsim.mvm_calls"),
+        mvm_vectors: telemetry::counter("funcsim.mvm_vectors"),
+        batch_size: telemetry::histogram(
+            "funcsim.batch_size",
+            &telemetry::exponential_buckets(1.0, 2.0, 12),
+        ),
+        tile_ops: telemetry::counter("funcsim.tile_ops"),
+        adc_saturations: telemetry::counter("funcsim.adc.saturations"),
+        adc_clips: telemetry::counter("funcsim.adc.count_clips"),
+    })
+}
+
+/// Per-matrix handles: engine-specific op timing plus the optional
+/// per-layer MVM counter for labeled layers.
+struct MatrixMetrics {
+    engine_ops: Arc<telemetry::Counter>,
+    engine_time: Arc<telemetry::Timer>,
+    layer_mvms: Option<Arc<telemetry::Counter>>,
+}
+
+impl MatrixMetrics {
+    fn new(engine_name: &str, label: Option<&str>) -> Self {
+        MatrixMetrics {
+            engine_ops: telemetry::counter(&format!("funcsim.engine.{engine_name}.ops")),
+            engine_time: telemetry::timer(&format!("funcsim.engine.{engine_name}.seconds")),
+            layer_mvms: label.map(|l| telemetry::counter(&format!("funcsim.layer.{l}.mvms"))),
+        }
+    }
+}
 
 /// A weight matrix (`m` outputs × `k` inputs) programmed onto
 /// crossbars, together with its bias, ready to evaluate fixed-point
@@ -42,6 +86,7 @@ pub struct ProgrammedMatrix {
     bias_codes: Vec<i64>,
     /// `Offset` mapping: the constant added to every weight code.
     offset_code: i64,
+    metrics: MatrixMetrics,
 }
 
 impl ProgrammedMatrix {
@@ -59,6 +104,24 @@ impl ProgrammedMatrix {
         arch: &ArchConfig,
         weight: &Tensor,
         bias: &Tensor,
+    ) -> Result<Self, FuncsimError> {
+        Self::program_labeled(engine, arch, weight, bias, None)
+    }
+
+    /// Like [`ProgrammedMatrix::program`] with a telemetry layer label:
+    /// MVM counts then also accumulate under
+    /// `funcsim.layer.<label>.mvms`, so per-layer activity shows up in
+    /// reports and run manifests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProgrammedMatrix::program`].
+    pub fn program_labeled(
+        engine: &dyn CrossbarEngine,
+        arch: &ArchConfig,
+        weight: &Tensor,
+        bias: &Tensor,
+        label: Option<&str>,
     ) -> Result<Self, FuncsimError> {
         arch.validate()?;
         if weight.shape().len() != 2 {
@@ -119,9 +182,8 @@ impl ProgrammedMatrix {
                                     }
                                     WeightMapping::Offset => (code + offset_code) as u64,
                                 };
-                                let digit =
-                                    split_digits(magnitude, arch.slice_width, slice_count)
-                                        [s as usize];
+                                let digit = split_digits(magnitude, arch.slice_width, slice_count)
+                                    [s as usize];
                                 g_levels[i * size + j] = digit as f32 / w_max as f32;
                             }
                         }
@@ -169,6 +231,7 @@ impl ProgrammedMatrix {
             tiles,
             bias_codes,
             offset_code,
+            metrics: MatrixMetrics::new(engine.name(), label),
         })
     }
 
@@ -212,6 +275,11 @@ impl ProgrammedMatrix {
         let count_unit = (v_supply / d_max) * (g_on - g_off) / w_max;
         let max_count = (size as f64 * d_max * w_max) as i64;
 
+        // Saturation/clip tallies stay in locals so the hot loop pays
+        // nothing extra while telemetry is disabled.
+        let telemetry_on = telemetry::enabled();
+        let mut saturations = 0u64;
+        let mut clips = 0u64;
         for (b, chunk) in currents.chunks(size).enumerate() {
             let pedestal = g_off * (v_supply / d_max) * d_sums[b] as f64;
             let out = &mut counts[b * size..(b + 1) * size];
@@ -219,8 +287,17 @@ impl ProgrammedMatrix {
                 // ADC: clamp to full scale, quantize to the LSB grid.
                 let i_adc = (i_raw.clamp(0.0, i_max) / lsb).round() * lsb;
                 let count = ((i_adc - pedestal) / count_unit).round() as i64;
+                if telemetry_on {
+                    saturations += u64::from(!(0.0..=i_max).contains(&i_raw));
+                    clips += u64::from(count < -max_count || count > max_count);
+                }
                 out[j] = count.clamp(-max_count, max_count);
             }
+        }
+        if telemetry_on {
+            let m = shared_metrics();
+            m.adc_saturations.add(saturations);
+            m.adc_clips.add(clips);
         }
     }
 
@@ -239,6 +316,15 @@ impl ProgrammedMatrix {
                 x_codes.len(),
                 self.k
             )));
+        }
+        if telemetry::enabled() {
+            let m = shared_metrics();
+            m.mvm_calls.inc();
+            m.mvm_vectors.add(n as u64);
+            m.batch_size.observe(n as f64);
+            if let Some(layer) = &self.metrics.layer_mvms {
+                layer.add(n as u64);
+            }
         }
         let arch = &self.arch;
         let size = arch.xbar.rows;
@@ -296,7 +382,12 @@ impl ProgrammedMatrix {
                         for s in 0..self.slice_count {
                             for sign in 0..self.weight_signs {
                                 let tile = self.tile(tr, tc, s, sign);
-                                let currents = tile.currents_batch(&v_levels, n)?;
+                                shared_metrics().tile_ops.inc();
+                                self.metrics.engine_ops.inc();
+                                let currents = self
+                                    .metrics
+                                    .engine_time
+                                    .time(|| tile.currents_batch(&v_levels, n))?;
                                 self.adc_to_counts(&currents, &d_sums, &mut counts);
                                 let w_sign: i64 = match arch.weight_mapping {
                                     WeightMapping::Differential => {
@@ -325,8 +416,7 @@ impl ProgrammedMatrix {
                     // and stream, at this stream's shift).
                     if matches!(arch.weight_mapping, WeightMapping::Offset) {
                         for b in 0..n {
-                            let corr =
-                                x_sign * self.offset_code * (d_sums[b] as i64) << shift_t;
+                            let corr = (x_sign * self.offset_code * (d_sums[b] as i64)) << shift_t;
                             for j in 0..self.m {
                                 acc[b * self.m + j] -= corr;
                             }
@@ -443,11 +533,8 @@ mod tests {
             &[m, k],
         )
         .unwrap();
-        let bias = Tensor::from_vec(
-            (0..m).map(|_| rng.gen_range(-0.2f32..0.2)).collect(),
-            &[m],
-        )
-        .unwrap();
+        let bias =
+            Tensor::from_vec((0..m).map(|_| rng.gen_range(-0.2f32..0.2)).collect(), &[m]).unwrap();
         let fmt = FxpFormat::paper_default();
         let x: Vec<i64> = (0..n * k)
             .map(|_| {
@@ -544,13 +631,9 @@ mod tests {
         assert!(
             ProgrammedMatrix::program(&IdealEngine, &arch, &Tensor::zeros(&[3]), &bias).is_err()
         );
-        assert!(ProgrammedMatrix::program(
-            &IdealEngine,
-            &arch,
-            &weight,
-            &Tensor::zeros(&[4])
-        )
-        .is_err());
+        assert!(
+            ProgrammedMatrix::program(&IdealEngine, &arch, &weight, &Tensor::zeros(&[4])).is_err()
+        );
         let pm = ProgrammedMatrix::program(&IdealEngine, &arch, &weight, &bias).unwrap();
         assert!(pm.mvm_codes(&[0; 7], 2).is_err());
     }
@@ -584,7 +667,10 @@ mod tests {
         let n10 = noise_at(10);
         let n6 = noise_at(6);
         assert!(n6 > n10, "6-bit {n6} should be noisier than 10-bit {n10}");
-        assert!(n10 > n14, "10-bit {n10} should be noisier than 14-bit {n14}");
+        assert!(
+            n10 > n14,
+            "10-bit {n10} should be noisier than 14-bit {n14}"
+        );
     }
 
     #[test]

@@ -62,8 +62,9 @@ impl CrossbarNetwork {
         engine: &dyn CrossbarEngine,
     ) -> Result<Self, FuncsimError> {
         arch.validate()?;
+        let _span = telemetry::span("funcsim.build");
         let mut ops = Vec::with_capacity(spec.ops.len());
-        for op in &spec.ops {
+        for (op_index, op) in spec.ops.iter().enumerate() {
             ops.push(match op {
                 SpecOp::Conv2d {
                     weight,
@@ -74,7 +75,13 @@ impl CrossbarNetwork {
                     let [oc, ic, kh, kw] = *<&[usize; 4]>::try_from(weight.shape())
                         .map_err(|_| FuncsimError::Shape("conv weight rank".into()))?;
                     let w_mat = weight.reshape(&[oc, ic * kh * kw])?;
-                    let pm = ProgrammedMatrix::program(engine, arch, &w_mat, bias)?;
+                    let pm = ProgrammedMatrix::program_labeled(
+                        engine,
+                        arch,
+                        &w_mat,
+                        bias,
+                        Some(&format!("conv{op_index}")),
+                    )?;
                     ExecOp::Conv(
                         pm,
                         ConvMeta {
@@ -88,7 +95,13 @@ impl CrossbarNetwork {
                     )
                 }
                 SpecOp::Linear { weight, bias } => {
-                    ExecOp::Linear(ProgrammedMatrix::program(engine, arch, weight, bias)?)
+                    ExecOp::Linear(ProgrammedMatrix::program_labeled(
+                        engine,
+                        arch,
+                        weight,
+                        bias,
+                        Some(&format!("linear{op_index}")),
+                    )?)
                 }
                 SpecOp::Relu => ExecOp::Relu,
                 SpecOp::MaxPool2 => ExecOp::MaxPool2,
@@ -136,6 +149,7 @@ impl CrossbarNetwork {
                 images.shape()
             )));
         }
+        let _span = telemetry::span("funcsim.forward");
         let fmt = self.arch.input_format;
         let mut x = images.map(|v| fmt.round_trip(v));
         let mut residual_stack: Vec<Tensor> = Vec::new();
@@ -161,9 +175,7 @@ impl CrossbarNetwork {
                 }
                 ExecOp::ResidualAdd => {
                     let saved = residual_stack.pop().ok_or_else(|| {
-                        FuncsimError::InvalidConfig(
-                            "ResidualAdd without ResidualBegin".into(),
-                        )
+                        FuncsimError::InvalidConfig("ResidualAdd without ResidualBegin".into())
                     })?;
                     x.add(&saved)?.map(|v| fmt.round_trip(v))
                 }
@@ -191,8 +203,9 @@ fn conv_mvm(
     x: &Tensor,
     arch: &ArchConfig,
 ) -> Result<Tensor, FuncsimError> {
-    let [batch, c, h, w] = *<&[usize; 4]>::try_from(x.shape())
-        .map_err(|_| FuncsimError::Shape(format!("conv input must be NCHW, got {:?}", x.shape())))?;
+    let [batch, c, h, w] = *<&[usize; 4]>::try_from(x.shape()).map_err(|_| {
+        FuncsimError::Shape(format!("conv input must be NCHW, got {:?}", x.shape()))
+    })?;
     if c != meta.in_c {
         return Err(FuncsimError::Shape(format!(
             "conv expects {} channels, got {c}",
@@ -222,8 +235,8 @@ fn conv_mvm(
                         for kx in 0..meta.kw {
                             let ix = (ox * meta.stride + kx) as isize - meta.padding as isize;
                             if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                row[col] = codes
-                                    [((b * c + ci) * h + iy as usize) * w + ix as usize];
+                                row[col] =
+                                    codes[((b * c + ci) * h + iy as usize) * w + ix as usize];
                             }
                             col += 1;
                         }
@@ -259,7 +272,10 @@ fn linear_mvm(
     arch: &ArchConfig,
 ) -> Result<Tensor, FuncsimError> {
     let [batch, features] = *<&[usize; 2]>::try_from(x.shape()).map_err(|_| {
-        FuncsimError::Shape(format!("linear input must be [batch, k], got {:?}", x.shape()))
+        FuncsimError::Shape(format!(
+            "linear input must be [batch, k], got {:?}",
+            x.shape()
+        ))
     })?;
     if features != pm.k() {
         return Err(FuncsimError::Shape(format!(
@@ -275,8 +291,9 @@ fn linear_mvm(
 }
 
 fn max_pool2(x: &Tensor) -> Result<Tensor, FuncsimError> {
-    let [batch, c, h, w] = *<&[usize; 4]>::try_from(x.shape())
-        .map_err(|_| FuncsimError::Shape(format!("maxpool input must be NCHW, got {:?}", x.shape())))?;
+    let [batch, c, h, w] = *<&[usize; 4]>::try_from(x.shape()).map_err(|_| {
+        FuncsimError::Shape(format!("maxpool input must be NCHW, got {:?}", x.shape()))
+    })?;
     if h % 2 != 0 || w % 2 != 0 {
         return Err(FuncsimError::Shape(format!(
             "maxpool2 needs even spatial dims, got {h}x{w}"
@@ -292,10 +309,7 @@ fn max_pool2(x: &Tensor) -> Result<Tensor, FuncsimError> {
         for oy in 0..oh {
             for ox in 0..ow {
                 let i0 = in_base + 2 * oy * w + 2 * ox;
-                let m = id[i0]
-                    .max(id[i0 + 1])
-                    .max(id[i0 + w])
-                    .max(id[i0 + w + 1]);
+                let m = id[i0].max(id[i0 + 1]).max(id[i0 + w]).max(id[i0 + w + 1]);
                 od[out_base + oy * ow + ox] = m;
             }
         }
@@ -425,8 +439,7 @@ mod tests {
     #[test]
     fn forward_validates_image_shape() {
         let model = MicroResNet::new(SynthSpec::SynthS, 1);
-        let net =
-            CrossbarNetwork::build(model.to_spec(), &test_arch(), &IdealEngine).unwrap();
+        let net = CrossbarNetwork::build(model.to_spec(), &test_arch(), &IdealEngine).unwrap();
         assert!(net.forward(&Tensor::zeros(&[1, 3, 12, 12])).is_err());
         assert!(net.forward(&Tensor::zeros(&[1, 1, 12])).is_err());
     }

@@ -92,7 +92,11 @@ impl StimulusLog {
 
     /// Total MVM rows observed (before subsampling).
     pub fn observed(&self) -> usize {
-        self.inner.lock().expect("stimulus log poisoned").reservoir.seen
+        self.inner
+            .lock()
+            .expect("stimulus log poisoned")
+            .reservoir
+            .seen
     }
 
     /// Extracts the sampled stimuli.
@@ -243,7 +247,11 @@ mod tests {
         let rec = RecordingEngine::new(IdealEngine, log.clone());
         let g = [0.5f32; 16];
         let v = [1.0f32, 0.0, 0.5, 0.25];
-        let a = rec.program(&params, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let a = rec
+            .program(&params, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
         let b = IdealEngine
             .program(&params, &g)
             .unwrap()

@@ -86,7 +86,11 @@ mod tests {
         let engine = VariationEngine::new(IdealEngine, VariationConfig::none()).unwrap();
         let g = [0.5f32; 64];
         let v = [1.0f32; 8];
-        let a = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let a = engine
+            .program(&p, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
         let b = IdealEngine
             .program(&p, &g)
             .unwrap()
@@ -111,7 +115,11 @@ mod tests {
         .unwrap();
         let g = [0.5f32; 64];
         let v = [1.0f32; 8];
-        let varied = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let varied = engine
+            .program(&p, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
         let clean = IdealEngine
             .program(&p, &g)
             .unwrap()
@@ -139,8 +147,16 @@ mod tests {
         .unwrap();
         let g = [1.0f32; 64];
         let v = [1.0f32; 8];
-        let t1 = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
-        let t2 = engine.program(&p, &g).unwrap().currents_batch(&v, 1).unwrap();
+        let t1 = engine
+            .program(&p, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
+        let t2 = engine
+            .program(&p, &g)
+            .unwrap()
+            .currents_batch(&v, 1)
+            .unwrap();
         assert_ne!(t1, t2, "successive tiles must differ in fault pattern");
     }
 

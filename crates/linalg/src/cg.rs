@@ -115,7 +115,13 @@ pub fn conjugate_gradient(
     let diag = a.diagonal();
     let inv_diag: Vec<f64> = diag
         .iter()
-        .map(|&d| if d.abs() > f64::MIN_POSITIVE { 1.0 / d } else { 1.0 })
+        .map(|&d| {
+            if d.abs() > f64::MIN_POSITIVE {
+                1.0 / d
+            } else {
+                1.0
+            }
+        })
         .collect();
 
     let mut r = vec![0.0; n];
@@ -228,7 +234,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let a = laplacian_1d(8);
-        let sol = conjugate_gradient(&a, &vec![0.0; 8], &CgOptions::default()).unwrap();
+        let sol = conjugate_gradient(&a, &[0.0; 8], &CgOptions::default()).unwrap();
         assert!(sol.x.iter().all(|&x| x.abs() < 1e-12));
         assert_eq!(sol.iterations, 0);
     }

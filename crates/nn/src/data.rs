@@ -80,10 +80,7 @@ impl BatchIter {
 ///
 /// Panics unless `0.0 <= fraction < 1.0`.
 pub fn train_validation_split(len: usize, fraction: f64) -> (Vec<usize>, Vec<usize>) {
-    assert!(
-        (0.0..1.0).contains(&fraction),
-        "fraction must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
     let val = ((len as f64) * fraction).floor() as usize;
     let cut = len - val;
     ((0..cut).collect(), (cut..len).collect())
@@ -110,10 +107,7 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = BatchIter::new(8, 3, 9);
         let mut b = BatchIter::new(8, 3, 9);
-        assert_eq!(
-            a.epoch().collect::<Vec<_>>(),
-            b.epoch().collect::<Vec<_>>()
-        );
+        assert_eq!(a.epoch().collect::<Vec<_>>(), b.epoch().collect::<Vec<_>>());
     }
 
     #[test]

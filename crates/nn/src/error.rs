@@ -51,7 +51,7 @@ mod tests {
         assert!(e.to_string().contains("2x3"));
         assert!(e.source().is_none());
 
-        let io = NnError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = NnError::from(std::io::Error::other("boom"));
         assert!(io.source().is_some());
     }
 

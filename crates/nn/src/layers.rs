@@ -54,8 +54,7 @@ impl Dense {
         let mut w = vec![0.0f32; out_features * in_features];
         kaiming_uniform(&mut w, in_features, &mut rng);
         Dense {
-            weight: Tensor::from_vec(w, &[out_features, in_features])
-                .expect("dense weight shape"),
+            weight: Tensor::from_vec(w, &[out_features, in_features]).expect("dense weight shape"),
             bias: Tensor::zeros(&[out_features]),
             grad_weight: Tensor::zeros(&[out_features, in_features]),
             grad_bias: Tensor::zeros(&[out_features]),
@@ -325,8 +324,8 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let [batch, c, h, w] = *<&[usize; 4]>::try_from(input.shape())
-            .expect("conv input must be [batch, c, h, w]");
+        let [batch, c, h, w] =
+            *<&[usize; 4]>::try_from(input.shape()).expect("conv input must be [batch, c, h, w]");
         assert_eq!(c, self.in_channels(), "conv input channels");
         let (out_h, out_w) = self.output_hw(h, w);
         let oc = self.out_channels();
@@ -373,8 +372,8 @@ impl Layer for Conv2d {
         let mut grad_input = Tensor::zeros(input.shape());
         for b in 0..batch {
             let col = self.im2col(&input, b, out_h, out_w);
-            let go_slice = &grad_output.data()
-                [b * oc * out_h * out_w..(b + 1) * oc * out_h * out_w];
+            let go_slice =
+                &grad_output.data()[b * oc * out_h * out_w..(b + 1) * oc * out_h * out_w];
             let go_mat = Tensor::from_vec(go_slice.to_vec(), &[oc, out_h * out_w])
                 .expect("grad output matrix");
 
@@ -835,8 +834,11 @@ mod tests {
     #[test]
     fn global_avg_pool() {
         let mut p = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = p.forward(&x, true);
         assert_eq!(y.data(), &[2.5, 10.0]);
         let g = p.backward(&Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap());

@@ -45,10 +45,7 @@ pub fn mse(prediction: &Tensor, target: &Tensor) -> Result<(f32, Tensor), NnErro
 ///
 /// Returns [`NnError::Shape`] if `logits` is not rank-2, the label
 /// count differs from the batch size, or any label is out of range.
-pub fn softmax_cross_entropy(
-    logits: &Tensor,
-    labels: &[usize],
-) -> Result<(f32, Tensor), NnError> {
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
     if logits.shape().len() != 2 {
         return Err(NnError::Shape(format!(
             "softmax_cross_entropy: logits must be [batch, classes], got {:?}",
@@ -220,8 +217,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.1], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.1], &[3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]).unwrap(), 0.0);

@@ -5,7 +5,9 @@
 //! depth so ablations can sweep architecture.
 
 use crate::layers::{Dense, Layer, Relu};
-use crate::serialize::{expect_magic, read_f32_slice, read_u32, write_f32_slice, write_magic, write_u32};
+use crate::serialize::{
+    expect_magic, read_f32_slice, read_u32, write_f32_slice, write_magic, write_u32,
+};
 use crate::tensor::Tensor;
 use crate::NnError;
 use std::io::{Read, Write};
@@ -49,7 +51,7 @@ impl Mlp {
                 "mlp needs at least input and output sizes, got {sizes:?}"
             )));
         }
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Err(NnError::InvalidArchitecture(format!(
                 "mlp layer sizes must be positive, got {sizes:?}"
             )));
@@ -59,7 +61,9 @@ impl Mlp {
             .enumerate()
             .map(|(k, pair)| Dense::new(pair[0], pair[1], seed.wrapping_add(k as u64)))
             .collect::<Vec<_>>();
-        let relu = (0..sizes.len().saturating_sub(2)).map(|_| Relu::new()).collect();
+        let relu = (0..sizes.len().saturating_sub(2))
+            .map(|_| Relu::new())
+            .collect();
         Ok(Mlp {
             sizes: sizes.to_vec(),
             dense,
@@ -74,10 +78,7 @@ impl Mlp {
 
     /// Total number of trainable scalars.
     pub fn parameter_count(&self) -> usize {
-        self.sizes
-            .windows(2)
-            .map(|p| p[0] * p[1] + p[1])
-            .sum()
+        self.sizes.windows(2).map(|p| p[0] * p[1] + p[1]).sum()
     }
 
     /// Borrow of the dense layers (for weight export, e.g. mapping the

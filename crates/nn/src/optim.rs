@@ -3,6 +3,26 @@
 //! [`Layer::visit_params`]: crate::layers::Layer::visit_params
 
 use crate::layers::Layer;
+use std::sync::{Arc, OnceLock};
+
+/// Global optimizer-step counters, resolved once per process so the
+/// per-step cost with telemetry disabled is a single relaxed load.
+fn step_counter(
+    name: &'static str,
+    cell: &OnceLock<Arc<telemetry::Counter>>,
+) -> Arc<telemetry::Counter> {
+    cell.get_or_init(|| telemetry::counter(name)).clone()
+}
+
+fn adam_steps() -> Arc<telemetry::Counter> {
+    static CELL: OnceLock<Arc<telemetry::Counter>> = OnceLock::new();
+    step_counter("nn.adam.steps", &CELL)
+}
+
+fn sgd_steps() -> Arc<telemetry::Counter> {
+    static CELL: OnceLock<Arc<telemetry::Counter>> = OnceLock::new();
+    step_counter("nn.sgd.steps", &CELL)
+}
 
 /// An optimizer that updates any [`Layer`] (models implement `Layer`
 /// too — their `visit_params` forwards to their children in a stable
@@ -54,6 +74,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, model: &mut dyn Layer) {
+        sgd_steps().inc();
         let mut buffer_index = 0usize;
         let lr = self.learning_rate;
         let momentum = self.momentum;
@@ -108,6 +129,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, model: &mut dyn Layer) {
+        adam_steps().inc();
         self.step_count += 1;
         let t = self.step_count as f32;
         let bias1 = 1.0 - self.beta1.powf(t);

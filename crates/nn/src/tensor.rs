@@ -177,9 +177,7 @@ impl Tensor {
             })?,
         );
         if k1 != k2 {
-            return Err(NnError::Shape(format!(
-                "matmul: [{m}, {k1}] x [{k2}, {n}]"
-            )));
+            return Err(NnError::Shape(format!("matmul: [{m}, {k1}] x [{k2}, {n}]")));
         }
         let mut out = vec![0.0f32; m * n];
         // ikj loop order keeps the inner loop contiguous in both the

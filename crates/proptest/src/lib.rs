@@ -1,0 +1,329 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this in-tree
+//! package provides the subset of the proptest API the workspace uses:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, numeric
+//! range strategies, tuple strategies, `prop_map`, and
+//! [`collection::vec`].
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. A failing case panics immediately with the standard
+//! assertion message, which is enough for CI triage. Case generation is
+//! deterministic (seeded per test by a hash of nothing but the case
+//! index), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case.
+    pub fn new(case: u64) -> Self {
+        TestRng {
+            state: 0xA076_1D64_78BD_642F ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator (subset of upstream's `Strategy`).
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps the generated value through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact count or a range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a `Vec` strategy (`proptest::collection::vec`).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-proptest-block configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Builds a config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the suite fast while
+            // still exercising varied inputs.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut __proptest_rng = $crate::TestRng::new(case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Defines property tests: each `#[test] fn name(x in strategy, ..)`
+/// runs its body over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            cfg = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let mut rng = crate::TestRng::new(0);
+        for _ in 0..500 {
+            let x = Strategy::sample(&(0usize..7), &mut rng);
+            assert!(x < 7);
+            let y = Strategy::sample(&(-1.5f64..1.5), &mut rng);
+            assert!((-1.5..1.5).contains(&y));
+            let v = Strategy::sample(&collection::vec(0u32..3, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 3));
+            let (a, b) = Strategy::sample(&(0u8..4, 1.0f32..2.0), &mut rng);
+            assert!(a < 4 && (1.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = crate::TestRng::new(1);
+        let doubled = (1u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = Strategy::sample(&doubled, &mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_runs_and_binds(a in 0u64..16, b in collection::vec(-1.0f64..1.0, 3)) {
+            prop_assert!(a < 16);
+            prop_assert_eq!(b.len(), 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0i32..=3) {
+            prop_assert!((0..=3).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! `geniex-telemetry` — zero-dependency observability for the GENIEx
+//! reproduction: metrics, spans, structured events, and run manifests
+//! across the solver → surrogate → functional-simulator stack.
+//!
+//! # Design
+//!
+//! - **Global, default-off.** One process-wide registry and enabled
+//!   flag. Instrumentation stays compiled into hot paths; while
+//!   disabled, every update costs a single relaxed atomic load.
+//! - **Handles for hot paths.** [`counter`] / [`histogram`] / [`timer`]
+//!   return `Arc` handles resolved once (at construction of the hot
+//!   struct) so the per-update path never touches the registry lock.
+//! - **Metrics aggregate, events stream.** Counters, gauges,
+//!   fixed-bucket histograms, and timers accumulate in place and are
+//!   rendered by [`report`] or dumped into run manifests. Structured
+//!   [`Event`]s (epoch losses, layer SNRs, closing spans) fan out to
+//!   registered [`Sink`]s — a JSON-lines file per benchmark run, or an
+//!   in-memory sink in tests.
+//! - **Run manifests.** [`start_run`] ties it together for a
+//!   benchmark binary: it opens `results/logs/<name>.jsonl`, records
+//!   config + git revision, streams events during the run, and
+//!   [`RunManifest::finish`] appends a final snapshot of every metric
+//!   plus the headline result.
+//!
+//! # Example
+//!
+//! ```
+//! let _lock = telemetry::test_lock(); // serialize global state in doctests
+//! telemetry::set_enabled(true);
+//! let mvms = telemetry::counter("doc.mvm_ops");
+//! let iters = telemetry::histogram("doc.newton_iters", &[1.0, 2.0, 4.0, 8.0]);
+//! {
+//!     let _span = telemetry::span("doc.solve");
+//!     mvms.inc();
+//!     iters.observe(3.0);
+//! }
+//! let report = telemetry::report();
+//! assert!(report.contains("doc.mvm_ops"));
+//! telemetry::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod sink;
+mod span;
+
+pub use json::Json;
+pub use manifest::{git_rev, start_run, RunManifest};
+pub use metrics::{
+    exponential_buckets, linear_buckets, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricSnapshot, Timer,
+};
+pub use sink::{current_thread_id, Event, JsonlSink, MemorySink, Sink};
+pub use span::Span;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is currently recording. This is the hot-path
+/// guard: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Process-relative clock origin for event timestamps.
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    timers: RwLock<BTreeMap<String, Arc<Timer>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn get_or_insert<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    create: impl FnOnce(String) -> T,
+) -> Arc<T> {
+    if let Some(found) = map.read().expect("registry poisoned").get(name) {
+        return found.clone();
+    }
+    let mut map = map.write().expect("registry poisoned");
+    map.entry(name.to_string())
+        .or_insert_with(|| Arc::new(create(name.to_string())))
+        .clone()
+}
+
+/// Gets or creates the counter with this name. Cache the handle in
+/// hot structs; the lookup takes a registry read lock.
+pub fn counter(name: &str) -> Arc<Counter> {
+    get_or_insert(&registry().counters, name, Counter::new)
+}
+
+/// Gets or creates the gauge with this name.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    get_or_insert(&registry().gauges, name, Gauge::new)
+}
+
+/// Gets or creates the histogram with this name. The first caller's
+/// `bounds` win; later calls with different bounds get the existing
+/// histogram unchanged.
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    get_or_insert(&registry().histograms, name, |n| Histogram::new(n, bounds))
+}
+
+/// Gets or creates the timer with this name.
+pub fn timer(name: &str) -> Arc<Timer> {
+    get_or_insert(&registry().timers, name, Timer::new)
+}
+
+/// Opens a scoped wall-time span; it records a `span.<path>` timer and
+/// emits a `span` event when dropped. Spans nest per thread.
+pub fn span(name: &str) -> Span {
+    span::begin(name)
+}
+
+/// Zeroes every registered metric (names and histogram bounds are
+/// kept). Run manifests call this so each run's final snapshot covers
+/// exactly that run.
+pub fn reset_metrics() {
+    let reg = registry();
+    for c in reg.counters.read().expect("registry poisoned").values() {
+        c.reset();
+    }
+    for g in reg.gauges.read().expect("registry poisoned").values() {
+        g.reset();
+    }
+    for h in reg.histograms.read().expect("registry poisoned").values() {
+        h.reset();
+    }
+    for t in reg.timers.read().expect("registry poisoned").values() {
+        t.reset();
+    }
+}
+
+/// Snapshot of every registered metric, sorted by name within kind
+/// (counters, gauges, histograms, timers).
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry();
+    let mut out = Vec::new();
+    for (name, c) in reg.counters.read().expect("registry poisoned").iter() {
+        out.push(MetricSnapshot::Counter {
+            name: name.clone(),
+            value: c.get(),
+        });
+    }
+    for (name, g) in reg.gauges.read().expect("registry poisoned").iter() {
+        out.push(MetricSnapshot::Gauge {
+            name: name.clone(),
+            value: g.get(),
+        });
+    }
+    for h in reg.histograms.read().expect("registry poisoned").values() {
+        out.push(MetricSnapshot::Histogram(h.snapshot()));
+    }
+    for (name, t) in reg.timers.read().expect("registry poisoned").iter() {
+        let (count, total_ns, max_ns) = t.get();
+        out.push(MetricSnapshot::Timer {
+            name: name.clone(),
+            count,
+            total_ns,
+            max_ns,
+        });
+    }
+    out
+}
+
+type SinkEntry = (u64, Arc<dyn Sink>);
+
+fn sinks() -> &'static RwLock<Vec<SinkEntry>> {
+    static SINKS: OnceLock<RwLock<Vec<SinkEntry>>> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Registers an event sink; returns an id for [`remove_sink`].
+pub fn add_sink(sink: Arc<dyn Sink>) -> u64 {
+    let id = NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed);
+    sinks()
+        .write()
+        .expect("sink list poisoned")
+        .push((id, sink));
+    id
+}
+
+/// Unregisters a sink (flushing it); returns whether it was present.
+pub fn remove_sink(id: u64) -> bool {
+    let removed = {
+        let mut list = sinks().write().expect("sink list poisoned");
+        list.iter()
+            .position(|(sink_id, _)| *sink_id == id)
+            .map(|idx| list.remove(idx).1)
+    };
+    match removed {
+        Some(sink) => {
+            sink.flush();
+            true
+        }
+        None => false,
+    }
+}
+
+/// Emits a structured event to every registered sink. No-op while
+/// disabled. `kind` is the category (`"epoch"`, `"layer_snr"`, ...),
+/// `name` the specific source, `fields` the payload.
+pub fn emit(kind: &str, name: &str, fields: Vec<(String, Json)>) {
+    if !enabled() {
+        return;
+    }
+    let event = Event {
+        kind: kind.to_string(),
+        name: name.to_string(),
+        fields,
+        thread: current_thread_id(),
+        elapsed_s: process_start().elapsed().as_secs_f64(),
+    };
+    for (_, sink) in sinks().read().expect("sink list poisoned").iter() {
+        sink.emit(&event);
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 && v.abs() < 1e6 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_time_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "-".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Renders a human-readable summary table of every registered metric.
+pub fn report() -> String {
+    let snaps = snapshot();
+    if snaps.is_empty() {
+        return "telemetry: no metrics registered\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>9} {:>12} {:>12} {:>12} {:>14}\n",
+        "metric", "type", "count", "mean", "max", "total"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(116)));
+    for snap in &snaps {
+        let line = match snap {
+            MetricSnapshot::Counter { name, value } => format!(
+                "{name:<52} {:>9} {:>12} {:>12} {:>12} {:>14}",
+                "counter",
+                "-",
+                "-",
+                "-",
+                fmt_num(*value as f64)
+            ),
+            MetricSnapshot::Gauge { name, value } => format!(
+                "{name:<52} {:>9} {:>12} {:>12} {:>12} {:>14}",
+                "gauge",
+                "-",
+                "-",
+                "-",
+                fmt_num(*value)
+            ),
+            MetricSnapshot::Histogram(h) => format!(
+                "{:<52} {:>9} {:>12} {:>12} {:>12} {:>14}",
+                h.name,
+                "histogram",
+                h.count,
+                fmt_num(h.mean()),
+                fmt_num(h.max),
+                fmt_num(h.sum)
+            ),
+            MetricSnapshot::Timer {
+                name,
+                count,
+                total_ns,
+                max_ns,
+            } => {
+                let mean_ns = if *count == 0 {
+                    f64::NAN
+                } else {
+                    *total_ns as f64 / *count as f64
+                };
+                format!(
+                    "{name:<52} {:>9} {count:>12} {:>12} {:>12} {:>14}",
+                    "timer",
+                    fmt_time_ns(mean_ns),
+                    fmt_time_ns(*max_ns as f64),
+                    fmt_time_ns(*total_ns as f64)
+                )
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes access to the process-global telemetry state (the
+/// enabled flag, registry contents, sink list) for tests that toggle
+/// it. Recovers from poisoning so one failed test doesn't cascade.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let a = counter("lib.shared");
+        let b = counter("lib.shared");
+        assert!(Arc::ptr_eq(&a, &b));
+        let h1 = histogram("lib.shared_hist", &[1.0, 2.0]);
+        let h2 = histogram("lib.shared_hist", &[99.0]);
+        assert!(Arc::ptr_eq(&h1, &h2), "first bounds win, same instance");
+    }
+
+    #[test]
+    fn disabled_updates_are_noops() {
+        let _guard = test_lock();
+        set_enabled(false);
+        let c = counter("lib.disabled_counter");
+        let g = gauge("lib.disabled_gauge");
+        let h = histogram("lib.disabled_hist", &[1.0]);
+        let t = timer("lib.disabled_timer");
+        let base = c.get();
+        c.add(5);
+        g.set(3.0);
+        g.add(2.0);
+        h.observe(0.5);
+        t.record_ns(100);
+        assert_eq!(c.get(), base);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(t.get().0, 0);
+
+        // Events are dropped too, even with a sink registered.
+        let mem = Arc::new(MemorySink::new());
+        let id = add_sink(mem.clone());
+        emit("kind", "lib.disabled_event", vec![]);
+        remove_sink(id);
+        assert!(mem.events_for_current_thread().is_empty());
+    }
+
+    #[test]
+    fn concurrent_updates_from_scoped_threads() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let c = counter("lib.concurrent_counter");
+        let h = histogram("lib.concurrent_hist", &linear_buckets(0.0, 1.0, 8));
+        let g = gauge("lib.concurrent_gauge");
+        let base_count = c.get();
+        let base_hist = h.count();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1000;
+        std::thread::scope(|scope| {
+            for worker in 0..THREADS {
+                let c = c.clone();
+                let h = h.clone();
+                let g = g.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.observe((worker % 8) as f64);
+                        if i % 100 == 0 {
+                            g.add(1.0);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - base_count, THREADS * PER_THREAD);
+        let snap = h.snapshot();
+        assert_eq!(snap.count - base_hist, THREADS * PER_THREAD);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert_eq!(g.get(), (THREADS * (PER_THREAD / 100)) as f64);
+        g.set(0.0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_bucketing_and_quantiles() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let h = histogram("lib.bucketing", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // Inclusive upper edges: 1.0 lands in the first bucket.
+        assert_eq!(snap.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(snap.min, 0.5);
+        assert_eq!(snap.max, 100.0);
+        assert!((snap.sum - 106.0).abs() < 1e-12);
+        assert_eq!(snap.quantile(0.5), 2.0);
+        assert_eq!(snap.quantile(1.0), 100.0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn report_contains_all_kinds() {
+        let _guard = test_lock();
+        set_enabled(true);
+        counter("lib.report_counter").add(7);
+        gauge("lib.report_gauge").set(1.5);
+        histogram("lib.report_hist", &[1.0]).observe(0.5);
+        timer("lib.report_timer").record_ns(1_500_000);
+        set_enabled(false);
+        let text = report();
+        for name in [
+            "lib.report_counter",
+            "lib.report_gauge",
+            "lib.report_hist",
+            "lib.report_timer",
+        ] {
+            assert!(text.contains(name), "report missing {name}:\n{text}");
+        }
+        assert!(text.contains("1.50 ms"), "timer not humanized:\n{text}");
+    }
+
+    #[test]
+    fn span_events_reach_sinks() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let mem = Arc::new(MemorySink::new());
+        let id = add_sink(mem.clone());
+        {
+            let _outer = span("lib.span_outer");
+            let _inner = span("lib.span_inner");
+        }
+        remove_sink(id);
+        set_enabled(false);
+        let events = mem.events_for_current_thread();
+        let paths: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        // Inner drops first.
+        assert_eq!(
+            paths,
+            vec!["lib.span_outer/lib.span_inner", "lib.span_outer"]
+        );
+        for event in &events {
+            let seconds = event.field("seconds").and_then(Json::as_f64).unwrap();
+            assert!(seconds >= 0.0);
+        }
+    }
+}

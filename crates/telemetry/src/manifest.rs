@@ -1,0 +1,226 @@
+//! Run manifests: one JSON-lines file per benchmark/figure run.
+//!
+//! A manifest records everything needed to interpret a results CSV
+//! after the fact: the configuration that produced it, the git
+//! revision, wall time, every telemetry event emitted during the run,
+//! and a final snapshot of all metrics. Layout of a manifest file:
+//!
+//! ```text
+//! {"type":"run_start","name":...,"git_rev":...,"unix_time_s":...,"config":{...}}
+//! {"type":"event", ...}            // streamed while the run executes
+//! ...
+//! {"type":"metric","kind":"counter", ...}   // snapshot at finish
+//! ...
+//! {"type":"run_end","name":...,"wall_s":...,"final":{...}}
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+use crate::sink::JsonlSink;
+
+/// Best-effort current git commit hash, found by walking up from
+/// `start` to a `.git` directory and resolving `HEAD` by hand (no git
+/// binary or library needed).
+pub fn git_rev(start: &Path) -> Option<String> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let git = d.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            if let Some(reference) = head.strip_prefix("ref: ") {
+                // Loose ref file, then packed-refs.
+                if let Ok(hash) = std::fs::read_to_string(git.join(reference)) {
+                    return Some(hash.trim().to_string());
+                }
+                if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+                    for line in packed.lines() {
+                        if let Some(hash) = line.strip_suffix(reference) {
+                            return Some(hash.trim().to_string());
+                        }
+                    }
+                }
+                return None;
+            }
+            return Some(head.to_string());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Live manifest for one run. Obtain via [`start_run`]; close with
+/// [`RunManifest::finish`]. Dropping without `finish` still writes the
+/// metric snapshot and `run_end` record (best effort).
+pub struct RunManifest {
+    name: String,
+    sink: Arc<JsonlSink>,
+    sink_id: u64,
+    start: Instant,
+    finished: bool,
+}
+
+/// Opens `<log_dir>/<name>.jsonl` (truncating any previous run),
+/// enables telemetry, resets all metrics so the manifest's final
+/// snapshot covers exactly this run, registers the file as an event
+/// sink, and writes the `run_start` record.
+pub fn start_run(log_dir: &Path, name: &str, config: &[(&str, Json)]) -> io::Result<RunManifest> {
+    let sink = Arc::new(JsonlSink::create(log_dir.join(format!("{name}.jsonl")))?);
+    crate::set_enabled(true);
+    crate::reset_metrics();
+    let unix_time_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let rev = git_rev(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+    let header = Json::Obj(vec![
+        ("type".into(), "run_start".into()),
+        ("name".into(), name.into()),
+        ("git_rev".into(), rev.map_or(Json::Null, Json::Str)),
+        ("unix_time_s".into(), unix_time_s.into()),
+        (
+            "config".into(),
+            Json::Obj(
+                config
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    sink.write_raw_line(&header.to_string())?;
+    let sink_id = crate::add_sink(sink.clone());
+    Ok(RunManifest {
+        name: name.to_string(),
+        sink,
+        sink_id,
+        start: Instant::now(),
+        finished: false,
+    })
+}
+
+impl RunManifest {
+    /// Path of the manifest file.
+    pub fn path(&self) -> &Path {
+        self.sink.path()
+    }
+
+    /// Detaches the sink, dumps a snapshot of every metric, and writes
+    /// the `run_end` record with `final_fields` (the run's headline
+    /// numbers, e.g. final accuracy or RMSE).
+    pub fn finish(mut self, final_fields: &[(&str, Json)]) -> io::Result<PathBuf> {
+        self.close(final_fields)?;
+        Ok(self.sink.path().to_path_buf())
+    }
+
+    fn close(&mut self, final_fields: &[(&str, Json)]) -> io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        crate::remove_sink(self.sink_id);
+        for snapshot in crate::snapshot() {
+            self.sink.write_raw_line(&snapshot.to_json().to_string())?;
+        }
+        let footer = Json::Obj(vec![
+            ("type".into(), "run_end".into()),
+            ("name".into(), self.name.as_str().into()),
+            ("wall_s".into(), self.start.elapsed().as_secs_f64().into()),
+            (
+                "final".into(),
+                Json::Obj(
+                    final_fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.sink.write_raw_line(&footer.to_string())
+    }
+}
+
+impl Drop for RunManifest {
+    fn drop(&mut self) {
+        let _ = self.close(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::sink::current_thread_id;
+
+    #[test]
+    fn git_rev_resolves_this_repo() {
+        // The workspace is a git repo, so walking up from the crate
+        // directory must find a 40-hex-digit commit hash.
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let rev = git_rev(&here).expect("repo has a .git directory");
+        assert_eq!(rev.len(), 40, "unexpected rev {rev:?}");
+        assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn manifest_file_structure() {
+        let _guard = crate::test_lock();
+        let dir = std::env::temp_dir().join(format!(
+            "geniex-manifest-test-{}-{}",
+            std::process::id(),
+            current_thread_id()
+        ));
+        let manifest = start_run(
+            &dir,
+            "unit",
+            &[("rows", Json::Num(64.0)), ("mode", "quick".into())],
+        )
+        .expect("start");
+        crate::counter("unit.count").add(3);
+        crate::emit("tick", "unit.tick", vec![("i".into(), Json::Num(1.0))]);
+        let path = manifest
+            .finish(&[("rmse", Json::Num(0.05))])
+            .expect("finish");
+        crate::set_enabled(false);
+
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<Json> = text
+            .lines()
+            .map(|l| parse(l).expect("every line is valid JSON"))
+            .collect();
+        assert!(lines.len() >= 4);
+        let first = &lines[0];
+        assert_eq!(first.get("type").and_then(Json::as_str), Some("run_start"));
+        assert_eq!(
+            first
+                .get("config")
+                .and_then(|c| c.get("rows"))
+                .and_then(Json::as_u64),
+            Some(64)
+        );
+        assert!(first.get("git_rev").and_then(Json::as_str).is_some());
+        assert!(lines.iter().any(|l| {
+            l.get("type").and_then(Json::as_str) == Some("event")
+                && l.get("name").and_then(Json::as_str) == Some("unit.tick")
+        }));
+        assert!(lines.iter().any(|l| {
+            l.get("kind").and_then(Json::as_str) == Some("counter")
+                && l.get("name").and_then(Json::as_str) == Some("unit.count")
+                && l.get("value").and_then(Json::as_u64) == Some(3)
+        }));
+        let last = lines.last().unwrap();
+        assert_eq!(last.get("type").and_then(Json::as_str), Some("run_end"));
+        assert_eq!(
+            last.get("final")
+                .and_then(|f| f.get("rmse"))
+                .and_then(Json::as_f64),
+            Some(0.05)
+        );
+        assert!(last.get("wall_s").and_then(Json::as_f64).unwrap() >= 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,446 @@
+//! Metric primitives: counters, gauges, histograms, and timers.
+//!
+//! All metrics are lock-free and safe to update from any thread. Every
+//! update method first checks the global enabled flag, so a disabled
+//! metric costs exactly one relaxed atomic load — cheap enough to leave
+//! instrumentation in hot paths (per-MVM counters, solver inner loops)
+//! unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new(name: String) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins floating-point value.
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub(crate) fn new(name: String) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` atomically (compare-and-swap loop).
+    pub fn add(&self, delta: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Atomically folds `v` into a min (or max) stored as f64 bits.
+fn fold_extreme(bits: &AtomicU64, v: f64, want_min: bool) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let cur = f64::from_bits(current);
+        let better = if cur.is_nan() {
+            true
+        } else if want_min {
+            v < cur
+        } else {
+            v > cur
+        };
+        if !better {
+            return;
+        }
+        match bits.compare_exchange_weak(current, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Fixed-bucket histogram over f64 observations.
+///
+/// `bounds` are inclusive upper bucket edges; one overflow bucket is
+/// appended, so `buckets.len() == bounds.len() + 1`. Bounds are fixed
+/// at creation: the first caller of [`crate::histogram`] for a given
+/// name decides them.
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new(name: String, bounds: &[f64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_by(|a, b| a.total_cmp(b));
+        bounds.dedup();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            name,
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::NAN.to_bits()),
+            max_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS-add into the f64 sum.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        fold_extreme(&self.min_bits, v, true);
+        fold_extreme(&self.max_bits, v, false);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.clone(),
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    /// NaN when no observations were recorded.
+    pub min: f64,
+    /// NaN when no observations were recorded.
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (0..=1) from the bucket edges: returns the
+    /// upper bound of the bucket containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// Accumulated durations (for spans and explicit op timing).
+#[derive(Debug)]
+pub struct Timer {
+    name: String,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Timer {
+    pub(crate) fn new(name: String) -> Self {
+        Timer {
+            name,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one elapsed duration.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one elapsed duration in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Times a closure (timed even when disabled; recording is gated).
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !crate::enabled() {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// (count, total ns, max ns).
+    pub fn get(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.total_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of any metric, for reports and manifests.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    Counter {
+        name: String,
+        value: u64,
+    },
+    Gauge {
+        name: String,
+        value: f64,
+    },
+    Histogram(HistogramSnapshot),
+    Timer {
+        name: String,
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+    },
+}
+
+impl MetricSnapshot {
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. } => name,
+            MetricSnapshot::Gauge { name, .. } => name,
+            MetricSnapshot::Histogram(h) => &h.name,
+            MetricSnapshot::Timer { name, .. } => name,
+        }
+    }
+
+    /// JSON form used in run manifests.
+    pub fn to_json(&self) -> Json {
+        match self {
+            MetricSnapshot::Counter { name, value } => Json::Obj(vec![
+                ("type".into(), "metric".into()),
+                ("kind".into(), "counter".into()),
+                ("name".into(), name.as_str().into()),
+                ("value".into(), (*value).into()),
+            ]),
+            MetricSnapshot::Gauge { name, value } => Json::Obj(vec![
+                ("type".into(), "metric".into()),
+                ("kind".into(), "gauge".into()),
+                ("name".into(), name.as_str().into()),
+                ("value".into(), (*value).into()),
+            ]),
+            MetricSnapshot::Histogram(h) => Json::Obj(vec![
+                ("type".into(), "metric".into()),
+                ("kind".into(), "histogram".into()),
+                ("name".into(), h.name.as_str().into()),
+                ("count".into(), h.count.into()),
+                ("sum".into(), h.sum.into()),
+                ("min".into(), h.min.into()),
+                ("max".into(), h.max.into()),
+                ("mean".into(), h.mean().into()),
+                (
+                    "bounds".into(),
+                    Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),
+                ),
+                (
+                    "buckets".into(),
+                    Json::Arr(h.buckets.iter().map(|&n| Json::Num(n as f64)).collect()),
+                ),
+            ]),
+            MetricSnapshot::Timer {
+                name,
+                count,
+                total_ns,
+                max_ns,
+            } => Json::Obj(vec![
+                ("type".into(), "metric".into()),
+                ("kind".into(), "timer".into()),
+                ("name".into(), name.as_str().into()),
+                ("count".into(), (*count).into()),
+                ("total_s".into(), (*total_ns as f64 * 1e-9).into()),
+                ("max_s".into(), (*max_ns as f64 * 1e-9).into()),
+            ]),
+        }
+    }
+}
+
+/// `count` bucket bounds spaced exponentially from `start` by `factor`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(count);
+    let mut edge = start;
+    for _ in 0..count {
+        bounds.push(edge);
+        edge *= factor;
+    }
+    bounds
+}
+
+/// `count` bucket bounds spaced linearly from `start` by `step`.
+pub fn linear_buckets(start: f64, step: f64, count: usize) -> Vec<f64> {
+    (0..count).map(|i| start + step * i as f64).collect()
+}

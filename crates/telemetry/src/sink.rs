@@ -1,0 +1,260 @@
+//! Event sinks: where structured telemetry events go.
+//!
+//! Metrics aggregate in place; *events* are the streaming side of the
+//! telemetry system — one record per occurrence (a span closing, a
+//! training epoch finishing, a layer SNR measurement), fanned out to
+//! every registered sink. Two sinks ship with the crate: a JSON-lines
+//! file sink (run manifests, post-hoc analysis) and an in-memory sink
+//! (tests).
+
+use std::collections::hash_map::DefaultHasher;
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::{parse, Json};
+
+/// Stable-within-process numeric id for the calling thread. Masked to
+/// 53 bits so it survives a trip through a JSON f64 exactly.
+pub fn current_thread_id() -> u64 {
+    let mut hasher = DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    hasher.finish() & ((1 << 53) - 1)
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Category, e.g. `"span"`, `"epoch"`, `"layer_snr"`.
+    pub kind: String,
+    /// Specific name within the category, e.g. `"funcsim.forward"`.
+    pub name: String,
+    /// Free-form payload.
+    pub fields: Vec<(String, Json)>,
+    /// Hashed id of the emitting thread (lets tests filter out events
+    /// from concurrently running tests).
+    pub thread: u64,
+    /// Seconds since telemetry initialization in this process.
+    pub elapsed_s: f64,
+}
+
+impl Event {
+    /// Serializes to a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut pairs = vec![
+            ("type".to_string(), Json::Str("event".into())),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("thread".to_string(), Json::Num(self.thread as f64)),
+            ("elapsed_s".to_string(), Json::Num(self.elapsed_s)),
+        ];
+        pairs.push(("fields".to_string(), Json::Obj(self.fields.clone())));
+        Json::Obj(pairs).to_string()
+    }
+
+    /// Parses a line produced by [`Event::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let value = parse(line)?;
+        if value.get("type").and_then(Json::as_str) != Some("event") {
+            return Err("not an event line".to_string());
+        }
+        let field = |key: &str| value.get(key).ok_or_else(|| format!("missing key '{key}'"));
+        let fields = match field("fields")? {
+            Json::Obj(pairs) => pairs.clone(),
+            _ => return Err("'fields' is not an object".to_string()),
+        };
+        Ok(Event {
+            kind: field("kind")?
+                .as_str()
+                .ok_or("'kind' is not a string")?
+                .to_string(),
+            name: field("name")?
+                .as_str()
+                .ok_or("'name' is not a string")?
+                .to_string(),
+            fields,
+            thread: field("thread")?.as_u64().ok_or("'thread' is not a u64")?,
+            elapsed_s: field("elapsed_s")?
+                .as_f64()
+                .ok_or("'elapsed_s' is not a number")?,
+        })
+    }
+
+    /// Looks up a payload field.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Receives every emitted event.
+pub trait Sink: Send + Sync {
+    fn emit(&self, event: &Event);
+    fn flush(&self) {}
+}
+
+/// Collects events in memory; intended for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Events emitted by the calling thread (filters out concurrent
+    /// tests sharing the global sink list).
+    pub fn events_for_current_thread(&self) -> Vec<Event> {
+        let me = current_thread_id();
+        self.events()
+            .into_iter()
+            .filter(|e| e.thread == me)
+            .collect()
+    }
+
+    /// Drops all captured events.
+    pub fn clear(&self) {
+        self.events.lock().expect("memory sink poisoned").clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Appends events to a JSON-lines file, flushing after every line so
+/// logs survive a crash mid-run. Events are cold-path (spans, epochs,
+/// per-layer summaries), so the per-line flush is not a hot cost.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file, creating parent directories.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open(path.into(), true)
+    }
+
+    /// Opens the file for appending, creating parent directories.
+    pub fn append(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open(path.into(), false)
+    }
+
+    fn open(path: PathBuf, truncate: bool) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(truncate)
+            .append(!truncate)
+            .open(&path)?;
+        Ok(JsonlSink {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes one raw JSON line (used by run manifests for non-event
+    /// records such as `run_start` and metric dumps).
+    pub fn write_raw_line(&self, line: &str) -> io::Result<()> {
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        writeln!(writer, "{line}")?;
+        writer.flush()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        // Best effort: a full disk must not take down the simulation.
+        let _ = self.write_raw_line(&event.to_json_line());
+    }
+
+    fn flush(&self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        Event {
+            kind: "epoch".into(),
+            name: "surrogate.train".into(),
+            fields: vec![
+                ("epoch".into(), Json::Num(3.0)),
+                ("loss".into(), Json::Num(0.0125)),
+                ("note".into(), Json::Str("val \"best\"".into())),
+            ],
+            thread: current_thread_id(),
+            elapsed_s: 1.5,
+        }
+    }
+
+    #[test]
+    fn event_json_line_round_trip() {
+        let event = sample_event();
+        let line = event.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = Event::from_json_line(&line).expect("parse");
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn memory_sink_thread_filter() {
+        let sink = MemorySink::new();
+        sink.emit(&sample_event());
+        let mut foreign = sample_event();
+        foreign.thread = foreign.thread.wrapping_add(1);
+        sink.emit(&foreign);
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.events_for_current_thread().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "geniex-telemetry-test-{}-{}",
+            std::process::id(),
+            current_thread_id()
+        ));
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        sink.emit(&sample_event());
+        sink.write_raw_line("{\"type\":\"run_end\"}").expect("raw");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back = Event::from_json_line(lines[0]).expect("event line");
+        assert_eq!(back.kind, "epoch");
+        assert!(Event::from_json_line(lines[1]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,113 @@
+//! RAII scoped timers ("spans") with nesting.
+//!
+//! A span measures the wall time between its creation and drop. Spans
+//! nest per thread: a span opened while another is active records
+//! under the joined path (`outer/inner`), so the summary table shows
+//! where time went hierarchically. Each closing span feeds a timer
+//! metric named `span.<path>` and emits a `span` event.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json::Json;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live span handle; records on drop. Create via [`crate::span`].
+#[derive(Debug)]
+pub struct Span {
+    /// Full nesting path including this span's own name. `None` when
+    /// telemetry was disabled at creation (drop is then a no-op).
+    path: Option<String>,
+    start: Instant,
+}
+
+pub(crate) fn begin(name: &str) -> Span {
+    if !crate::enabled() {
+        return Span {
+            path: None,
+            start: Instant::now(),
+        };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = if stack.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", stack.join("/"), name)
+        };
+        stack.push(name.to_string());
+        path
+    });
+    Span {
+        path: Some(path),
+        start: Instant::now(),
+    }
+}
+
+impl Span {
+    /// Full nesting path, or `None` if telemetry was disabled at
+    /// creation.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        // Record even if telemetry was disabled mid-span: the stack
+        // must stay balanced, and a final data point is harmless. The
+        // timer itself gates on the enabled flag.
+        crate::timer(&format!("span.{path}")).record(elapsed);
+        crate::emit(
+            "span",
+            &path,
+            vec![("seconds".to_string(), Json::Num(elapsed.as_secs_f64()))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_has_no_path() {
+        // Tests in this crate serialize global-state access through
+        // `crate::test_lock`.
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        let span = begin("should-not-record");
+        assert!(span.path().is_none());
+    }
+
+    #[test]
+    fn nested_paths_join() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let outer = begin("outer");
+            assert_eq!(outer.path(), Some("outer"));
+            {
+                let inner = begin("inner");
+                assert_eq!(inner.path(), Some("outer/inner"));
+            }
+            let sibling = begin("sibling");
+            assert_eq!(sibling.path(), Some("outer/sibling"));
+        }
+        // Stack fully unwound: a fresh span is top-level again.
+        let fresh = begin("fresh");
+        assert_eq!(fresh.path(), Some("fresh"));
+        drop(fresh);
+        crate::set_enabled(false);
+    }
+}

@@ -71,9 +71,7 @@ impl SynthVision {
     /// Returns [`VisionError::InvalidConfig`] if `per_class == 0`.
     pub fn generate(spec: SynthSpec, per_class: usize, seed: u64) -> Result<Self, VisionError> {
         if per_class == 0 {
-            return Err(VisionError::InvalidConfig(
-                "per_class must be > 0".into(),
-            ));
+            return Err(VisionError::InvalidConfig("per_class must be > 0".into()));
         }
         let classes = spec.classes();
         let (c, h, w) = spec.image_shape();
@@ -229,11 +227,15 @@ fn draw_shape(shape: usize, h: usize, w: usize, dx: i32, dy: i32, amp: f32, plan
                 // 2: disc
                 2 => (fy * fy + fx * fx).sqrt() <= r_outer * 0.9,
                 // 3: plus cross
-                3 => (fy.abs() <= 1.0 && fx.abs() <= r_outer)
-                    || (fx.abs() <= 1.0 && fy.abs() <= r_outer),
+                3 => {
+                    (fy.abs() <= 1.0 && fx.abs() <= r_outer)
+                        || (fx.abs() <= 1.0 && fy.abs() <= r_outer)
+                }
                 // 4: X cross
-                4 => ((fy - fx).abs() <= 1.2 || (fy + fx).abs() <= 1.2)
-                    && fy.abs().max(fx.abs()) <= r_outer,
+                4 => {
+                    ((fy - fx).abs() <= 1.2 || (fy + fx).abs() <= 1.2)
+                        && fy.abs().max(fx.abs()) <= r_outer
+                }
                 // 5: horizontal stripes
                 5 => (y as i32 + dy).rem_euclid(3) == 0,
                 // 6: vertical stripes
@@ -307,7 +309,10 @@ mod tests {
         for i in 0..d.len() {
             let l = d.labels()[i];
             counts[l] += 1;
-            for (m, &p) in means[l].iter_mut().zip(&d.data[i * stride..(i + 1) * stride]) {
+            for (m, &p) in means[l]
+                .iter_mut()
+                .zip(&d.data[i * stride..(i + 1) * stride])
+            {
                 *m += p;
             }
         }

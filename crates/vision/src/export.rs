@@ -35,8 +35,7 @@ pub fn to_netpbm(data: &SynthVision, index: usize) -> Result<String, VisionError
             for y in 0..h {
                 for x in 0..w {
                     for ch in 0..3.min(c) {
-                        let v =
-                            (images.at(&[0, ch, y, x]).clamp(0.0, 1.0) * 255.0) as u8;
+                        let v = (images.at(&[0, ch, y, x]).clamp(0.0, 1.0) * 255.0) as u8;
                         let _ = write!(out, "{v} ");
                     }
                 }
@@ -71,8 +70,7 @@ pub fn export_class_gallery<P: AsRef<Path>>(
         // index k.
         let body = to_netpbm(data, class)?;
         let path = dir.as_ref().join(format!("class_{class}.{ext}"));
-        let mut f =
-            std::fs::File::create(&path).map_err(|e| VisionError::Network(e.into()))?;
+        let mut f = std::fs::File::create(&path).map_err(|e| VisionError::Network(e.into()))?;
         f.write_all(body.as_bytes())
             .map_err(|e| VisionError::Network(e.into()))?;
         written.push(path);

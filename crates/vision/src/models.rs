@@ -68,6 +68,9 @@ impl Layer for ResBlock {
 }
 
 /// One stage of the sequential model.
+// Conv2d dominates the enum's size, but blocks live in one short Vec
+// per model; boxing would add a pointer chase to every forward pass.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum Block {
     Conv(Conv2d),
@@ -378,7 +381,9 @@ mod tests {
         let mut block = ResBlock::new(2, 9);
         let x = {
             let mut rng = StdRng::seed_from_u64(4);
-            let data = (0..2 * 2 * 4 * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let data = (0..2 * 2 * 4 * 4)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect();
             Tensor::from_vec(data, &[2, 2, 4, 4]).unwrap()
         };
         let out = block.forward(&x, true);

@@ -171,7 +171,7 @@ pub fn rescale_for_fxp(
     calibration: &Tensor,
     target: f32,
 ) -> Result<NetworkSpec, VisionError> {
-    if !(target > 0.0) {
+    if target.is_nan() || target <= 0.0 {
         return Err(VisionError::InvalidConfig(format!(
             "target must be positive, got {target}"
         )));

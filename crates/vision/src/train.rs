@@ -74,7 +74,10 @@ pub fn train_model(
     let mut optimizer = Adam::new(options.learning_rate);
     let mut epoch_losses = Vec::with_capacity(options.epochs);
 
-    for _ in 0..options.epochs {
+    let _span = telemetry::span("vision.train");
+    let epoch_timer = telemetry::timer("vision.train.epoch_seconds");
+    for epoch in 0..options.epochs {
+        let t_epoch = telemetry::enabled().then(std::time::Instant::now);
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
@@ -88,7 +91,23 @@ pub fn train_model(
             loss_sum += loss as f64;
             batches += 1;
         }
-        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+        let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
+        epoch_losses.push(mean_loss);
+        if let Some(t0) = t_epoch {
+            epoch_timer.record(t0.elapsed());
+            telemetry::emit(
+                "train_epoch",
+                "vision.train",
+                vec![
+                    ("epoch".to_string(), telemetry::Json::from(epoch)),
+                    ("loss".to_string(), telemetry::Json::from(mean_loss as f64)),
+                    (
+                        "epoch_s".to_string(),
+                        telemetry::Json::from(t0.elapsed().as_secs_f64()),
+                    ),
+                ],
+            );
+        }
     }
 
     let final_train_accuracy = evaluate(model, data, 64)?;

@@ -72,11 +72,7 @@ impl AnalyticalModel {
             device_nonlinearity: false,
             access_device: false,
         };
-        let circuit = CrossbarCircuit::with_options(
-            &linear_params,
-            g,
-            NewtonOptions::default(),
-        )?;
+        let circuit = CrossbarCircuit::with_options(&linear_params, g, NewtonOptions::default())?;
 
         let (rows, cols) = (params.rows, params.cols);
         // Column k of M is the response to the unit vector e_k. Unit

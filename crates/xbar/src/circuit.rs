@@ -34,6 +34,49 @@ use crate::device::{
 use crate::params::CrossbarParams;
 use crate::XbarError;
 use linalg::{conjugate_gradient, CgOptions, CsrMatrix, TripletMatrix};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Telemetry handles resolved once so the per-solve cost is a handful
+/// of relaxed atomic ops (and just the enabled-flag load when off).
+struct CircuitMetrics {
+    solves: Arc<telemetry::Counter>,
+    solve_time: Arc<telemetry::Timer>,
+    newton_iterations: Arc<telemetry::Histogram>,
+    dampings: Arc<telemetry::Histogram>,
+    warm_starts: Arc<telemetry::Counter>,
+    cold_starts: Arc<telemetry::Counter>,
+    cg_solves: Arc<telemetry::Counter>,
+    cg_inner_iterations: Arc<telemetry::Histogram>,
+    cg_final_residual: Arc<telemetry::Histogram>,
+}
+
+fn metrics() -> &'static CircuitMetrics {
+    static METRICS: OnceLock<CircuitMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CircuitMetrics {
+        solves: telemetry::counter("xbar.solves"),
+        solve_time: telemetry::timer("xbar.solve_seconds"),
+        newton_iterations: telemetry::histogram(
+            "xbar.newton_iterations",
+            &telemetry::linear_buckets(0.0, 1.0, 16),
+        ),
+        dampings: telemetry::histogram(
+            "xbar.newton_dampings",
+            &telemetry::linear_buckets(0.0, 1.0, 8),
+        ),
+        warm_starts: telemetry::counter("xbar.warm_starts"),
+        cold_starts: telemetry::counter("xbar.cold_starts"),
+        cg_solves: telemetry::counter("xbar.cg.solves"),
+        cg_inner_iterations: telemetry::histogram(
+            "xbar.cg.inner_iterations",
+            &telemetry::exponential_buckets(1.0, 2.0, 14),
+        ),
+        cg_final_residual: telemetry::histogram(
+            "xbar.cg.final_residual",
+            &telemetry::exponential_buckets(1e-18, 10.0, 12),
+        ),
+    })
+}
 
 /// Which linear solver the Newton loop uses for its correction systems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,6 +126,26 @@ pub struct SolveReport {
     pub newton_iterations: usize,
     /// Final KCL residual (infinity norm, amperes).
     pub residual_norm: f64,
+    /// Total Newton step-halvings across all iterations.
+    pub dampings: usize,
+    /// Whether the solve was seeded from a previous operating point.
+    pub warm_start: bool,
+    /// Inner conjugate-gradient statistics; `None` unless the
+    /// [`LinearSolverKind::ConjugateGradient`] path ran.
+    pub cg: Option<CgStats>,
+}
+
+/// Aggregated inner conjugate-gradient statistics for one Newton solve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CgStats {
+    /// Correction systems solved by CG (one per Newton iteration).
+    pub solves: usize,
+    /// CG iterations summed over all correction solves.
+    pub total_iterations: usize,
+    /// CG iterations of the last correction solve.
+    pub last_iterations: usize,
+    /// Preconditioned-residual norm of the last correction solve.
+    pub last_residual: f64,
 }
 
 /// The per-junction device, selected by [`crate::NonIdealityConfig`].
@@ -273,8 +336,17 @@ impl CrossbarCircuit {
             return Err(XbarError::OutOfRange("input voltage is non-finite".into()));
         }
 
+        let t_start = telemetry::enabled().then(Instant::now);
+
         if !self.params.nonideality.parasitics {
-            return Ok(self.solve_without_parasitics(v));
+            let report = self.solve_without_parasitics(v);
+            if let Some(t) = t_start {
+                let m = metrics();
+                m.solves.inc();
+                m.solve_time.record(t.elapsed());
+                m.newton_iterations.observe(0.0);
+            }
+            return Ok(report);
         }
 
         let n = 2 * rows * cols;
@@ -318,8 +390,10 @@ impl CrossbarCircuit {
             .max(64.0 * f64::EPSILON * g_max * v_max);
 
         let mut iterations = 0;
+        let mut dampings_total = 0usize;
+        let mut cg_stats: Option<CgStats> = None;
         while res_norm > tolerance && iterations < self.options.max_iterations {
-            let dx = self.solve_correction(&x, &residual)?;
+            let dx = self.solve_correction(&x, &residual, &mut cg_stats)?;
             // Damped update: halve the step until the residual shrinks.
             let mut scale = 1.0;
             let mut accepted = false;
@@ -339,6 +413,7 @@ impl CrossbarCircuit {
                     break;
                 }
                 scale *= 0.5;
+                dampings_total += 1;
             }
             if !accepted {
                 return Err(XbarError::NewtonDiverged {
@@ -360,11 +435,26 @@ impl CrossbarCircuit {
         let currents = (0..cols)
             .map(|j| g_sink * x[self.b_idx(rows - 1, j)])
             .collect();
+        if let Some(t) = t_start {
+            let m = metrics();
+            m.solves.inc();
+            m.solve_time.record(t.elapsed());
+            m.newton_iterations.observe(iterations as f64);
+            m.dampings.observe(dampings_total as f64);
+            if guess.is_some() {
+                m.warm_starts.inc();
+            } else {
+                m.cold_starts.inc();
+            }
+        }
         Ok(SolveReport {
             currents,
             node_voltages: x,
             newton_iterations: iterations,
             residual_norm: res_norm,
+            dampings: dampings_total,
+            warm_start: guess.is_some(),
+            cg: cg_stats,
         })
     }
 
@@ -389,6 +479,9 @@ impl CrossbarCircuit {
             node_voltages,
             newton_iterations: 0,
             residual_norm: 0.0,
+            dampings: 0,
+            warm_start: false,
+            cg: None,
         }
     }
 
@@ -438,8 +531,14 @@ impl CrossbarCircuit {
         }
     }
 
-    /// Solves the Newton correction system `J(x) dx = F`.
-    fn solve_correction(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>, XbarError> {
+    /// Solves the Newton correction system `J(x) dx = F`, folding
+    /// inner-solver statistics into `cg_stats` on the CG path.
+    fn solve_correction(
+        &self,
+        x: &[f64],
+        f: &[f64],
+        cg_stats: &mut Option<CgStats>,
+    ) -> Result<Vec<f64>, XbarError> {
         match self.options.linear_solver {
             LinearSolverKind::BlockGaussSeidel => self.block_gauss_seidel(x, f),
             LinearSolverKind::ConjugateGradient => {
@@ -453,6 +552,17 @@ impl CrossbarCircuit {
                         initial_guess: None,
                     },
                 )?;
+                let stats = cg_stats.get_or_insert_with(CgStats::default);
+                stats.solves += 1;
+                stats.total_iterations += sol.iterations;
+                stats.last_iterations = sol.iterations;
+                stats.last_residual = sol.residual;
+                if telemetry::enabled() {
+                    let m = metrics();
+                    m.cg_solves.inc();
+                    m.cg_inner_iterations.observe(sol.iterations as f64);
+                    m.cg_final_residual.observe(sol.residual);
+                }
                 Ok(sol.x)
             }
         }
@@ -523,8 +633,9 @@ impl CrossbarCircuit {
         let mut gd = vec![0.0; half];
         for i in 0..rows {
             for j in 0..cols {
-                gd[i * cols + j] =
-                    self.cell(i, j).di_dv(x[self.w_idx(i, j)] - x[self.b_idx(i, j)]);
+                gd[i * cols + j] = self
+                    .cell(i, j)
+                    .di_dv(x[self.w_idx(i, j)] - x[self.b_idx(i, j)]);
             }
         }
 
@@ -805,6 +916,42 @@ mod tests {
         for (a, b) in bgs.currents.iter().zip(&cg.currents) {
             assert!((a - b).abs() < 1e-10 * a.abs().max(1e-12), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn cg_statistics_surface_in_report() {
+        let p = params(6, 6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = ConductanceMatrix::random_sparse(&p, 0.5, &mut rng);
+        let v = vec![0.25, 0.125, 0.0, 0.25, 0.0625, 0.1875];
+
+        let bgs = CrossbarCircuit::new(&p, &g).unwrap().solve(&v).unwrap();
+        assert!(bgs.cg.is_none(), "BGS path must not report CG stats");
+        assert!(!bgs.warm_start);
+
+        let circuit = CrossbarCircuit::with_options(
+            &p,
+            &g,
+            NewtonOptions {
+                linear_solver: LinearSolverKind::ConjugateGradient,
+                ..NewtonOptions::default()
+            },
+        )
+        .unwrap();
+        let cg = circuit.solve(&v).unwrap();
+        let stats = cg.cg.expect("CG path reports inner stats");
+        assert_eq!(stats.solves, cg.newton_iterations);
+        assert!(stats.total_iterations >= stats.solves);
+        assert!(stats.last_iterations > 0);
+        assert!(stats.last_residual.is_finite());
+
+        // Warm start from the converged point: flagged, and no harder
+        // than the cold solve.
+        let warm = circuit
+            .solve_with_guess(&v, Some(&cg.node_voltages))
+            .unwrap();
+        assert!(warm.warm_start);
+        assert!(warm.newton_iterations <= cg.newton_iterations);
     }
 
     #[test]

@@ -67,10 +67,7 @@ impl ConductanceMatrix {
     ///
     /// Returns [`XbarError::Shape`] on length mismatch and
     /// [`XbarError::OutOfRange`] if any level is outside `[0, 1]`.
-    pub fn from_levels(
-        params: &CrossbarParams,
-        levels: &[f64],
-    ) -> Result<Self, XbarError> {
+    pub fn from_levels(params: &CrossbarParams, levels: &[f64]) -> Result<Self, XbarError> {
         if levels.len() != params.rows * params.cols {
             return Err(XbarError::Shape(format!(
                 "{} levels for a {}x{} crossbar",
@@ -84,9 +81,7 @@ impl ConductanceMatrix {
         let mut data = Vec::with_capacity(levels.len());
         for &l in levels {
             if !(0.0..=1.0).contains(&l) {
-                return Err(XbarError::OutOfRange(format!(
-                    "level {l} outside [0, 1]"
-                )));
+                return Err(XbarError::OutOfRange(format!("level {l} outside [0, 1]")));
             }
             data.push(g_off + l * (g_on - g_off));
         }
@@ -103,11 +98,7 @@ impl ConductanceMatrix {
     /// Bit-slicing produces highly sparse conductance patterns; the
     /// GENIEx training set stratifies over `sparsity` to cover them
     /// (Section 4, "Dataset").
-    pub fn random_sparse<R: Rng>(
-        params: &CrossbarParams,
-        sparsity: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random_sparse<R: Rng>(params: &CrossbarParams, sparsity: f64, rng: &mut R) -> Self {
         let g_on = params.g_on();
         let g_off = params.g_off();
         let data = (0..params.rows * params.cols)

@@ -64,7 +64,7 @@ pub mod sweep;
 mod variation;
 
 pub use analytical::AnalyticalModel;
-pub use circuit::{CrossbarCircuit, LinearSolverKind, NewtonOptions, SolveReport};
+pub use circuit::{CgStats, CrossbarCircuit, LinearSolverKind, NewtonOptions, SolveReport};
 pub use conductance::ConductanceMatrix;
 pub use error::XbarError;
 pub use params::{CrossbarParams, CrossbarParamsBuilder, DeviceParams, NonIdealityConfig};

@@ -78,11 +78,7 @@ pub fn to_spice(
     // Drivers and source resistances.
     for i in 0..params.rows {
         let _ = writeln!(out, "Vin_{i} in_{i} 0 DC {v}", v = v[i]);
-        let _ = writeln!(
-            out,
-            "Rsource_{i} in_{i} w_{i}_0 {r}",
-            r = params.r_source
-        );
+        let _ = writeln!(out, "Rsource_{i} in_{i} w_{i}_0 {r}", r = params.r_source);
     }
     // Word-line wire segments.
     for i in 0..params.rows {

@@ -78,9 +78,7 @@ impl VariationConfig {
 
     /// True if this configuration changes nothing.
     pub fn is_none(&self) -> bool {
-        self.conductance_sigma == 0.0
-            && self.stuck_off_rate == 0.0
-            && self.stuck_on_rate == 0.0
+        self.conductance_sigma == 0.0 && self.stuck_off_rate == 0.0 && self.stuck_on_rate == 0.0
     }
 }
 
@@ -205,15 +203,7 @@ mod tests {
         let a = apply_variations(&p, &g, &cfg).unwrap();
         let b = apply_variations(&p, &g, &cfg).unwrap();
         assert_eq!(a, b);
-        let c = apply_variations(
-            &p,
-            &g,
-            &VariationConfig {
-                seed: 43,
-                ..cfg
-            },
-        )
-        .unwrap();
+        let c = apply_variations(&p, &g, &VariationConfig { seed: 43, ..cfg }).unwrap();
         assert_ne!(a, c);
     }
 
@@ -235,7 +225,10 @@ mod tests {
         let mean: f64 = out.as_slice().iter().sum::<f64>() / 256.0;
         // Lognormal with small sigma: mean close to the target.
         assert!((mean - g0).abs() < 0.05 * g0, "mean {mean} vs target {g0}");
-        assert!(out.as_slice().iter().all(|&x| (0.0..=p.g_on()).contains(&x)));
+        assert!(out
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=p.g_on()).contains(&x)));
         // Actually spread out.
         assert!(out.as_slice().iter().any(|&x| (x - g0).abs() > 0.01 * g0));
     }

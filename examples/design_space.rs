@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\nON/OFF ratio sweep (16x16, Ron = 100 kΩ):");
     for ratio in [2.0, 6.0, 10.0] {
-        let p = CrossbarParams::builder(16, 16).on_off_ratio(ratio).build()?;
+        let p = CrossbarParams::builder(16, 16)
+            .on_off_ratio(ratio)
+            .build()?;
         print_point(&format!("{ratio}"), &p)?;
     }
 

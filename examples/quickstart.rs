@@ -10,7 +10,7 @@ use geniex::benchmark::{compare_models, BenchmarkConfig};
 use geniex::dataset::{generate, DatasetConfig};
 use geniex::{Geniex, TrainConfig};
 use std::error::Error;
-use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, ideal_mvm};
+use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit, CrossbarParams};
 
 fn main() -> Result<(), Box<dyn Error>> {
     // 1. Describe a crossbar design point (paper Section 6 defaults:

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         sparsity_grades: vec![0.0, 0.25, 0.5, 0.75, 0.9],
         dac_levels: 16,
     };
-    println!("simulating {} operating points on the circuit solver...", config.samples);
+    println!(
+        "simulating {} operating points on the circuit solver...",
+        config.samples
+    );
     let data = generate(&params, &config)?;
     let (train, validation) = data.split(0.9);
 
@@ -100,7 +103,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "circuit f_R on the probe pattern: {:?}",
-        probe.f_r.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>()
+        probe
+            .f_r
+            .iter()
+            .map(|f| format!("{f:.3}"))
+            .collect::<Vec<_>>()
     );
     println!(
         "surrogate prediction:             {:?}",
@@ -113,6 +120,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut reloaded = Geniex::load(&mut Cursor::new(&buffer), &params)?;
     let again = reloaded.predict_f_r(&probe.v_levels, &probe.g_levels)?;
     assert_eq!(full, again);
-    println!("save/load round trip: {} bytes, predictions identical", buffer.len());
+    println!(
+        "save/load round trip: {} bytes, predictions identical",
+        buffer.len()
+    );
     Ok(())
 }

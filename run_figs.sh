@@ -1,10 +1,17 @@
 #!/bin/bash
-set -u
+# Regenerates every figure/ablation CSV. Per-binary stdout lands in
+# results/logs/<bin>.log, the telemetry run manifest in
+# results/logs/<bin>.jsonl, and a progress ledger with wall times in
+# results/logs/progress.txt (truncated at the start of each run).
+set -u -o pipefail
 cd /root/repo
 mkdir -p results/logs
-for b in fig7_design_space fig8_quantization fig9_bit_slicing validate_truth cost_report ablation_hidden ablation_sparsity ablation_mapping ablation_variations ablation_target ablation_ensemble; do
+: > results/logs/progress.txt
+for b in fig2_nf_analysis fig3_nonlinearity fig5_rmse fig7_design_space fig8_quantization fig9_bit_slicing validate_truth cost_report ablation_hidden ablation_sparsity ablation_mapping ablation_variations ablation_target ablation_ensemble; do
   echo "=== $b start $(date +%H:%M:%S) ===" >> results/logs/progress.txt
+  t0=$SECONDS
   cargo run -q --release -p geniex-bench --bin $b > results/logs/$b.log 2>&1
-  echo "=== $b done $(date +%H:%M:%S) exit $? ===" >> results/logs/progress.txt
+  status=$?
+  echo "=== $b done $(date +%H:%M:%S) exit $status wall $((SECONDS - t0))s ===" >> results/logs/progress.txt
 done
 echo ALL_FIGS_DONE >> results/logs/progress.txt
