@@ -1,0 +1,115 @@
+//! Thread-scaling benchmark: times the circuit-solve sweep on a
+//! 1-thread pool vs a pool at the configured width, checks the two
+//! runs are bit-identical, and records the speedup.
+//!
+//! Writes `results/thread_scaling.csv` and a run manifest. On a
+//! single-core machine the speedup is ~1×; CI's multi-core runners
+//! demonstrate the real scaling.
+
+use parallel::ThreadPool;
+use std::fmt::Write as _;
+use std::time::Instant;
+use xbar::sweep::{random_stimulus, Stimulus};
+use xbar::{ideal_mvm, CrossbarCircuit, CrossbarParams};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIZE: usize = 16;
+const N_STIMULI: usize = 24;
+const REPS: usize = 3;
+
+fn draw_stimuli(params: &CrossbarParams) -> Vec<Stimulus> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..N_STIMULI)
+        .map(|_| {
+            let v_sparsity = rng.gen_range(0.0..0.9);
+            let g_sparsity = rng.gen_range(0.0..0.9);
+            random_stimulus(params, v_sparsity, g_sparsity, &mut rng)
+        })
+        .collect()
+}
+
+fn solve_all(pool: &ThreadPool, params: &CrossbarParams, stimuli: &[Stimulus]) -> Vec<f64> {
+    let solved = pool.par_map_grained(stimuli, 1, |stimulus| {
+        let circuit = CrossbarCircuit::new(params, &stimulus.conductances).expect("circuit build");
+        let report = circuit.solve(&stimulus.voltages).expect("circuit solve");
+        let ideal = ideal_mvm(&stimulus.voltages, &stimulus.conductances).expect("ideal mvm");
+        (ideal, report.currents)
+    });
+    let mut out = Vec::new();
+    for (ideal, non_ideal) in solved {
+        out.extend(ideal);
+        out.extend(non_ideal);
+    }
+    out
+}
+
+fn best_time(pool: &ThreadPool, params: &CrossbarParams, stimuli: &[Stimulus]) -> (f64, Vec<f64>) {
+    let mut best = f64::INFINITY;
+    let mut result = Vec::new();
+    for _ in 0..REPS {
+        let t = Instant::now();
+        result = solve_all(pool, params, stimuli);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let threads = parallel::default_threads();
+    let run = geniex_bench::manifest::start(
+        "thread_scaling",
+        &[
+            ("size", telemetry::Json::from(SIZE)),
+            ("stimuli", telemetry::Json::from(N_STIMULI)),
+            ("parallel_threads", telemetry::Json::from(threads)),
+        ],
+    );
+    let params = CrossbarParams::builder(SIZE, SIZE)
+        .build()
+        .expect("valid design point");
+    let stimuli = draw_stimuli(&params);
+
+    let serial_pool = ThreadPool::with_name(1, "scaling-serial");
+    let parallel_pool = ThreadPool::with_name(threads, "scaling-parallel");
+    // Warm both pools once so thread spawn cost and cold caches stay
+    // out of the timing.
+    let _ = solve_all(&serial_pool, &params, &stimuli);
+    let _ = solve_all(&parallel_pool, &params, &stimuli);
+
+    let (serial_s, serial_out) = best_time(&serial_pool, &params, &stimuli);
+    let (parallel_s, parallel_out) = best_time(&parallel_pool, &params, &stimuli);
+
+    // Determinism cross-check: same bits regardless of pool width.
+    assert_eq!(serial_out.len(), parallel_out.len());
+    for (i, (a, b)) in serial_out.iter().zip(&parallel_out).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "solve output {i} differs between 1 and {threads} threads"
+        );
+    }
+
+    let speedup = serial_s / parallel_s;
+    println!(
+        "THREAD_SCALING threads={threads} serial_s={serial_s:.4} parallel_s={parallel_s:.4} \
+         speedup={speedup:.2}x (bit-identical)"
+    );
+
+    let mut csv = String::from("threads,serial_s,parallel_s,speedup\n");
+    let _ = writeln!(csv, "{threads},{serial_s:.6},{parallel_s:.6},{speedup:.4}");
+    let path = geniex_bench::setup::results_dir().join("thread_scaling.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("results dir");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("[scaling] wrote {}", path.display());
+
+    geniex_bench::manifest::finish(
+        run,
+        &[
+            ("serial_s", telemetry::Json::from(serial_s)),
+            ("parallel_s", telemetry::Json::from(parallel_s)),
+            ("speedup", telemetry::Json::from(speedup)),
+        ],
+    );
+}

@@ -4,11 +4,20 @@ use std::time::Instant;
 use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 
 fn main() {
+    // GENIEX_TRUTH16_PER_CLASS shrinks the evaluation subset for smoke
+    // runs (CI uses 1 image per class; the default 4 reproduces the
+    // headline 32-image measurement).
+    let per_class = std::env::var("GENIEX_TRUTH16_PER_CLASS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let subset = SynthVision::generate(SynthSpec::SynthS, per_class, 999).unwrap();
     let run = geniex_bench::manifest::start(
         "truth16",
         &[
             ("size", telemetry::Json::from(DEFAULT_SIZE)),
-            ("images", telemetry::Json::from(32u64)),
+            ("images", telemetry::Json::from(subset.len() as u64)),
         ],
     );
     let workload = standard_workload(SynthSpec::SynthS);
@@ -18,9 +27,12 @@ fn main() {
     let arch = ArchConfig::default().with_xbar(accuracy_design_point(DEFAULT_SIZE));
     // 32 images: enough to separate 50.8% from 52.3% only coarsely, but
     // enough to confirm which side of ideal the truth sits on.
-    let subset = SynthVision::generate(SynthSpec::SynthS, 4, 999).unwrap();
     let t = Instant::now();
     let truth = evaluate_spec(spec, &arch, &CircuitEngine, &subset, 16).unwrap();
-    println!("TRUTH16 {truth:.4} over 32 images in {:.0?}", t.elapsed());
+    println!(
+        "TRUTH16 {truth:.4} over {} images in {:.0?}",
+        subset.len(),
+        t.elapsed()
+    );
     geniex_bench::manifest::finish(run, &[("circuit_accuracy", telemetry::Json::from(truth))]);
 }

@@ -321,11 +321,12 @@ pub fn accuracy_design_point(size: usize) -> CrossbarParams {
 }
 
 /// Evaluates a programmed crossbar network's accuracy with the test
-/// set split across `threads` std-scoped workers.
+/// set batched across the shared worker pool (`GENIEX_THREADS`).
 ///
 /// `CrossbarNetwork::forward` takes `&self` and every backend is
-/// `Send + Sync`, so workers share the programmed state; results are
-/// deterministic regardless of thread count.
+/// `Send + Sync`, so workers share the programmed state. Batches map
+/// in parallel and the correct counts reduce in batch-index order, so
+/// the result is identical for any thread count.
 ///
 /// # Panics
 ///
@@ -334,37 +335,29 @@ pub fn parallel_accuracy(
     net: &funcsim::CrossbarNetwork,
     data: &vision::SynthVision,
     batch_size: usize,
-    threads: usize,
 ) -> f64 {
     let indices: Vec<usize> = (0..data.len()).collect();
-    let chunk_len = indices.len().div_ceil(threads.max(1));
-    let correct: usize = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in indices.chunks(chunk_len.max(1)) {
-            handles.push(scope.spawn(move || {
-                let mut local = 0usize;
-                for piece in chunk.chunks(batch_size.max(1)) {
-                    let (images, labels) = data.batch(piece).expect("batch assembly");
-                    let logits = net.forward(&images).expect("crossbar inference");
-                    let classes = net.classes();
-                    for (b, &label) in labels.iter().enumerate() {
-                        let row = &logits.data()[b * classes..(b + 1) * classes];
-                        let pred = row
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                            .map(|(i, _)| i)
-                            .expect("non-empty logits");
-                        if pred == label {
-                            local += 1;
-                        }
-                    }
-                }
-                local
-            }));
+    let batches: Vec<&[usize]> = indices.chunks(batch_size.max(1)).collect();
+    let counts = parallel::par_map_grained(&batches, 1, |piece| {
+        let (images, labels) = data.batch(piece).expect("batch assembly");
+        let logits = net.forward(&images).expect("crossbar inference");
+        let classes = net.classes();
+        let mut local = 0usize;
+        for (b, &label) in labels.iter().enumerate() {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty logits");
+            if pred == label {
+                local += 1;
+            }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        local
     });
+    let correct: usize = counts.into_iter().sum();
     correct as f64 / data.len().max(1) as f64
 }
 

@@ -163,8 +163,12 @@ pub fn generate(
         ));
     }
 
+    // Draw every operating point up front in the exact serial RNG
+    // order, then run the circuit solves in parallel and collect by
+    // index: the dataset is byte-identical to the serial path for any
+    // GENIEX_THREADS.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut samples = Vec::with_capacity(config.samples);
+    let mut points = Vec::with_capacity(config.samples);
     for k in 0..config.samples {
         let v_sparsity = config.sparsity_grades[k % config.sparsity_grades.len()];
         let g_sparsity = config.sparsity_grades
@@ -190,10 +194,13 @@ pub fn generate(
                 }
             })
             .collect();
-
-        let sample = simulate_sample(params, &v_levels, &g_levels)?;
-        samples.push(sample);
+        points.push((v_levels, g_levels));
     }
+    let samples = parallel::par_map_grained(&points, 1, |(v_levels, g_levels)| {
+        simulate_sample(params, v_levels, g_levels)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     Ok(SurrogateDataset {
         params: params.clone(),
         samples,
@@ -222,13 +229,17 @@ pub fn label_stimuli<'a, I>(
 where
     I: IntoIterator<Item = (&'a [f32], &'a [f32])>,
 {
-    let mut samples = Vec::new();
-    for (v_levels, g_levels) in stimuli {
-        samples.push(simulate_sample(params, v_levels, g_levels)?);
-    }
-    if samples.is_empty() {
+    let stimuli: Vec<(&[f32], &[f32])> = stimuli.into_iter().collect();
+    if stimuli.is_empty() {
         return Err(GeniexError::InvalidConfig("no stimuli to label".into()));
     }
+    // Labels come from independent circuit solves; results collect in
+    // stimulus order, so the dataset matches the serial path exactly.
+    let samples = parallel::par_map_grained(&stimuli, 1, |&(v_levels, g_levels)| {
+        simulate_sample(params, v_levels, g_levels)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     Ok(SurrogateDataset {
         params: params.clone(),
         samples,

@@ -86,10 +86,13 @@ fn gemv_batch(
     v_levels: &[f32],
     n: usize,
 ) -> Vec<f64> {
+    // Each batch item's GEMV is independent and its inner loop is
+    // unchanged, so splitting the batch across threads is bit-identical
+    // to the serial loop. Small batches stay serial: below this flop
+    // count the fan-out overhead dominates.
+    const PAR_MIN_FLOPS: usize = 32 * 1024;
     let mut out = vec![0.0f64; n * cols];
-    for b in 0..n {
-        let v = &v_levels[b * rows..(b + 1) * rows];
-        let o = &mut out[b * cols..(b + 1) * cols];
+    let one = |v: &[f32], o: &mut [f64]| {
         for (j, out_val) in o.iter_mut().enumerate() {
             let row = &matrix[j * rows..(j + 1) * rows];
             let mut acc = 0.0f64;
@@ -97,6 +100,30 @@ fn gemv_batch(
                 acc += m * lv as f64;
             }
             *out_val = acc * scale;
+        }
+    };
+    let pool = parallel::global();
+    if n > 1 && pool.threads() > 1 && n * rows * cols >= PAR_MIN_FLOPS {
+        let group = n.div_ceil(pool.threads() * 2).max(1);
+        let one = &one;
+        pool.scope(|s| {
+            for (vb, ob) in v_levels
+                .chunks(group * rows)
+                .zip(out.chunks_mut(group * cols))
+            {
+                s.spawn(move || {
+                    for (v, o) in vb.chunks(rows).zip(ob.chunks_mut(cols)) {
+                        one(v, o);
+                    }
+                });
+            }
+        });
+    } else {
+        for b in 0..n {
+            one(
+                &v_levels[b * rows..(b + 1) * rows],
+                &mut out[b * cols..(b + 1) * cols],
+            );
         }
     }
     out
@@ -272,9 +299,14 @@ struct GeniexProgrammedTile {
 impl ProgrammedXbar for GeniexProgrammedTile {
     fn currents_batch(&self, v_levels: &[f32], n: usize) -> Result<Vec<f64>, FuncsimError> {
         check_batch(self.rows, v_levels, n)?;
-        let mut f_r = self.tiles[0].f_r_batch(v_levels, n)?;
-        for tile in &self.tiles[1..] {
-            let member = tile.f_r_batch(v_levels, n)?;
+        // Ensemble members are independent; their predictions sum in
+        // member order, so the f32 accumulation matches the serial loop
+        // bit for bit at any thread count.
+        let members = parallel::par_map_grained(&self.tiles, 1, |tile| tile.f_r_batch(v_levels, n));
+        let mut iter = members.into_iter();
+        let mut f_r = iter.next().expect("ensemble is non-empty")?;
+        for member in iter {
+            let member = member?;
             for (acc, m) in f_r.iter_mut().zip(&member) {
                 *acc += m;
             }

@@ -340,7 +340,19 @@ impl ProgrammedMatrix {
 
         let mut v_levels = vec![0.0f32; n * size];
         let mut d_sums = vec![0u64; n];
-        let mut counts = vec![0i64; n * size];
+
+        // Every (tile-col, slice, sign) combination within one
+        // (sign, tile-row, stream) step reads the same input levels and
+        // drives a distinct programmed tile, so the combinations run in
+        // parallel; their counts merge into the i64 accumulator in
+        // combination order (integer adds are exact, so the result is
+        // identical for any GENIEX_THREADS — and any order).
+        let combos: Vec<(usize, u32, usize)> = (0..self.tile_cols)
+            .flat_map(|tc| {
+                (0..self.slice_count)
+                    .flat_map(move |s| (0..self.weight_signs).map(move |sign| (tc, s, sign)))
+            })
+            .collect();
 
         for &x_sign in input_signs {
             for tr in 0..self.tile_rows {
@@ -376,37 +388,44 @@ impl ProgrammedMatrix {
                         continue;
                     }
 
-                    for tc in 0..self.tile_cols {
+                    let v_levels_ref = &v_levels;
+                    let d_sums_ref = &d_sums;
+                    let combo_counts = parallel::par_map_grained(
+                        &combos,
+                        1,
+                        |&(tc, s, sign)| -> Result<Vec<i64>, FuncsimError> {
+                            let tile = self.tile(tr, tc, s, sign);
+                            shared_metrics().tile_ops.inc();
+                            self.metrics.engine_ops.inc();
+                            let currents = self
+                                .metrics
+                                .engine_time
+                                .time(|| tile.currents_batch(v_levels_ref, n))?;
+                            let mut counts = vec![0i64; n * size];
+                            self.adc_to_counts(&currents, d_sums_ref, &mut counts);
+                            Ok(counts)
+                        },
+                    );
+                    for (&(tc, s, sign), counts) in combos.iter().zip(combo_counts) {
+                        let counts = counts?;
                         let col_base = tc * size;
                         let cols_here = size.min(self.m - col_base);
-                        for s in 0..self.slice_count {
-                            for sign in 0..self.weight_signs {
-                                let tile = self.tile(tr, tc, s, sign);
-                                shared_metrics().tile_ops.inc();
-                                self.metrics.engine_ops.inc();
-                                let currents = self
-                                    .metrics
-                                    .engine_time
-                                    .time(|| tile.currents_batch(&v_levels, n))?;
-                                self.adc_to_counts(&currents, &d_sums, &mut counts);
-                                let w_sign: i64 = match arch.weight_mapping {
-                                    WeightMapping::Differential => {
-                                        if sign == 0 {
-                                            1
-                                        } else {
-                                            -1
-                                        }
-                                    }
-                                    WeightMapping::Offset => 1,
-                                };
-                                let shift = shift_t + s * arch.slice_width;
-                                for b in 0..n {
-                                    let dst = &mut acc[b * self.m + col_base..];
-                                    let src = &counts[b * size..b * size + cols_here];
-                                    for (j, &c) in src.iter().enumerate() {
-                                        dst[j] += x_sign * w_sign * (c << shift);
-                                    }
+                        let w_sign: i64 = match arch.weight_mapping {
+                            WeightMapping::Differential => {
+                                if sign == 0 {
+                                    1
+                                } else {
+                                    -1
                                 }
+                            }
+                            WeightMapping::Offset => 1,
+                        };
+                        let shift = shift_t + s * arch.slice_width;
+                        for b in 0..n {
+                            let dst = &mut acc[b * self.m + col_base..];
+                            let src = &counts[b * size..b * size + cols_here];
+                            for (j, &c) in src.iter().enumerate() {
+                                dst[j] += x_sign * w_sign * (c << shift);
                             }
                         }
                     }

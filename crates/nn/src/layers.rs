@@ -336,18 +336,21 @@ impl Layer for Conv2d {
             .expect("conv weight as matrix");
 
         let mut out = Tensor::zeros(&[batch, oc, out_h, out_w]);
-        for b in 0..batch {
-            let col = self.im2col(input, b, out_h, out_w);
+        // Per-sample lowering and product are independent and write
+        // disjoint output chunks, so the batch splits across threads
+        // with bit-identical results.
+        let this: &Conv2d = self;
+        let w_mat = &w_mat;
+        parallel::global().par_chunks_mut(out.data_mut(), oc * out_h * out_w, |b, chunk| {
+            let col = this.im2col(input, b, out_h, out_w);
             let prod = w_mat.matmul(&col).expect("conv forward product");
-            let od = out.data_mut();
-            let base = b * oc * out_h * out_w;
             for o in 0..oc {
-                let bias = self.bias.data()[o];
+                let bias = this.bias.data()[o];
                 for p in 0..out_h * out_w {
-                    od[base + o * out_h * out_w + p] = prod.data()[o * out_h * out_w + p] + bias;
+                    chunk[o * out_h * out_w + p] = prod.data()[o * out_h * out_w + p] + bias;
                 }
             }
-        }
+        });
         if train {
             self.cached_input = Some(input.clone());
         }
@@ -370,32 +373,41 @@ impl Layer for Conv2d {
             .expect("conv weight as matrix");
 
         let mut grad_input = Tensor::zeros(input.shape());
-        for b in 0..batch {
-            let col = self.im2col(&input, b, out_h, out_w);
+        // Per-sample gradient pieces compute in parallel; the shared
+        // dW/db accumulators then reduce over the batch in index
+        // order, matching the serial loop bit for bit.
+        let this: &Conv2d = self;
+        let w_t = w_mat.transpose2().expect("rank 2");
+        let samples: Vec<usize> = (0..batch).collect();
+        let pieces = parallel::global().par_map_grained(&samples, 1, |&b| {
+            let col = this.im2col(&input, b, out_h, out_w);
             let go_slice =
                 &grad_output.data()[b * oc * out_h * out_w..(b + 1) * oc * out_h * out_w];
             let go_mat = Tensor::from_vec(go_slice.to_vec(), &[oc, out_h * out_w])
                 .expect("grad output matrix");
 
-            // dW += go · colᵀ  (both operands share the patch dimension)
+            // dW contribution: go · colᵀ (operands share the patch dim).
             let dw = go_mat.matmul_transpose(&col).expect("conv grad weight");
+            // db contribution: row sums of go.
+            let db: Vec<f32> = (0..oc)
+                .map(|o| {
+                    go_mat.data()[o * out_h * out_w..(o + 1) * out_h * out_w]
+                        .iter()
+                        .sum()
+                })
+                .collect();
+            // dCol = Wᵀ · go, scattered back with col2im below.
+            let dcol = w_t.matmul(&go_mat).expect("conv grad col");
+            (dw, db, dcol)
+        });
+        for (b, (dw, db, dcol)) in pieces.iter().enumerate() {
             for (g, d) in self.grad_weight.data_mut().iter_mut().zip(dw.data()) {
                 *g += d;
             }
-            // db += row sums of go
-            for o in 0..oc {
-                let sum: f32 = go_mat.data()[o * out_h * out_w..(o + 1) * out_h * out_w]
-                    .iter()
-                    .sum();
-                self.grad_bias.data_mut()[o] += sum;
+            for (g, d) in self.grad_bias.data_mut().iter_mut().zip(db) {
+                *g += d;
             }
-            // dCol = Wᵀ · go, scattered back with col2im.
-            let dcol = w_mat
-                .transpose2()
-                .expect("rank 2")
-                .matmul(&go_mat)
-                .expect("conv grad col");
-            self.col2im(&dcol, &mut grad_input, b, out_h, out_w);
+            self.col2im(dcol, &mut grad_input, b, out_h, out_w);
         }
         grad_input
     }

@@ -181,20 +181,23 @@ impl Tensor {
         }
         let mut out = vec![0.0f32; m * n];
         // ikj loop order keeps the inner loop contiguous in both the
-        // rhs and the output.
-        for i in 0..m {
-            for k in 0..k1 {
-                let a = self.data[i * k1 + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &other.data[k * n..(k + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * rhs_row[j];
+        // rhs and the output. Each output row depends only on its own
+        // lhs row, so rows split across threads bit-identically; the
+        // per-row arithmetic order never changes.
+        let rows = |lhs_rows: &[f32], out_rows: &mut [f32]| {
+            for (lhs_row, out_row) in lhs_rows.chunks(k1).zip(out_rows.chunks_mut(n)) {
+                for (k, &a) in lhs_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &other.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        out_row[j] += a * rhs_row[j];
+                    }
                 }
             }
-        }
+        };
+        run_row_blocks(&self.data, &mut out, m, k1, n, &rows);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -222,18 +225,19 @@ impl Tensor {
             )));
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let lhs_row = &self.data[i * k1..(i + 1) * k1];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, out_val) in out_row.iter_mut().enumerate() {
-                let rhs_row = &other.data[j * k1..(j + 1) * k1];
-                let mut acc = 0.0f32;
-                for k in 0..k1 {
-                    acc += lhs_row[k] * rhs_row[k];
+        let rows = |lhs_rows: &[f32], out_rows: &mut [f32]| {
+            for (lhs_row, out_row) in lhs_rows.chunks(k1).zip(out_rows.chunks_mut(n)) {
+                for (j, out_val) in out_row.iter_mut().enumerate() {
+                    let rhs_row = &other.data[j * k1..(j + 1) * k1];
+                    let mut acc = 0.0f32;
+                    for k in 0..k1 {
+                        acc += lhs_row[k] * rhs_row[k];
+                    }
+                    *out_val = acc;
                 }
-                *out_val = acc;
             }
-        }
+        };
+        run_row_blocks(&self.data, &mut out, m, k1, n, &rows);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -262,6 +266,34 @@ impl Tensor {
     /// Maximum absolute element (0 for an empty tensor).
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |a, &x| a.max(x.abs()))
+    }
+}
+
+/// Runs a row-block matmul kernel over `(lhs, out)` — serially for
+/// small products, split into contiguous row blocks across the global
+/// pool for large ones. The kernel sees the same `(lhs rows, out rows)`
+/// pairs either way and each output row's arithmetic order is fixed, so
+/// the result is bit-identical for any GENIEX_THREADS.
+fn run_row_blocks(
+    lhs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kernel: &(dyn Fn(&[f32], &mut [f32]) + Sync),
+) {
+    // Below this flop count the fan-out overhead beats the win.
+    const PAR_MIN_FLOPS: usize = 64 * 1024;
+    let pool = parallel::global();
+    if m > 1 && pool.threads() > 1 && m * k * n >= PAR_MIN_FLOPS {
+        let block = m.div_ceil(pool.threads() * 2).max(1);
+        pool.scope(|s| {
+            for (lhs_block, out_block) in lhs.chunks(block * k).zip(out.chunks_mut(block * n)) {
+                s.spawn(move || kernel(lhs_block, out_block));
+            }
+        });
+    } else {
+        kernel(lhs, out);
     }
 }
 

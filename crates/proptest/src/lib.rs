@@ -159,7 +159,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact count or a range.
+    /// Length specification for [`vec()`]: an exact count or a range.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

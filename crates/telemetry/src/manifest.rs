@@ -6,7 +6,7 @@
 //! and a final snapshot of all metrics. Layout of a manifest file:
 //!
 //! ```text
-//! {"type":"run_start","name":...,"git_rev":...,"unix_time_s":...,"config":{...}}
+//! {"type":"run_start","name":...,"git_rev":...,"unix_time_s":...,"threads":...,"config":{...}}
 //! {"type":"event", ...}            // streamed while the run executes
 //! ...
 //! {"type":"metric","kind":"counter", ...}   // snapshot at finish
@@ -53,6 +53,23 @@ pub fn git_rev(start: &Path) -> Option<String> {
     None
 }
 
+/// Worker-thread count the process is configured for: `GENIEX_THREADS`
+/// when set to a positive integer, else the machine's available
+/// parallelism. Mirrors the thread-pool crate's resolution rule (which
+/// sits above telemetry in the dependency graph, so the logic is
+/// repeated here rather than imported).
+pub fn configured_threads() -> usize {
+    std::env::var("GENIEX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Live manifest for one run. Obtain via [`start_run`]; close with
 /// [`RunManifest::finish`]. Dropping without `finish` still writes the
 /// metric snapshot and `run_end` record (best effort).
@@ -82,6 +99,7 @@ pub fn start_run(log_dir: &Path, name: &str, config: &[(&str, Json)]) -> io::Res
         ("name".into(), name.into()),
         ("git_rev".into(), rev.map_or(Json::Null, Json::Str)),
         ("unix_time_s".into(), unix_time_s.into()),
+        ("threads".into(), Json::Num(configured_threads() as f64)),
         (
             "config".into(),
             Json::Obj(
@@ -203,6 +221,7 @@ mod tests {
             Some(64)
         );
         assert!(first.get("git_rev").and_then(Json::as_str).is_some());
+        assert!(first.get("threads").and_then(Json::as_u64).unwrap() >= 1);
         assert!(lines.iter().any(|l| {
             l.get("type").and_then(Json::as_str) == Some("event")
                 && l.get("name").and_then(Json::as_str) == Some("unit.tick")

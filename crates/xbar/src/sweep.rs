@@ -75,17 +75,28 @@ pub fn nf_distribution(
     seed: u64,
     label: &str,
 ) -> Result<SweepPoint, XbarError> {
+    // Draw every stimulus up front in the exact serial RNG order, then
+    // run the expensive Newton solves in parallel and collect by
+    // index: the sample stream is byte-identical to the serial path
+    // for any GENIEX_THREADS.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut samples = Vec::new();
-    for _ in 0..n_stimuli {
-        // Mix of sparsity regimes, as the paper's dataset generation does.
-        let v_sparsity = rng.gen_range(0.0..0.9);
-        let g_sparsity = rng.gen_range(0.0..0.9);
-        let stimulus = random_stimulus(params, v_sparsity, g_sparsity, &mut rng);
+    let stimuli: Vec<Stimulus> = (0..n_stimuli)
+        .map(|_| {
+            // Mix of sparsity regimes, as the paper's dataset generation does.
+            let v_sparsity = rng.gen_range(0.0..0.9);
+            let g_sparsity = rng.gen_range(0.0..0.9);
+            random_stimulus(params, v_sparsity, g_sparsity, &mut rng)
+        })
+        .collect();
+    let solved = parallel::par_map_grained(&stimuli, 1, |stimulus| -> Result<_, XbarError> {
         let circuit = CrossbarCircuit::new(params, &stimulus.conductances)?;
         let report = circuit.solve(&stimulus.voltages)?;
         let ideal = ideal_mvm(&stimulus.voltages, &stimulus.conductances)?;
-        samples.extend(non_ideality_factors(&ideal, &report.currents));
+        Ok(non_ideality_factors(&ideal, &report.currents))
+    });
+    let mut samples = Vec::new();
+    for point in solved {
+        samples.extend(point?);
     }
     let summary = NfSummary::from_samples(&samples).unwrap_or(NfSummary {
         count: 0,
@@ -124,17 +135,26 @@ pub fn current_pairs(
     n_stimuli: usize,
     seed: u64,
 ) -> Result<CurrentPairs, XbarError> {
+    // Same serial-RNG / parallel-solve split as `nf_distribution`.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut pairs = CurrentPairs::default();
-    for _ in 0..n_stimuli {
-        let v_sparsity = rng.gen_range(0.0..0.9);
-        let g_sparsity = rng.gen_range(0.0..0.9);
-        let stimulus = random_stimulus(params, v_sparsity, g_sparsity, &mut rng);
+    let stimuli: Vec<Stimulus> = (0..n_stimuli)
+        .map(|_| {
+            let v_sparsity = rng.gen_range(0.0..0.9);
+            let g_sparsity = rng.gen_range(0.0..0.9);
+            random_stimulus(params, v_sparsity, g_sparsity, &mut rng)
+        })
+        .collect();
+    let solved = parallel::par_map_grained(&stimuli, 1, |stimulus| -> Result<_, XbarError> {
         let circuit = CrossbarCircuit::new(params, &stimulus.conductances)?;
         let report = circuit.solve(&stimulus.voltages)?;
         let ideal = ideal_mvm(&stimulus.voltages, &stimulus.conductances)?;
+        Ok((ideal, report.currents))
+    });
+    let mut pairs = CurrentPairs::default();
+    for point in solved {
+        let (ideal, non_ideal) = point?;
         pairs.ideal.extend_from_slice(&ideal);
-        pairs.non_ideal.extend_from_slice(&report.currents);
+        pairs.non_ideal.extend_from_slice(&non_ideal);
     }
     Ok(pairs)
 }

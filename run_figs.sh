@@ -6,7 +6,11 @@
 set -u -o pipefail
 cd /root/repo
 mkdir -p results/logs
+# Worker-thread count for the shared pool (results are identical for
+# any value; this only affects wall time).
+export GENIEX_THREADS="${GENIEX_THREADS:-$(nproc)}"
 : > results/logs/progress.txt
+echo "GENIEX_THREADS=$GENIEX_THREADS" >> results/logs/progress.txt
 for b in fig2_nf_analysis fig3_nonlinearity fig5_rmse fig7_design_space fig8_quantization fig9_bit_slicing validate_truth cost_report ablation_hidden ablation_sparsity ablation_mapping ablation_variations ablation_target ablation_ensemble; do
   echo "=== $b start $(date +%H:%M:%S) ===" >> results/logs/progress.txt
   t0=$SECONDS

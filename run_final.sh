@@ -1,5 +1,8 @@
 #!/bin/bash
 cd /root/repo
+mkdir -p results/logs
+export GENIEX_THREADS="${GENIEX_THREADS:-$(nproc)}"
+echo "GENIEX_THREADS=$GENIEX_THREADS" >> results/logs/progress.txt
 cargo test --workspace 2>&1 | tee /root/repo/test_output.txt > /dev/null
 echo "=== tests done $(date +%H:%M:%S) ===" >> results/logs/progress.txt
 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
