@@ -9,12 +9,15 @@
 //! cargo run --release -p geniex-bench --bin ablation_ensemble
 //! ```
 
-use geniex::dataset::{generate, DatasetConfig};
-use geniex::{Geniex, TrainConfig};
-use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
+use geniex::dataset::DatasetConfig;
+use geniex::TrainConfig;
+use geniex_bench::setup::{
+    cached_dataset, cached_f64_blob, cached_surrogate, design_point, results_dir, DEFAULT_SIZE,
+};
 use geniex_bench::table::{fix, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use store::{Canonical, KeyBuilder};
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,32 +31,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let params = design_point(DEFAULT_SIZE);
     let n = DEFAULT_SIZE;
-    let data = generate(
+    let data = cached_dataset(
         &params,
         &DatasetConfig {
             samples: 3000,
             seed: 7,
             ..DatasetConfig::default()
         },
-    )?;
+    );
 
-    // Train 4 members with different init seeds on identical data.
+    // Train (or load) 4 members with different init seeds on
+    // identical data.
     let mut members = Vec::new();
     for seed in [3u64, 13, 23, 33] {
-        let mut m = Geniex::new(&params, 200, seed)?;
-        m.train(
+        members.push(cached_surrogate(
             &data,
+            200,
+            seed,
             &TrainConfig {
                 epochs: 100,
                 ..TrainConfig::default()
             },
-        )?;
-        members.push(m);
+        ));
     }
 
-    // Held-out stimuli, labelled on the circuit.
+    // Held-out stimuli, labelled on the circuit. The (V, G) draws are
+    // deterministic from the seed; only the solver truth is cached.
     let mut rng = StdRng::seed_from_u64(515);
-    let mut stimuli = Vec::new();
+    let mut drawn = Vec::new();
     for _ in 0..30 {
         let v_sparsity = rng.gen_range(0.0..0.9);
         let g_sparsity = rng.gen_range(0.0..0.9);
@@ -67,9 +72,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         let g = ConductanceMatrix::random_sparse(&params, g_sparsity, &mut rng);
-        let truth = CrossbarCircuit::new(&params, &g)?.solve(&v)?.currents;
+        drawn.push((v, g));
+    }
+    let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+    kb.str("op", "ablation_ensemble_truth")
+        .u64("seed", 515)
+        .usize("stimuli", drawn.len());
+    params.canonicalize(&mut kb);
+    let truth_flat = cached_f64_blob(&kb.finish(), || {
+        let mut flat = Vec::with_capacity(drawn.len() * n);
+        for (v, g) in &drawn {
+            flat.extend(CrossbarCircuit::new(&params, g)?.solve(v)?.currents);
+        }
+        Ok::<_, Box<dyn std::error::Error>>(flat)
+    })?;
+    let mut stimuli = Vec::new();
+    for ((v, g), truth) in drawn.into_iter().zip(truth_flat.chunks_exact(n)) {
         let ideal = ideal_mvm(&v, &g)?;
-        stimuli.push((v, g, ideal, truth));
+        stimuli.push((v, g, ideal, truth.to_vec()));
     }
 
     let floor = 0.05 * params.g_off() * params.v_supply;

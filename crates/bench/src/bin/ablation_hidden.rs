@@ -9,10 +9,13 @@
 //! ```
 
 use geniex::benchmark::{compare_models, BenchmarkConfig};
-use geniex::dataset::{generate, DatasetConfig};
+use geniex::dataset::DatasetConfig;
 use geniex::{Geniex, TrainConfig};
-use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
+use geniex_bench::setup::{
+    cached_dataset, cached_f64_blob, design_point, results_dir, DEFAULT_SIZE,
+};
 use geniex_bench::table::{fix, Table};
+use store::KeyBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = geniex_bench::manifest::start(
@@ -24,46 +27,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
     let params = design_point(DEFAULT_SIZE);
-    let data = generate(
+    let data = cached_dataset(
         &params,
         &DatasetConfig {
             samples: 4000,
             seed: 7,
             ..DatasetConfig::default()
         },
-    )?;
+    );
 
     let mut table = Table::new(&["hidden", "train_mse", "geniex_rmse", "analytical_rmse"]);
     for hidden in [25usize, 50, 100, 200, 400] {
-        let mut surrogate = Geniex::new(&params, hidden, 3)?;
-        let report = surrogate.train(
-            &data,
-            &TrainConfig {
-                epochs: 80,
-                batch_size: 32,
-                learning_rate: 1e-3,
-                seed: 4,
-                ..TrainConfig::default()
-            },
-        )?;
-        let cmp = compare_models(
-            &params,
-            &surrogate,
-            &BenchmarkConfig {
-                stimuli: 40,
-                seed: 99,
-                dac_levels: 16,
-            },
-        )?;
+        let train_config = TrainConfig {
+            epochs: 80,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 4,
+            ..TrainConfig::default()
+        };
+        // The whole swept row (train loss + validation RMSEs) is
+        // store-cached: a warm run re-trains and re-solves nothing.
+        let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+        kb.str("op", "ablation_hidden_row")
+            .usize("hidden", hidden)
+            .u64("init_seed", 3)
+            .nested("dataset", &data)
+            .nested("train", &train_config);
+        let row = cached_f64_blob(&kb.finish(), || {
+            let mut surrogate = Geniex::new(&params, hidden, 3)?;
+            let report = surrogate.train(&data, &train_config)?;
+            let cmp = compare_models(
+                &params,
+                &surrogate,
+                &BenchmarkConfig {
+                    stimuli: 40,
+                    seed: 99,
+                    dac_levels: 16,
+                },
+            )?;
+            Ok::<_, Box<dyn std::error::Error>>(vec![
+                report.final_loss as f64,
+                cmp.geniex_rmse,
+                cmp.analytical_rmse,
+            ])
+        })?;
+        let (final_loss, geniex_rmse, analytical_rmse) = (row[0], row[1], row[2]);
         println!(
-            "hidden {hidden:>3}: train mse {:.5}, NF RMSE {:.4} (analytical {:.4})",
-            report.final_loss, cmp.geniex_rmse, cmp.analytical_rmse
+            "hidden {hidden:>3}: train mse {final_loss:.5}, NF RMSE {geniex_rmse:.4} \
+             (analytical {analytical_rmse:.4})"
         );
         table.row(&[
             hidden.to_string(),
-            fix(report.final_loss as f64, 5),
-            fix(cmp.geniex_rmse, 4),
-            fix(cmp.analytical_rmse, 4),
+            fix(final_loss, 5),
+            fix(geniex_rmse, 4),
+            fix(analytical_rmse, 4),
         ]);
     }
 

@@ -11,10 +11,13 @@
 //! ```
 
 use geniex::benchmark::{compare_models, BenchmarkConfig};
-use geniex::dataset::{generate, DatasetConfig};
-use geniex::{Geniex, TrainConfig};
-use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
+use geniex::dataset::DatasetConfig;
+use geniex::TrainConfig;
+use geniex_bench::setup::{
+    cached_dataset, cached_f64_blob, cached_surrogate, design_point, results_dir, DEFAULT_SIZE,
+};
 use geniex_bench::table::{fix, Table};
+use store::KeyBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = geniex_bench::manifest::start(
@@ -34,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("dense-only (0)", vec![0.0]),
         ("sparse-only (0.9)", vec![0.9]),
     ] {
-        let data = generate(
+        let data = cached_dataset(
             &params,
             &DatasetConfig {
                 samples: 3000,
@@ -42,38 +45,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 sparsity_grades: grades,
                 dac_levels: 16,
             },
-        )?;
-        let mut surrogate = Geniex::new(&params, 200, 3)?;
-        surrogate.train(
-            &data,
-            &TrainConfig {
-                epochs: 80,
-                batch_size: 32,
-                learning_rate: 1e-3,
-                seed: 4,
-                ..TrainConfig::default()
-            },
-        )?;
-        // Validation stimuli cover the whole sparsity range.
-        let cmp = compare_models(
-            &params,
-            &surrogate,
-            &BenchmarkConfig {
-                stimuli: 40,
-                seed: 99,
-                dac_levels: 16,
-            },
-        )?;
-        println!(
-            "{label:>20}: NF RMSE {:.4} (analytical {:.4})",
-            cmp.geniex_rmse, cmp.analytical_rmse
         );
+        let train_config = TrainConfig {
+            epochs: 80,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 4,
+            ..TrainConfig::default()
+        };
+        let surrogate = cached_surrogate(&data, 200, 3, &train_config);
+        // Validation stimuli cover the whole sparsity range; the
+        // validation solves are store-cached per training variant.
+        let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+        kb.str("op", "ablation_sparsity_row")
+            .nested("dataset", &data)
+            .usize("hidden", 200)
+            .u64("init_seed", 3)
+            .nested("train", &train_config);
+        let row = cached_f64_blob(&kb.finish(), || {
+            let cmp = compare_models(
+                &params,
+                &surrogate,
+                &BenchmarkConfig {
+                    stimuli: 40,
+                    seed: 99,
+                    dac_levels: 16,
+                },
+            )?;
+            Ok::<_, Box<dyn std::error::Error>>(vec![cmp.geniex_rmse, cmp.analytical_rmse])
+        })?;
+        let (geniex_rmse, analytical_rmse) = (row[0], row[1]);
+        println!("{label:>20}: NF RMSE {geniex_rmse:.4} (analytical {analytical_rmse:.4})");
         table.row(&[
             label.to_string(),
-            fix(cmp.geniex_rmse, 4),
-            fix(cmp.analytical_rmse, 4),
+            fix(geniex_rmse, 4),
+            fix(analytical_rmse, 4),
         ]);
-        finals.push((format!("geniex_rmse[{label}]"), cmp.geniex_rmse));
+        finals.push((format!("geniex_rmse[{label}]"), geniex_rmse));
     }
 
     println!("\n{}", table.render());

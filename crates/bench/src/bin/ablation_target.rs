@@ -11,13 +11,17 @@
 //! cargo run --release -p geniex-bench --bin ablation_target
 //! ```
 
-use geniex::dataset::{generate, simulate_sample, DatasetConfig};
-use geniex::{Geniex, TrainConfig};
-use geniex_bench::setup::{design_point, results_dir, DEFAULT_SIZE};
+use geniex::dataset::DatasetConfig;
+use geniex::TrainConfig;
+use geniex_bench::setup::{
+    cached_dataset, cached_f64_blob, cached_surrogate, design_point, results_dir, store,
+    DEFAULT_SIZE,
+};
 use geniex_bench::table::{fix, Table};
 use nn::{loss::mse, Adam, Mlp, Optimizer, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use store::{Canonical, KeyBuilder};
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,19 +35,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let params = design_point(DEFAULT_SIZE);
     let n = DEFAULT_SIZE;
-    let data = generate(
+    let data = cached_dataset(
         &params,
         &DatasetConfig {
             samples: 3000,
             seed: 7,
             ..DatasetConfig::default()
         },
-    )?;
+    );
 
     // --- Variant A: ratio target (the GENIEx formulation). ----------
-    let mut ratio_model = Geniex::new(&params, 200, 3)?;
-    ratio_model.train(
+    let ratio_model = cached_surrogate(
         &data,
+        200,
+        3,
         &TrainConfig {
             epochs: 80,
             batch_size: 32,
@@ -51,67 +56,99 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 4,
             ..TrainConfig::default()
         },
-    )?;
+    );
 
     // --- Variant B: direct current target. --------------------------
     // Same inputs; labels are the non-ideal currents normalized by the
-    // crossbar's full-scale column current.
+    // crossbar's full-scale column current. The trained MLP is stored
+    // as an artifact; on a miss, the label currents themselves come
+    // from a store-cached blob so the circuit solves run at most once.
     let in_dim = n + n * n;
     let i_scale = n as f64 * params.v_supply * params.g_on();
-    let mut x_all = Vec::with_capacity(data.len() * in_dim);
-    let mut y_all = Vec::with_capacity(data.len() * n);
-    for s in &data.samples {
-        x_all.extend_from_slice(&s.v_levels);
-        x_all.extend_from_slice(&s.g_levels);
-        // Reconstruct the non-ideal currents from f_R and the ideal MVM
-        // (exactly what the sample was labelled from).
-        let sample = simulate_sample(&params, &s.v_levels, &s.g_levels)?;
-        let volts: Vec<f64> = s
-            .v_levels
-            .iter()
-            .map(|&l| l as f64 * params.v_supply)
-            .collect();
-        let levels: Vec<f64> = s.g_levels.iter().map(|&l| l as f64).collect();
-        let g = ConductanceMatrix::from_levels(&params, &levels)?;
-        let circuit = CrossbarCircuit::new(&params, &g)?;
-        let currents = circuit.solve(&volts)?.currents;
-        let _ = sample;
-        for c in currents {
-            y_all.push((c / i_scale) as f32);
+    let mut mlp_key = KeyBuilder::new(store::KIND_SURROGATE);
+    mlp_key
+        .str("flavor", "direct_mlp")
+        .nested("dataset", &data)
+        .usize("hidden", 200)
+        .u64("init_seed", 3)
+        .usize("epochs", 80)
+        .f64("learning_rate", 1e-3)
+        .u64("shuffle_seed", 4);
+    let mlp_key = mlp_key.finish();
+    let cached_mlp = store()
+        .load(&mlp_key)
+        .and_then(|bytes| Mlp::load(&mut std::io::Cursor::new(bytes)).ok());
+    let mut direct_model = match cached_mlp {
+        Some(model) => {
+            eprintln!("[ablation_target] loaded cached direct-target MLP ({mlp_key})");
+            model
         }
-    }
-    let mut direct_model = Mlp::new(&[in_dim, 200, n], 3)?;
-    let mut optimizer = Adam::new(1e-3);
-    let samples = data.len();
-    let mut order: Vec<usize> = (0..samples).collect();
-    let mut rng = StdRng::seed_from_u64(4);
-    for _ in 0..80 {
-        use rand::seq::SliceRandom;
-        order.shuffle(&mut rng);
-        for chunk in order.chunks(32) {
-            let bs = chunk.len();
-            let mut xb = Vec::with_capacity(bs * in_dim);
-            let mut yb = Vec::with_capacity(bs * n);
-            for &i in chunk {
-                xb.extend_from_slice(&x_all[i * in_dim..(i + 1) * in_dim]);
-                yb.extend_from_slice(&y_all[i * n..(i + 1) * n]);
+        None => {
+            let mut label_key = KeyBuilder::new(store::KIND_SWEEP);
+            label_key
+                .str("op", "ablation_target_direct_labels")
+                .nested("dataset", &data);
+            let y_all_f64 = cached_f64_blob(&label_key.finish(), || {
+                let mut y = Vec::with_capacity(data.len() * n);
+                for s in &data.samples {
+                    // Re-solve the circuit for the raw non-ideal
+                    // currents (the dataset stores only the ratio).
+                    let volts: Vec<f64> = s
+                        .v_levels
+                        .iter()
+                        .map(|&l| l as f64 * params.v_supply)
+                        .collect();
+                    let levels: Vec<f64> = s.g_levels.iter().map(|&l| l as f64).collect();
+                    let g = ConductanceMatrix::from_levels(&params, &levels)?;
+                    let currents = CrossbarCircuit::new(&params, &g)?.solve(&volts)?.currents;
+                    y.extend(currents.into_iter().map(|c| c / i_scale));
+                }
+                Ok::<_, Box<dyn std::error::Error>>(y)
+            })?;
+            let y_all: Vec<f32> = y_all_f64.iter().map(|&y| y as f32).collect();
+            let mut x_all = Vec::with_capacity(data.len() * in_dim);
+            for s in &data.samples {
+                x_all.extend_from_slice(&s.v_levels);
+                x_all.extend_from_slice(&s.g_levels);
             }
-            let x = Tensor::from_vec(xb, &[bs, in_dim])?;
-            let y = Tensor::from_vec(yb, &[bs, n])?;
-            let pred = direct_model.forward_train(&x);
-            let (_, grad) = mse(&pred, &y)?;
-            direct_model.zero_grad();
-            direct_model.backward(&grad);
-            optimizer.step(&mut direct_model);
+            let mut model = Mlp::new(&[in_dim, 200, n], 3)?;
+            let mut optimizer = Adam::new(1e-3);
+            let samples = data.len();
+            let mut order: Vec<usize> = (0..samples).collect();
+            let mut rng = StdRng::seed_from_u64(4);
+            for _ in 0..80 {
+                use rand::seq::SliceRandom;
+                order.shuffle(&mut rng);
+                for chunk in order.chunks(32) {
+                    let bs = chunk.len();
+                    let mut xb = Vec::with_capacity(bs * in_dim);
+                    let mut yb = Vec::with_capacity(bs * n);
+                    for &i in chunk {
+                        xb.extend_from_slice(&x_all[i * in_dim..(i + 1) * in_dim]);
+                        yb.extend_from_slice(&y_all[i * n..(i + 1) * n]);
+                    }
+                    let x = Tensor::from_vec(xb, &[bs, in_dim])?;
+                    let y = Tensor::from_vec(yb, &[bs, n])?;
+                    let pred = model.forward_train(&x);
+                    let (_, grad) = mse(&pred, &y)?;
+                    model.zero_grad();
+                    model.backward(&grad);
+                    optimizer.step(&mut model);
+                }
+            }
+            let mut bytes = Vec::new();
+            if model.save(&mut bytes).is_ok() {
+                let _ = store().save(&mlp_key, &bytes);
+            }
+            model
         }
-    }
+    };
 
     // --- Validation: NF RMSE of both variants. -----------------------
+    // Stimuli are drawn deterministically; the solver ground truth is
+    // store-cached like every other expensive intermediate.
     let mut rng = StdRng::seed_from_u64(515);
-    let mut nf_ref = Vec::new();
-    let mut nf_ratio = Vec::new();
-    let mut nf_direct = Vec::new();
-    let floor = 0.05 * params.g_off() * params.v_supply;
+    let mut drawn = Vec::new();
     for _ in 0..40 {
         let v_sparsity = rng.gen_range(0.0..0.9);
         let g_sparsity = rng.gen_range(0.0..0.9);
@@ -133,19 +170,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             })
             .collect();
+        drawn.push((v_levels, g_levels));
+    }
+    let mut truth_key = KeyBuilder::new(store::KIND_SWEEP);
+    truth_key
+        .str("op", "ablation_target_truth")
+        .u64("seed", 515)
+        .usize("stimuli", drawn.len());
+    params.canonicalize(&mut truth_key);
+    let truth_flat = cached_f64_blob(&truth_key.finish(), || {
+        let mut flat = Vec::with_capacity(drawn.len() * n);
+        for (v_levels, g_levels) in &drawn {
+            let volts: Vec<f64> = v_levels
+                .iter()
+                .map(|&l| l as f64 * params.v_supply)
+                .collect();
+            let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
+            let g = ConductanceMatrix::from_levels(&params, &levels)?;
+            flat.extend(CrossbarCircuit::new(&params, &g)?.solve(&volts)?.currents);
+        }
+        Ok::<_, Box<dyn std::error::Error>>(flat)
+    })?;
+
+    let mut nf_ref = Vec::new();
+    let mut nf_ratio = Vec::new();
+    let mut nf_direct = Vec::new();
+    let floor = 0.05 * params.g_off() * params.v_supply;
+    for ((v_levels, g_levels), truth) in drawn.iter().zip(truth_flat.chunks_exact(n)) {
         let volts: Vec<f64> = v_levels
             .iter()
             .map(|&l| l as f64 * params.v_supply)
             .collect();
         let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
         let g = ConductanceMatrix::from_levels(&params, &levels)?;
-        let truth = CrossbarCircuit::new(&params, &g)?.solve(&volts)?.currents;
         let ideal = ideal_mvm(&volts, &g)?;
 
         let ratio_currents = ratio_model.clone().predict_currents(&volts, &g)?;
         let mut input = Vec::with_capacity(in_dim);
-        input.extend_from_slice(&v_levels);
-        input.extend_from_slice(&g_levels);
+        input.extend_from_slice(v_levels);
+        input.extend_from_slice(g_levels);
         let direct_out = direct_model.forward(&Tensor::from_vec(input, &[1, in_dim])?);
         let direct_currents: Vec<f64> = direct_out
             .data()

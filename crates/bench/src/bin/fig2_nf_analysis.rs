@@ -9,9 +9,10 @@
 //! cargo run --release -p geniex-bench --bin fig2_nf_analysis
 //! ```
 
-use geniex_bench::setup::{results_dir, DEFAULT_SIZE, ON_OFFS, RONS, SIZES};
+use geniex_bench::setup::{
+    cached_current_pairs, cached_nf_distribution, results_dir, DEFAULT_SIZE, ON_OFFS, RONS, SIZES,
+};
 use geniex_bench::table::{fix, Table};
-use xbar::sweep::{current_pairs, nf_distribution};
 use xbar::CrossbarParams;
 
 const STIMULI: usize = 20;
@@ -22,7 +23,7 @@ fn summarize(
     label: &str,
     params: &CrossbarParams,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let point = nf_distribution(params, STIMULI, SEED, label)?;
+    let point = cached_nf_distribution(params, STIMULI, SEED, label)?;
     let s = point.summary;
     table.row(&[
         label.to_string(),
@@ -51,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (a) paired currents for the scatter plot.
     println!("== Fig 2(a): ideal vs non-ideal currents (64-point sample shown) ==");
     let params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE).build()?;
-    let pairs = current_pairs(&params, 8, SEED)?;
+    let pairs = cached_current_pairs(&params, 8, SEED)?;
     let mut scatter = Table::new(&["i_ideal_uA", "i_non_ideal_uA"]);
     for (i, n) in pairs.ideal.iter().zip(&pairs.non_ideal) {
         scatter.row(&[fix(i * 1e6, 4), fix(n * 1e6, 4)]);

@@ -9,10 +9,11 @@
 //! cargo run --release -p geniex-bench --bin fig3_nonlinearity
 //! ```
 
-use geniex_bench::setup::{results_dir, DEFAULT_SIZE};
+use geniex_bench::setup::{cached_f64_blob, results_dir, DEFAULT_SIZE};
 use geniex_bench::table::{fix, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use store::{Canonical, KeyBuilder};
 use xbar::sweep::random_stimulus;
 use xbar::{CrossbarCircuit, CrossbarParams, NonIdealityConfig};
 
@@ -24,6 +25,8 @@ type CurrentPairs = Vec<(f64, f64)>;
 
 /// Mean relative difference between linear-only and full outputs at
 /// one supply voltage, plus paired samples for the distribution plot.
+/// The solver results are store-cached as a flat blob: mean relative
+/// error first, then the (linear, full) pairs.
 fn compare_at_voltage(v_supply: f64) -> Result<(f64, CurrentPairs), Box<dyn std::error::Error>> {
     let full_params = CrossbarParams::builder(DEFAULT_SIZE, DEFAULT_SIZE)
         .v_supply(v_supply)
@@ -31,27 +34,41 @@ fn compare_at_voltage(v_supply: f64) -> Result<(f64, CurrentPairs), Box<dyn std:
     let mut linear_params = full_params.clone();
     linear_params.nonideality = NonIdealityConfig::linear_only();
 
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let mut rel_sum = 0.0;
-    let mut count = 0usize;
-    let mut samples = Vec::new();
-    for _ in 0..STIMULI {
-        let stimulus = random_stimulus(&full_params, 0.3, 0.3, &mut rng);
-        let full = CrossbarCircuit::new(&full_params, &stimulus.conductances)?
-            .solve(&stimulus.voltages)?
-            .currents;
-        let linear = CrossbarCircuit::new(&linear_params, &stimulus.conductances)?
-            .solve(&stimulus.voltages)?
-            .currents;
-        for (f, l) in full.iter().zip(&linear) {
-            if l.abs() > 1e-12 {
-                rel_sum += ((f - l) / l).abs();
-                count += 1;
-                samples.push((*l, *f));
+    let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+    kb.str("op", "fig3_compare")
+        .usize("stimuli", STIMULI)
+        .u64("seed", SEED);
+    full_params.canonicalize(&mut kb);
+    let flat = cached_f64_blob(&kb.finish(), || {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let mut rel_sum = 0.0;
+        let mut count = 0usize;
+        let mut flat = vec![0.0];
+        for _ in 0..STIMULI {
+            let stimulus = random_stimulus(&full_params, 0.3, 0.3, &mut rng);
+            let full = CrossbarCircuit::new(&full_params, &stimulus.conductances)?
+                .solve(&stimulus.voltages)?
+                .currents;
+            let linear = CrossbarCircuit::new(&linear_params, &stimulus.conductances)?
+                .solve(&stimulus.voltages)?
+                .currents;
+            for (f, l) in full.iter().zip(&linear) {
+                if l.abs() > 1e-12 {
+                    rel_sum += ((f - l) / l).abs();
+                    count += 1;
+                    flat.push(*l);
+                    flat.push(*f);
+                }
             }
         }
-    }
-    Ok((rel_sum / count as f64, samples))
+        flat[0] = rel_sum / count as f64;
+        Ok::<_, Box<dyn std::error::Error>>(flat)
+    })?;
+    let samples = flat[1..]
+        .chunks_exact(2)
+        .map(|pair| (pair[0], pair[1]))
+        .collect();
+    Ok((flat[0], samples))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,112 @@
+//! Maintenance tool for the on-disk artifact store (`results/store/`).
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin store_maint -- ls
+//! cargo run --release -p geniex-bench --bin store_maint -- verify
+//! cargo run --release -p geniex-bench --bin store_maint -- gc [--older-than-days N]
+//! ```
+//!
+//! * `ls` — list every entry (kind, key, size, age).
+//! * `verify` — re-read every entry, checking magic, version, and
+//!   checksum; corrupt entries are quarantined, stale ones reported.
+//! * `gc` — delete entries (optionally only those older than N days)
+//!   plus quarantined and orphaned temporary files.
+
+use std::io::Write;
+use std::time::{Duration, SystemTime};
+
+use geniex_bench::setup::store;
+
+/// Print a line, exiting quietly if stdout's pipe closed (`ls | head`).
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    };
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("ls");
+    let store = store();
+    outln!(
+        "store root: {} (mode: {})",
+        store.root().display(),
+        store.mode().name()
+    );
+
+    match cmd {
+        "ls" => {
+            let entries = store.entries()?;
+            if entries.is_empty() {
+                outln!("(empty)");
+                return Ok(());
+            }
+            let now = SystemTime::now();
+            let mut total = 0u64;
+            outln!("{:<6} {:<32} {:>12} {:>10}", "kind", "key", "bytes", "age");
+            for e in &entries {
+                let age = e
+                    .modified
+                    .and_then(|m| now.duration_since(m).ok())
+                    .map(human_age)
+                    .unwrap_or_else(|| "?".into());
+                outln!(
+                    "{:<6} {:<32} {:>12} {:>10}",
+                    e.kind,
+                    e.key_hex,
+                    e.bytes,
+                    age
+                );
+                total += e.bytes;
+            }
+            outln!("{} entries, {} bytes total", entries.len(), total);
+        }
+        "verify" => {
+            let report = store.verify()?;
+            outln!(
+                "{} ok, {} stale (old format/schema), {} corrupt (quarantined)",
+                report.ok,
+                report.stale,
+                report.corrupt
+            );
+            if report.corrupt > 0 {
+                std::process::exit(1);
+            }
+        }
+        "gc" => {
+            let older_than = match args.get(1).map(String::as_str) {
+                Some("--older-than-days") => {
+                    let days: u64 = args
+                        .get(2)
+                        .ok_or("--older-than-days requires a value")?
+                        .parse()?;
+                    Some(Duration::from_secs(days * 24 * 3600))
+                }
+                Some(other) => return Err(format!("unknown gc option: {other}").into()),
+                None => None,
+            };
+            let (removed, bytes) = store.gc(older_than)?;
+            outln!("removed {removed} entries ({bytes} bytes)");
+        }
+        other => {
+            eprintln!("unknown command: {other} (expected ls | verify | gc)");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn human_age(d: Duration) -> String {
+    let s = d.as_secs();
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m", s / 60)
+    } else if s < 86400 {
+        format!("{}h", s / 3600)
+    } else {
+        format!("{}d", s / 86400)
+    }
+}

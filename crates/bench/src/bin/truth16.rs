@@ -1,6 +1,9 @@
 use funcsim::{evaluate_spec, ArchConfig, CircuitEngine};
-use geniex_bench::setup::{accuracy_design_point, standard_workload, DEFAULT_SIZE};
+use geniex_bench::setup::{
+    accuracy_design_point, cached_f64_blob, standard_workload, DEFAULT_SIZE,
+};
 use std::time::Instant;
+use store::KeyBuilder;
 use vision::{rescale_for_fxp, SynthSpec, SynthVision};
 
 fn main() {
@@ -27,8 +30,29 @@ fn main() {
     let arch = ArchConfig::default().with_xbar(accuracy_design_point(DEFAULT_SIZE));
     // 32 images: enough to separate 50.8% from 52.3% only coarsely, but
     // enough to confirm which side of ideal the truth sits on.
+    //
+    // The measurement is deterministic, so the result is store-cached,
+    // keyed by the full rescaled spec content (weights included), the
+    // architecture, and the evaluation subset.
     let t = Instant::now();
-    let truth = evaluate_spec(spec, &arch, &CircuitEngine, &subset, 16).unwrap();
+    let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+    kb.str("op", "truth16_eval")
+        .usize("per_class", per_class)
+        .u64("subset_seed", 999)
+        .usize("batch", 16)
+        .nested("spec", &spec)
+        .nested("arch", &arch);
+    let row = cached_f64_blob(&kb.finish(), || {
+        Ok::<_, funcsim::FuncsimError>(vec![evaluate_spec(
+            spec.clone(),
+            &arch,
+            &CircuitEngine,
+            &subset,
+            16,
+        )?])
+    })
+    .unwrap();
+    let truth = row[0];
     println!(
         "TRUTH16 {truth:.4} over {} images in {:.0?}",
         subset.len(),

@@ -11,13 +11,23 @@ use telemetry::Json;
 /// Enables telemetry, resets all metrics, and opens
 /// `results/logs/<name>.jsonl` (truncating any previous run).
 ///
+/// The artifact-store mode (`GENIEX_STORE`) is recorded alongside the
+/// caller's config fields, and since the final metric snapshot carries
+/// every counter, `store.hit` / `store.miss` / `store.write` land in
+/// the manifest automatically.
+///
 /// # Panics
 ///
 /// Panics if the log directory is not writable (experiment setup is
 /// infallible by construction; a failure is an environment bug).
 pub fn start(name: &str, config: &[(&str, Json)]) -> telemetry::RunManifest {
     let logs = crate::setup::results_dir().join("logs");
-    telemetry::start_run(&logs, name, config).expect("run manifest creation")
+    let mut config: Vec<(&str, Json)> = config.to_vec();
+    config.push((
+        "geniex_store",
+        Json::from(crate::setup::store().mode().name()),
+    ));
+    telemetry::start_run(&logs, name, &config).expect("run manifest creation")
 }
 
 /// Finishes `manifest` with the run's headline numbers, then prints

@@ -4,14 +4,27 @@
 //! held-out test set, and (per crossbar design point) a trained GENIEx
 //! surrogate. Budgets here are the "full experiment" settings; tests
 //! use smaller ones inline.
+//!
+//! All expensive intermediates route through the content-addressed
+//! artifact store (`results/store/`, see `crates/store` and DESIGN.md
+//! §10): truth datasets, trained surrogates, trained vision models,
+//! and solver sweep blobs are keyed by their full producing config, so
+//! a warm rerun of any binary skips the circuit solves and training
+//! epochs entirely. `GENIEX_STORE=off|read|readwrite` controls the
+//! behavior; every path is deterministic, so a cached artifact is
+//! bit-identical to a recomputed one.
 
 use funcsim::{harvest_stimuli, ArchConfig};
-use geniex::dataset::{generate, label_stimuli, merge, DatasetConfig};
+use geniex::dataset::{generate, label_stimuli, merge, DatasetConfig, SurrogateDataset};
 use geniex::{Geniex, TrainConfig};
 use nn::Tensor;
+use std::sync::OnceLock;
 use std::time::Instant;
+use store::{Key, KeyBuilder, Store};
 use vision::{train_model, MicroResNet, NetworkSpec, SynthSpec, SynthVision, TrainOptions};
-use xbar::CrossbarParams;
+use xbar::nf::NfSummary;
+use xbar::sweep::{current_pairs, nf_distribution, CurrentPairs, SweepPoint};
+use xbar::{CrossbarParams, XbarError};
 
 /// Training images per class for the standard workloads.
 pub const TRAIN_PER_CLASS: usize = 80;
@@ -22,6 +35,19 @@ pub const TEST_PER_CLASS: usize = 16;
 pub const TRAIN_SEED: u64 = 1;
 /// Seed for the held-out split (disjoint stream from training).
 pub const TEST_SEED: u64 = 999;
+/// Weight-init seed of the standard vision model.
+pub const MODEL_SEED: u64 = 2;
+/// Weight-init seed of the standard surrogates.
+pub const SURROGATE_INIT_SEED: u64 = 3;
+/// RNG seed of the random stratified surrogate training sets.
+pub const SURROGATE_DATA_SEED: u64 = 7;
+
+/// The process-wide artifact store, rooted at `results/store/` with
+/// the mode taken from `GENIEX_STORE` at first use.
+pub fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(|| Store::open(results_dir().join("store")))
+}
 
 /// A ready-to-measure workload: trained model + test set.
 pub struct Workload {
@@ -34,7 +60,8 @@ pub struct Workload {
 }
 
 /// Trains the standard MicroResNet workload for a dataset variant.
-/// Deterministic: every binary that calls this gets the same model.
+/// Deterministic: every binary that calls this gets the same model
+/// (whether freshly trained or loaded from the artifact store).
 ///
 /// # Panics
 ///
@@ -46,38 +73,39 @@ pub fn standard_workload(spec: SynthSpec) -> Workload {
         SynthVision::generate(spec, TRAIN_PER_CLASS, TRAIN_SEED).expect("training set generation");
     let test = SynthVision::generate(spec, TEST_PER_CLASS, TEST_SEED).expect("test set generation");
 
-    // Training is deterministic, so a cached model is identical to a
-    // fresh one; the cache only saves wall-clock time.
-    let cache = results_dir()
-        .join("models")
-        .join(format!("{}.bin", spec.name()));
-    let mut model = match std::fs::read(&cache) {
-        Ok(bytes) => {
-            let model = MicroResNet::load(&mut std::io::Cursor::new(bytes))
-                .expect("cached model deserializes");
-            eprintln!("[setup] loaded cached {} model", spec.name());
+    let options = TrainOptions {
+        epochs: match spec {
+            SynthSpec::SynthS => 25,
+            SynthSpec::SynthL => 30,
+        },
+        batch_size: 32,
+        learning_rate: 2e-3,
+        seed: 5,
+    };
+    let mut key = KeyBuilder::new(store::KIND_VISION_MODEL);
+    key.nested("spec", &spec)
+        .usize("train_per_class", TRAIN_PER_CLASS)
+        .u64("train_seed", TRAIN_SEED)
+        .u64("model_seed", MODEL_SEED)
+        .nested("options", &options);
+    let key = key.finish();
+
+    let cached = store()
+        .load(&key)
+        .and_then(|bytes| MicroResNet::load(&mut std::io::Cursor::new(bytes)).ok());
+    let mut model = match cached {
+        Some(model) => {
+            eprintln!("[setup] loaded cached {} model ({key})", spec.name());
             model
         }
-        Err(_) => {
-            let mut model = MicroResNet::new(spec, 2);
-            let options = TrainOptions {
-                epochs: match spec {
-                    SynthSpec::SynthS => 25,
-                    SynthSpec::SynthL => 30,
-                },
-                batch_size: 32,
-                learning_rate: 2e-3,
-                seed: 5,
-            };
+        None => {
+            let mut model = MicroResNet::new(spec, MODEL_SEED);
             train_model(&mut model, &train, &options).expect("model training");
-            if let Some(parent) = cache.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
             let mut bytes = Vec::new();
             model.save(&mut bytes).expect("model serializes");
-            let _ = std::fs::write(&cache, bytes);
+            let _ = store().save(&key, &bytes);
             eprintln!(
-                "[setup] {} model trained in {:.1?} (cached for reuse)",
+                "[setup] {} model trained in {:.1?} (stored as {key})",
                 spec.name(),
                 start.elapsed()
             );
@@ -97,38 +125,77 @@ pub fn standard_workload(spec: SynthSpec) -> Workload {
     }
 }
 
-/// Cache key for a surrogate at one design point and budget.
-fn surrogate_cache_path(
-    params: &CrossbarParams,
-    budget: &SurrogateBudget,
-    tag: &str,
-) -> std::path::PathBuf {
-    results_dir().join("surrogates").join(format!(
-        "{tag}_s{}_r{}k_v{}_o{}_src{}_snk{}_h{}_n{}_e{}.bin",
-        params.rows,
-        params.r_on / 1e3,
-        params.v_supply,
-        params.on_off_ratio,
-        params.r_source,
-        params.r_sink,
-        budget.hidden,
-        budget.samples,
-        budget.epochs,
-    ))
+/// Loads a truth dataset from the artifact store, or generates it on
+/// the circuit simulator and caches it. Keyed by the design point and
+/// the full generation config, so any parameter or seed change misses.
+///
+/// # Panics
+///
+/// Panics if generation fails (deterministic setup).
+pub fn cached_dataset(params: &CrossbarParams, config: &DatasetConfig) -> SurrogateDataset {
+    let mut kb = KeyBuilder::new(store::KIND_DATASET);
+    kb.str("producer", "generate")
+        .nested("params", params)
+        .nested("config", config);
+    let key = kb.finish();
+    if let Some(data) = load_dataset(&key, params) {
+        eprintln!("[setup] loaded cached truth dataset ({key})");
+        return data;
+    }
+    let data = generate(params, config).expect("truth dataset generation");
+    save_dataset(&key, &data);
+    data
 }
 
-fn load_cached_surrogate(path: &std::path::Path, params: &CrossbarParams) -> Option<Geniex> {
-    let bytes = std::fs::read(path).ok()?;
+/// Labels harvested `(V, G)` stimuli on the circuit simulator, or
+/// loads the previously labelled set. Keyed by the design point plus
+/// the stimulus content, so a different workload, slicing config, or
+/// harvest seed produces a different key.
+///
+/// # Panics
+///
+/// Panics if labelling fails (deterministic setup).
+pub fn cached_labelled_stimuli(
+    params: &CrossbarParams,
+    stimuli: &[(&[f32], &[f32])],
+) -> SurrogateDataset {
+    let mut kb = KeyBuilder::new(store::KIND_DATASET);
+    kb.str("producer", "label_stimuli").nested("params", params);
+    kb.usize("n", stimuli.len());
+    for (v, g) in stimuli {
+        kb.f32_slice("v", v).f32_slice("g", g);
+    }
+    let key = kb.finish();
+    if let Some(data) = load_dataset(&key, params) {
+        eprintln!("[setup] loaded cached labelled stimuli ({key})");
+        return data;
+    }
+    let data = label_stimuli(params, stimuli.iter().copied()).expect("stimulus labelling");
+    save_dataset(&key, &data);
+    data
+}
+
+fn load_dataset(key: &Key, params: &CrossbarParams) -> Option<SurrogateDataset> {
+    let bytes = store().load(key)?;
+    SurrogateDataset::load(&mut bytes.as_slice(), params).ok()
+}
+
+fn save_dataset(key: &Key, data: &SurrogateDataset) {
+    let mut bytes = Vec::new();
+    if data.save(&mut bytes).is_ok() {
+        let _ = store().save(key, &bytes);
+    }
+}
+
+fn load_surrogate(key: &Key, params: &CrossbarParams) -> Option<Geniex> {
+    let bytes = store().load(key)?;
     Geniex::load(&mut std::io::Cursor::new(bytes), params).ok()
 }
 
-fn store_surrogate(path: &std::path::Path, surrogate: &Geniex) {
-    if let Some(parent) = path.parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
+fn save_surrogate(key: &Key, surrogate: &Geniex) {
     let mut bytes = Vec::new();
     if surrogate.save(&mut bytes).is_ok() {
-        let _ = std::fs::write(path, bytes);
+        let _ = store().save(key, &bytes);
     }
 }
 
@@ -153,40 +220,55 @@ impl Default for SurrogateBudget {
     }
 }
 
+fn random_dataset_config(samples: usize) -> DatasetConfig {
+    DatasetConfig {
+        samples,
+        seed: SURROGATE_DATA_SEED,
+        ..DatasetConfig::default()
+    }
+}
+
+fn surrogate_train_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        learning_rate: 1e-3,
+        seed: 4,
+        ..TrainConfig::default()
+    }
+}
+
 /// Generates a dataset on the circuit simulator and trains a GENIEx
-/// surrogate for one crossbar design point.
+/// surrogate for one crossbar design point. The surrogate is keyed by
+/// its complete producing config (design point, dataset config,
+/// width, seeds, training hyperparams), so a warm run loads it without
+/// touching the dataset at all.
 ///
 /// # Panics
 ///
 /// Panics if generation or training fails (deterministic setup).
 pub fn train_surrogate(params: &CrossbarParams, budget: &SurrogateBudget) -> Geniex {
-    let cache = surrogate_cache_path(params, budget, "rand");
-    if let Some(surrogate) = load_cached_surrogate(&cache, params) {
-        eprintln!("[setup] loaded cached surrogate {}", cache.display());
+    let data_config = random_dataset_config(budget.samples);
+    let train_config = surrogate_train_config(budget.epochs);
+    let mut kb = KeyBuilder::new(store::KIND_SURROGATE);
+    kb.str("flavor", "rand")
+        .nested("params", params)
+        .nested("dataset", &data_config)
+        .usize("hidden", budget.hidden)
+        .u64("init_seed", SURROGATE_INIT_SEED)
+        .nested("train", &train_config);
+    let key = kb.finish();
+    if let Some(surrogate) = load_surrogate(&key, params) {
+        eprintln!("[setup] loaded cached surrogate ({key})");
         return surrogate;
     }
+
     let start = Instant::now();
-    let data = generate(
-        params,
-        &DatasetConfig {
-            samples: budget.samples,
-            seed: 7,
-            ..DatasetConfig::default()
-        },
-    )
-    .expect("surrogate dataset generation");
-    let mut surrogate = Geniex::new(params, budget.hidden, 3).expect("surrogate construction");
+    let data = cached_dataset(params, &data_config);
+    let mut surrogate =
+        Geniex::new(params, budget.hidden, SURROGATE_INIT_SEED).expect("surrogate construction");
     let report = surrogate
-        .train(
-            &data,
-            &TrainConfig {
-                epochs: budget.epochs,
-                batch_size: 32,
-                learning_rate: 1e-3,
-                seed: 4,
-                ..TrainConfig::default()
-            },
-        )
+        .train(&data, &train_config)
         .expect("surrogate training");
     eprintln!(
         "[setup] surrogate for {}x{} Ron={}k V={} trained in {:.1?} (loss {:.5})",
@@ -197,7 +279,7 @@ pub fn train_surrogate(params: &CrossbarParams, budget: &SurrogateBudget) -> Gen
         start.elapsed(),
         report.final_loss
     );
-    store_surrogate(&cache, &surrogate);
+    save_surrogate(&key, &surrogate);
     surrogate
 }
 
@@ -206,6 +288,12 @@ pub fn train_surrogate(params: &CrossbarParams, budget: &SurrogateBudget) -> Gen
 /// simulator's bit-sliced tile patterns for this design point — mixed
 /// with random stratified samples for broader coverage, all labelled
 /// on the circuit simulator.
+///
+/// Stimulus harvesting is a cheap funcsim forward pass and always
+/// runs; the surrogate key hashes the harvested stimulus *content*, so
+/// it captures the workload's weights, the slicing config, and the
+/// harvest seed without naming them. On a key hit the labelling solves
+/// and training epochs are skipped entirely.
 ///
 /// # Panics
 ///
@@ -217,48 +305,40 @@ pub fn train_surrogate_for_workload(
     arch: &ArchConfig,
     sample_images: &Tensor,
 ) -> Geniex {
-    // The harvested distribution depends on the workload's weights and
-    // the slicing config; fold both into the cache key.
-    let tag = format!(
-        "wl{}x{}_st{}_sl{}",
-        spec.input_shape[0], spec.classes, arch.stream_width, arch.slice_width
-    );
-    let cache = surrogate_cache_path(params, budget, &tag);
-    if let Some(surrogate) = load_cached_surrogate(&cache, params) {
-        eprintln!("[setup] loaded cached surrogate {}", cache.display());
-        return surrogate;
-    }
-    let start = Instant::now();
     let harvested = harvest_stimuli(spec.clone(), arch, sample_images, budget.samples / 2, 11)
         .expect("stimulus harvesting");
+    let random_config = random_dataset_config(budget.samples - budget.samples / 2);
+    let train_config = surrogate_train_config(budget.epochs);
+
+    let mut kb = KeyBuilder::new(store::KIND_SURROGATE);
+    kb.str("flavor", "workload").nested("params", params);
+    kb.usize("n_stimuli", harvested.len());
+    for s in &harvested {
+        kb.f32_slice("v", &s.v_levels).f32_slice("g", &s.g_levels);
+    }
+    kb.nested("random", &random_config)
+        .usize("hidden", budget.hidden)
+        .u64("init_seed", SURROGATE_INIT_SEED)
+        .nested("train", &train_config);
+    let key = kb.finish();
+    if let Some(surrogate) = load_surrogate(&key, params) {
+        eprintln!("[setup] loaded cached workload surrogate ({key})");
+        return surrogate;
+    }
+
+    let start = Instant::now();
     let pairs: Vec<(&[f32], &[f32])> = harvested
         .iter()
         .map(|s| (s.v_levels.as_slice(), s.g_levels.as_slice()))
         .collect();
-    let workload_set = label_stimuli(params, pairs).expect("stimulus labelling");
-    let random_set = generate(
-        params,
-        &DatasetConfig {
-            samples: budget.samples - budget.samples / 2,
-            seed: 7,
-            ..DatasetConfig::default()
-        },
-    )
-    .expect("random dataset generation");
+    let workload_set = cached_labelled_stimuli(params, &pairs);
+    let random_set = cached_dataset(params, &random_config);
     let data = merge(vec![workload_set, random_set]).expect("same design point");
 
-    let mut surrogate = Geniex::new(params, budget.hidden, 3).expect("surrogate construction");
+    let mut surrogate =
+        Geniex::new(params, budget.hidden, SURROGATE_INIT_SEED).expect("surrogate construction");
     let report = surrogate
-        .train(
-            &data,
-            &TrainConfig {
-                epochs: budget.epochs,
-                batch_size: 32,
-                learning_rate: 1e-3,
-                seed: 4,
-                ..TrainConfig::default()
-            },
-        )
+        .train(&data, &train_config)
         .expect("surrogate training");
     eprintln!(
         "[setup] workload surrogate for {}x{} Ron={}k V={} trained in {:.1?} (loss {:.5})",
@@ -269,8 +349,152 @@ pub fn train_surrogate_for_workload(
         start.elapsed(),
         report.final_loss
     );
-    store_surrogate(&cache, &surrogate);
+    save_surrogate(&key, &surrogate);
     surrogate
+}
+
+/// Trains (or loads) a surrogate on an explicit, already materialized
+/// dataset — the ablation binaries sweep hyperparameters over one
+/// dataset. Keyed by the dataset *content* plus the hyperparameters,
+/// so every swept variant caches independently.
+///
+/// # Panics
+///
+/// Panics if training fails (deterministic setup).
+pub fn cached_surrogate(
+    data: &SurrogateDataset,
+    hidden: usize,
+    init_seed: u64,
+    train_config: &TrainConfig,
+) -> Geniex {
+    let mut kb = KeyBuilder::new(store::KIND_SURROGATE);
+    kb.str("flavor", "explicit")
+        .nested("dataset", data)
+        .usize("hidden", hidden)
+        .u64("init_seed", init_seed)
+        .nested("train", train_config);
+    let key = kb.finish();
+    if let Some(surrogate) = load_surrogate(&key, &data.params) {
+        eprintln!("[setup] loaded cached surrogate ({key})");
+        return surrogate;
+    }
+    let mut surrogate =
+        Geniex::new(&data.params, hidden, init_seed).expect("surrogate construction");
+    surrogate
+        .train(data, train_config)
+        .expect("surrogate training");
+    save_surrogate(&key, &surrogate);
+    surrogate
+}
+
+/// Loads a cached `f64` blob or computes and caches it. The generic
+/// escape hatch for solver-derived buffers that aren't full datasets
+/// (sweep samples, paired currents, label vectors). The caller owns
+/// the key; payloads are raw little-endian `f64`s, bit-exact across
+/// runs.
+///
+/// # Errors
+///
+/// Propagates `compute` failures.
+pub fn cached_f64_blob<E>(
+    key: &Key,
+    compute: impl FnOnce() -> Result<Vec<f64>, E>,
+) -> Result<Vec<f64>, E> {
+    if let Some(values) = load_f64_blob(key) {
+        eprintln!("[setup] loaded cached blob ({key})");
+        return Ok(values);
+    }
+    let values = compute()?;
+    save_f64_blob(key, &values);
+    Ok(values)
+}
+
+fn load_f64_blob(key: &Key) -> Option<Vec<f64>> {
+    let bytes = store().load(key)?;
+    if bytes.len() % 8 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect(),
+    )
+}
+
+fn save_f64_blob(key: &Key, values: &[f64]) {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let _ = store().save(key, &bytes);
+}
+
+/// Store-backed [`nf_distribution`]: the NF sample stream is cached;
+/// the summary is recomputed from it (deterministic).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn cached_nf_distribution(
+    params: &CrossbarParams,
+    n_stimuli: usize,
+    seed: u64,
+    label: &str,
+) -> Result<SweepPoint, XbarError> {
+    let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+    kb.str("op", "nf_distribution")
+        .nested("params", params)
+        .usize("n_stimuli", n_stimuli)
+        .u64("seed", seed);
+    let key = kb.finish();
+    if let Some(samples) = load_f64_blob(&key) {
+        if let Some(summary) = NfSummary::from_samples(&samples) {
+            eprintln!("[setup] loaded cached NF sweep ({key})");
+            return Ok(SweepPoint {
+                label: label.to_string(),
+                summary,
+                samples,
+            });
+        }
+    }
+    let point = nf_distribution(params, n_stimuli, seed, label)?;
+    save_f64_blob(&key, &point.samples);
+    Ok(point)
+}
+
+/// Store-backed [`current_pairs`]: ideal and non-ideal currents cached
+/// as one blob (equal halves).
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn cached_current_pairs(
+    params: &CrossbarParams,
+    n_stimuli: usize,
+    seed: u64,
+) -> Result<CurrentPairs, XbarError> {
+    let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+    kb.str("op", "current_pairs")
+        .nested("params", params)
+        .usize("n_stimuli", n_stimuli)
+        .u64("seed", seed);
+    let key = kb.finish();
+    if let Some(flat) = load_f64_blob(&key) {
+        if flat.len() % 2 == 0 {
+            let (ideal, non_ideal) = flat.split_at(flat.len() / 2);
+            eprintln!("[setup] loaded cached current pairs ({key})");
+            return Ok(CurrentPairs {
+                ideal: ideal.to_vec(),
+                non_ideal: non_ideal.to_vec(),
+            });
+        }
+    }
+    let pairs = current_pairs(params, n_stimuli, seed)?;
+    let mut flat = pairs.ideal.clone();
+    flat.extend_from_slice(&pairs.non_ideal);
+    save_f64_blob(&key, &flat);
+    Ok(pairs)
 }
 
 /// The standard crossbar design points used across the figures. The
@@ -393,5 +617,35 @@ mod tests {
         let b = SurrogateBudget::default();
         assert!(b.samples >= 1000);
         assert!(b.hidden >= 50);
+    }
+
+    #[test]
+    fn store_roots_under_results() {
+        assert!(store().root().ends_with("results/store"));
+    }
+
+    #[test]
+    fn f64_blob_round_trips_through_temp_store() {
+        // Use a private store so the test never touches results/store.
+        let root = std::env::temp_dir().join(format!("bench-blob-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let s = Store::with_mode(&root, store::Mode::ReadWrite);
+        let mut kb = KeyBuilder::new(store::KIND_SWEEP);
+        kb.str("op", "test").u64("seed", 1);
+        let key = kb.finish();
+        assert!(s.load(&key).is_none());
+        let values = [1.5f64, -2.25, 0.0, f64::MIN_POSITIVE];
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        s.save(&key, &bytes).unwrap();
+        let back = s.load(&key).unwrap();
+        let decoded: Vec<f64> = back
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(decoded, values);
+        std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -13,6 +13,7 @@
 use crate::GeniexError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
 use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit, CrossbarParams};
 
 use crate::surrogate::F_R_CLAMP;
@@ -113,6 +114,93 @@ impl SurrogateDataset {
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
+
+    /// Serializes the dataset (geometry plus all samples) in the
+    /// `GDS1` binary layout used by the artifact store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&self, w: &mut W) -> Result<(), GeniexError> {
+        use nn::serialize::{write_f32_slice, write_magic, write_u32};
+        write_magic(w, b"GDS1")?;
+        write_u32(w, self.params.rows as u32)?;
+        write_u32(w, self.params.cols as u32)?;
+        write_u32(w, self.samples.len() as u32)?;
+        for sample in &self.samples {
+            write_f32_slice(w, &sample.v_levels)?;
+            write_f32_slice(w, &sample.g_levels)?;
+            write_f32_slice(w, &sample.f_r)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a dataset saved by [`save`](SurrogateDataset::save).
+    /// The caller supplies the design parameters (only geometry is
+    /// stored); geometry must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeniexError::Network`] on malformed bytes and
+    /// [`GeniexError::Shape`] on geometry mismatch.
+    pub fn load<R: Read>(r: &mut R, params: &CrossbarParams) -> Result<Self, GeniexError> {
+        use nn::serialize::{expect_magic, read_f32_slice, read_u32};
+        expect_magic(r, b"GDS1")?;
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
+        if rows != params.rows || cols != params.cols {
+            return Err(GeniexError::Shape(format!(
+                "file is for a {rows}x{cols} crossbar, params say {}x{}",
+                params.rows, params.cols
+            )));
+        }
+        let count = read_u32(r)? as usize;
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v_levels = read_f32_slice(r, rows)?;
+            let g_levels = read_f32_slice(r, rows * cols)?;
+            let f_r = read_f32_slice(r, cols)?;
+            if v_levels.len() != rows || g_levels.len() != rows * cols || f_r.len() != cols {
+                return Err(GeniexError::Network(nn::NnError::Format(
+                    "sample vector lengths do not match geometry".into(),
+                )));
+            }
+            samples.push(Sample {
+                v_levels,
+                g_levels,
+                f_r,
+            });
+        }
+        Ok(SurrogateDataset {
+            params: params.clone(),
+            samples,
+        })
+    }
+}
+
+impl store::Canonical for DatasetConfig {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.usize("samples", self.samples)
+            .u64("seed", self.seed)
+            .f64_slice("sparsity_grades", &self.sparsity_grades)
+            .usize("dac_levels", self.dac_levels);
+    }
+}
+
+/// Content hash: the dataset's design point plus every sample's bytes.
+/// Used to key artifacts *derived from* a dataset (e.g. a surrogate
+/// trained on harvested stimuli whose producing config spans the whole
+/// workload pipeline).
+impl store::Canonical for SurrogateDataset {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.nested("params", &self.params);
+        key.usize("n", self.samples.len());
+        for sample in &self.samples {
+            key.f32_slice("v", &sample.v_levels)
+                .f32_slice("g", &sample.g_levels)
+                .f32_slice("f", &sample.f_r);
+        }
+    }
 }
 
 /// Computes `f_R` labels from paired ideal / non-ideal currents.
@@ -201,6 +289,7 @@ pub fn generate(
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    telemetry::counter("geniex.dataset.generated_samples").add(samples.len() as u64);
     Ok(SurrogateDataset {
         params: params.clone(),
         samples,
@@ -240,6 +329,7 @@ where
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
+    telemetry::counter("geniex.dataset.generated_samples").add(samples.len() as u64);
     Ok(SurrogateDataset {
         params: params.clone(),
         samples,
@@ -472,6 +562,77 @@ mod tests {
         let direct = simulate_sample(&p, &v, &g).unwrap();
         assert_eq!(ds.samples[0], direct);
         assert!(label_stimuli(&p, std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let p = params();
+        let data = generate(
+            &p,
+            &DatasetConfig {
+                samples: 5,
+                seed: 9,
+                ..DatasetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        data.save(&mut bytes).unwrap();
+        let loaded = SurrogateDataset::load(&mut bytes.as_slice(), &p).unwrap();
+        assert_eq!(loaded.params, data.params);
+        assert_eq!(loaded.samples, data.samples);
+
+        // Geometry mismatch is rejected.
+        let other = CrossbarParams::builder(3, 3).build().unwrap();
+        assert!(SurrogateDataset::load(&mut bytes.as_slice(), &other).is_err());
+        // Truncated bytes error instead of panicking.
+        assert!(SurrogateDataset::load(&mut bytes[..bytes.len() / 2].as_ref(), &p).is_err());
+    }
+
+    #[test]
+    fn canonical_content_hash_tracks_config_and_seed() {
+        let p = params();
+        let key = |cfg: &DatasetConfig| store::key_of(*b"test", cfg);
+        let base = DatasetConfig {
+            samples: 4,
+            seed: 1,
+            ..DatasetConfig::default()
+        };
+        assert_eq!(key(&base), key(&base.clone()));
+        for variant in [
+            DatasetConfig {
+                samples: 5,
+                ..base.clone()
+            },
+            DatasetConfig {
+                seed: 2,
+                ..base.clone()
+            },
+            DatasetConfig {
+                dac_levels: 8,
+                ..base.clone()
+            },
+            DatasetConfig {
+                sparsity_grades: vec![0.0, 0.5],
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(key(&base), key(&variant));
+        }
+
+        // The dataset content hash distinguishes different datasets on
+        // the same design point.
+        let a = generate(&p, &base).unwrap();
+        let b = generate(
+            &p,
+            &DatasetConfig {
+                seed: 2,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(store::key_of(*b"test", &a), store::key_of(*b"test", &a));
+        assert_ne!(store::key_of(*b"test", &a), store::key_of(*b"test", &b));
     }
 
     #[test]

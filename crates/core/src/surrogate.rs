@@ -97,6 +97,18 @@ impl Default for TrainConfig {
     }
 }
 
+impl store::Canonical for TrainConfig {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.usize("epochs", self.epochs)
+            .usize("batch_size", self.batch_size)
+            .f32("learning_rate", self.learning_rate)
+            .f32("final_lr_fraction", self.final_lr_fraction)
+            .f32("validation_fraction", self.validation_fraction)
+            .usize("patience", self.patience)
+            .u64("seed", self.seed);
+    }
+}
+
 /// Loss trajectory returned by [`Geniex::train`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingReport {

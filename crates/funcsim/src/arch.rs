@@ -147,6 +147,37 @@ impl Default for ArchConfig {
     }
 }
 
+impl store::Canonical for ArchConfig {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.u64(
+            "input_total_bits",
+            u64::from(self.input_format.total_bits()),
+        )
+        .u64("input_frac_bits", u64::from(self.input_format.frac_bits()))
+        .u64(
+            "weight_total_bits",
+            u64::from(self.weight_format.total_bits()),
+        )
+        .u64(
+            "weight_frac_bits",
+            u64::from(self.weight_format.frac_bits()),
+        )
+        .u64("accumulator_bits", u64::from(self.accumulator_bits))
+        .u64("accumulator_frac", u64::from(self.accumulator_frac))
+        .u64("adc_bits", u64::from(self.adc_bits))
+        .u64("stream_width", u64::from(self.stream_width))
+        .u64("slice_width", u64::from(self.slice_width))
+        .str(
+            "weight_mapping",
+            match self.weight_mapping {
+                WeightMapping::Differential => "differential",
+                WeightMapping::Offset => "offset",
+            },
+        )
+        .nested("xbar", &self.xbar);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,206 @@
+//! The on-disk container format.
+//!
+//! Every artifact file is a fixed 36-byte header followed by the raw
+//! payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic            b"GXSTORE\0"
+//! 8       4     format_version   u32 LE (container layout revision)
+//! 12      4     kind             4 ASCII bytes, e.g. "dset"
+//! 16      4     schema_version   u32 LE (payload serialization revision)
+//! 20      8     payload_len      u64 LE
+//! 28      8     payload_fnv1a64  u64 LE, checksum over the payload
+//! 36      ...   payload
+//! ```
+//!
+//! Decoding distinguishes *stale* entries (right container, older
+//! format/schema version — silently invalidated) from *corrupt* ones
+//! (bad magic, truncation, length or checksum mismatch — quarantined
+//! so a damaged file is kept for inspection but never re-read).
+
+use crate::key::{fnv1a64, Kind};
+
+/// Leading magic bytes of every artifact file.
+pub const MAGIC: [u8; 8] = *b"GXSTORE\0";
+/// Total header size in bytes.
+pub const HEADER_LEN: usize = 36;
+
+/// Why a container failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Valid container written by an older (or newer) format or schema
+    /// revision; the entry is stale, not damaged.
+    Stale {
+        /// Format version found in the header.
+        format_version: u32,
+        /// Schema version found in the header.
+        schema_version: u32,
+    },
+    /// The header names a different artifact kind than the key asked
+    /// for (possible only if a file was renamed by hand).
+    WrongKind(Kind),
+    /// Damaged bytes: bad magic, truncation, or checksum mismatch.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Stale {
+                format_version,
+                schema_version,
+            } => write!(
+                f,
+                "stale entry (format v{format_version}, schema v{schema_version}; \
+                 current v{}/v{})",
+                crate::FORMAT_VERSION,
+                crate::SCHEMA_VERSION
+            ),
+            DecodeError::WrongKind(kind) => {
+                write!(
+                    f,
+                    "kind mismatch: file holds {:?}",
+                    std::str::from_utf8(kind).unwrap_or("????")
+                )
+            }
+            DecodeError::Corrupt(why) => write!(f, "corrupt entry: {why}"),
+        }
+    }
+}
+
+/// Wraps a payload in the container format.
+pub fn encode(kind: Kind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&crate::FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind);
+    out.extend_from_slice(&crate::SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn u32_at(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+/// Validates a container and returns its payload.
+///
+/// # Errors
+///
+/// [`DecodeError::Corrupt`] on damage, [`DecodeError::Stale`] on a
+/// version mismatch, [`DecodeError::WrongKind`] on a kind mismatch.
+pub fn decode(kind: Kind, bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Corrupt(format!(
+            "file is {} bytes, header needs {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DecodeError::Corrupt("bad magic".into()));
+    }
+    let format_version = u32_at(bytes, 8);
+    let file_kind: Kind = bytes[12..16].try_into().expect("4 bytes");
+    let schema_version = u32_at(bytes, 16);
+    if format_version != crate::FORMAT_VERSION || schema_version != crate::SCHEMA_VERSION {
+        return Err(DecodeError::Stale {
+            format_version,
+            schema_version,
+        });
+    }
+    if file_kind != kind {
+        return Err(DecodeError::WrongKind(file_kind));
+    }
+    let payload_len = u64_at(bytes, 20) as usize;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != payload_len {
+        return Err(DecodeError::Corrupt(format!(
+            "payload is {} bytes, header declares {payload_len}",
+            payload.len()
+        )));
+    }
+    let expected = u64_at(bytes, 28);
+    let actual = fnv1a64(payload);
+    if expected != actual {
+        return Err(DecodeError::Corrupt(format!(
+            "checksum mismatch: header {expected:016x}, payload {actual:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let payload = b"hello artifact";
+        let file = encode(*b"dset", payload);
+        assert_eq!(decode(*b"dset", &file).unwrap(), payload);
+        assert_eq!(file.len(), HEADER_LEN + payload.len());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let file = encode(*b"vmdl", b"");
+        assert_eq!(decode(*b"vmdl", &file).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let file = encode(*b"dset", b"0123456789");
+        for cut in [0, 5, HEADER_LEN - 1, file.len() - 1] {
+            assert!(
+                matches!(decode(*b"dset", &file[..cut]), Err(DecodeError::Corrupt(_))),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_corrupt() {
+        let clean = encode(*b"dset", b"payload bytes");
+        // Flip one bit in the magic, the checksum, and the payload.
+        for position in [0, 28, HEADER_LEN + 3] {
+            let mut file = clean.clone();
+            file[position] ^= 0x10;
+            assert!(
+                matches!(decode(*b"dset", &file), Err(DecodeError::Corrupt(_))),
+                "flip at {position} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_stale_not_corrupt() {
+        let mut file = encode(*b"dset", b"payload");
+        file[8] = file[8].wrapping_add(1); // format_version
+        assert!(matches!(
+            decode(*b"dset", &file),
+            Err(DecodeError::Stale { .. })
+        ));
+        let mut file = encode(*b"dset", b"payload");
+        file[16] = file[16].wrapping_add(1); // schema_version
+        assert!(matches!(
+            decode(*b"dset", &file),
+            Err(DecodeError::Stale { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let file = encode(*b"dset", b"payload");
+        assert_eq!(
+            decode(*b"srgt", &file),
+            Err(DecodeError::WrongKind(*b"dset"))
+        );
+    }
+}

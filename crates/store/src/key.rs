@@ -1,0 +1,330 @@
+//! Content-addressed keys: canonical hashing of producing configs.
+//!
+//! An artifact's key is a 128-bit digest of everything that determines
+//! its bytes: the artifact kind, the store format and code-schema
+//! versions, and a *canonical serialization* of the producing
+//! configuration (every field tagged by name, every number reduced to
+//! a fixed-width little-endian encoding). Two configs that differ in
+//! any field — including a nested one, or just the seed — produce
+//! different keys; the same config always produces the same key, on
+//! any platform.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis of the second, independent stream (the first basis
+/// folded over an arbitrary constant, so the two lanes decorrelate).
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+/// One FNV-1a 64 step.
+#[inline]
+fn fnv_step(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a 64 of a byte slice (used for payload checksums).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = fnv_step(h, b);
+    }
+    h
+}
+
+/// Artifact kind tag: exactly 4 ASCII bytes, embedded in both the key
+/// and the on-disk container header (e.g. `*b"dset"`).
+pub type Kind = [u8; 4];
+
+/// A 128-bit content key plus the artifact kind it addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// Artifact kind this key addresses.
+    pub kind: Kind,
+    /// High 64 bits of the digest.
+    pub hi: u64,
+    /// Low 64 bits of the digest.
+    pub lo: u64,
+}
+
+impl Key {
+    /// 32-hex-digit rendering (the on-disk file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Kind tag as a str (kind tags are always ASCII).
+    pub fn kind_str(&self) -> &str {
+        std::str::from_utf8(&self.kind).unwrap_or("????")
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.kind_str(), self.hex())
+    }
+}
+
+/// Incremental builder of a [`Key`]: feed it the producing config,
+/// field by field, then [`finish`](KeyBuilder::finish).
+///
+/// Every value is prefixed by its field name and a type tag, so
+/// `("a", 1u64), ("b", 2u64)` and `("a", 12u64), ("b", u64::MAX)`
+/// cannot collide by concatenation, and reordering fields changes the
+/// key. Floats hash their IEEE-754 bit patterns (`-0.0` is normalized
+/// to `0.0` so the two equal values share a key).
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    kind: Kind,
+    a: u64,
+    b: u64,
+}
+
+impl KeyBuilder {
+    /// Starts a key for one artifact kind. The kind, the container
+    /// format version, and the code-schema version are folded in up
+    /// front, so bumping [`crate::SCHEMA_VERSION`] invalidates every
+    /// existing key at once.
+    pub fn new(kind: Kind) -> Self {
+        let mut builder = KeyBuilder {
+            kind,
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        };
+        builder.raw(&kind);
+        builder.push_u32(crate::FORMAT_VERSION);
+        builder.push_u32(crate::SCHEMA_VERSION);
+        builder
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = fnv_step(self.a, byte);
+            // The second lane sees the bit-rotated byte so the two
+            // digests disagree on every input longer than zero bytes.
+            self.b = fnv_step(self.b, byte.rotate_left(3));
+        }
+    }
+
+    fn tag(&mut self, name: &str, type_tag: u8) {
+        self.push_u32(name.len() as u32);
+        self.raw(name.as_bytes());
+        self.raw(&[type_tag]);
+    }
+
+    fn push_u32(&mut self, v: u32) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Hashes an unsigned integer field.
+    pub fn u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.tag(name, b'u');
+        self.raw(&v.to_le_bytes());
+        self
+    }
+
+    /// Hashes a `usize` field (encoded as `u64`, platform-independent).
+    pub fn usize(&mut self, name: &str, v: usize) -> &mut Self {
+        self.u64(name, v as u64)
+    }
+
+    /// Hashes a signed integer field.
+    pub fn i64(&mut self, name: &str, v: i64) -> &mut Self {
+        self.tag(name, b'i');
+        self.raw(&v.to_le_bytes());
+        self
+    }
+
+    /// Hashes an `f64` field by bit pattern (`-0.0` → `0.0`).
+    pub fn f64(&mut self, name: &str, v: f64) -> &mut Self {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.tag(name, b'f');
+        self.raw(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Hashes an `f32` field by bit pattern (`-0.0` → `0.0`).
+    pub fn f32(&mut self, name: &str, v: f32) -> &mut Self {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.tag(name, b'g');
+        self.raw(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Hashes a boolean field.
+    pub fn bool(&mut self, name: &str, v: bool) -> &mut Self {
+        self.tag(name, b'b');
+        self.raw(&[u8::from(v)]);
+        self
+    }
+
+    /// Hashes a string field (length-prefixed, so adjacent strings
+    /// cannot merge).
+    pub fn str(&mut self, name: &str, v: &str) -> &mut Self {
+        self.tag(name, b's');
+        self.push_u32(v.len() as u32);
+        self.raw(v.as_bytes());
+        self
+    }
+
+    /// Hashes an opaque byte payload (e.g. a dataset's sample buffer,
+    /// for content-derived keys).
+    pub fn bytes(&mut self, name: &str, v: &[u8]) -> &mut Self {
+        self.tag(name, b'y');
+        self.push_u32(v.len() as u32);
+        self.raw(v);
+        self
+    }
+
+    /// Hashes a slice of `f64` values by bit pattern.
+    pub fn f64_slice(&mut self, name: &str, v: &[f64]) -> &mut Self {
+        self.tag(name, b'F');
+        self.push_u32(v.len() as u32);
+        for &x in v {
+            let x = if x == 0.0 { 0.0 } else { x };
+            self.raw(&x.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Hashes a slice of `f32` values by bit pattern.
+    pub fn f32_slice(&mut self, name: &str, v: &[f32]) -> &mut Self {
+        self.tag(name, b'G');
+        self.push_u32(v.len() as u32);
+        for &x in v {
+            let x = if x == 0.0 { 0.0 } else { x };
+            self.raw(&x.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Hashes a nested config that knows how to canonicalize itself.
+    /// The field name scopes the nested fields, so two identical
+    /// sub-configs under different names hash differently.
+    pub fn nested(&mut self, name: &str, value: &dyn Canonical) -> &mut Self {
+        self.tag(name, b'n');
+        value.canonicalize(self);
+        self.tag(name, b'e');
+        self
+    }
+
+    /// Finalizes the digest.
+    pub fn finish(&self) -> Key {
+        Key {
+            kind: self.kind,
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// A configuration that can write itself into a [`KeyBuilder`] in a
+/// stable, versioned field order. Implemented by the producing-config
+/// types across the workspace (`CrossbarParams`, `DatasetConfig`,
+/// `TrainConfig`, `ArchConfig`, ...).
+pub trait Canonical {
+    /// Appends every field that influences the produced artifact.
+    fn canonicalize(&self, key: &mut KeyBuilder);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let mut a = KeyBuilder::new(*b"test");
+        a.u64("rows", 8).f64("r_on", 100e3).str("tag", "rand");
+        let mut b = KeyBuilder::new(*b"test");
+        b.u64("rows", 8).f64("r_on", 100e3).str("tag", "rand");
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(a.finish().hex().len(), 32);
+    }
+
+    #[test]
+    fn any_field_change_changes_key() {
+        let base = {
+            let mut k = KeyBuilder::new(*b"test");
+            k.u64("rows", 8).f64("r_on", 100e3).bool("flag", true);
+            k.finish()
+        };
+        let variants = [
+            {
+                let mut k = KeyBuilder::new(*b"test");
+                k.u64("rows", 9).f64("r_on", 100e3).bool("flag", true);
+                k.finish()
+            },
+            {
+                let mut k = KeyBuilder::new(*b"test");
+                k.u64("rows", 8).f64("r_on", 50e3).bool("flag", true);
+                k.finish()
+            },
+            {
+                let mut k = KeyBuilder::new(*b"test");
+                k.u64("rows", 8).f64("r_on", 100e3).bool("flag", false);
+                k.finish()
+            },
+            {
+                let mut k = KeyBuilder::new(*b"diff");
+                k.u64("rows", 8).f64("r_on", 100e3).bool("flag", true);
+                k.finish()
+            },
+        ];
+        for v in variants {
+            assert_ne!(base, v);
+        }
+    }
+
+    #[test]
+    fn field_name_and_order_matter() {
+        let mut a = KeyBuilder::new(*b"test");
+        a.u64("x", 1).u64("y", 2);
+        let mut b = KeyBuilder::new(*b"test");
+        b.u64("y", 2).u64("x", 1);
+        let mut c = KeyBuilder::new(*b"test");
+        c.u64("z", 1).u64("y", 2);
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let mut a = KeyBuilder::new(*b"test");
+        a.f64("v", 0.0).f32("w", 0.0);
+        let mut b = KeyBuilder::new(*b"test");
+        b.f64("v", -0.0).f32("w", -0.0);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn nested_configs_are_scoped() {
+        struct Sub(u64);
+        impl Canonical for Sub {
+            fn canonicalize(&self, key: &mut KeyBuilder) {
+                key.u64("v", self.0);
+            }
+        }
+        let mut a = KeyBuilder::new(*b"test");
+        a.nested("left", &Sub(1)).nested("right", &Sub(2));
+        let mut b = KeyBuilder::new(*b"test");
+        b.nested("left", &Sub(2)).nested("right", &Sub(1));
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn slices_are_length_prefixed() {
+        let mut a = KeyBuilder::new(*b"test");
+        a.f32_slice("s", &[1.0, 2.0]).f32_slice("t", &[3.0]);
+        let mut b = KeyBuilder::new(*b"test");
+        b.f32_slice("s", &[1.0]).f32_slice("t", &[2.0, 3.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,100 @@
+//! Content-addressed, versioned on-disk artifact store.
+//!
+//! The expensive intermediates of the GENIEx pipeline — circuit-solver
+//! truth datasets, trained surrogate MLPs, trained vision models — are
+//! pure functions of their producing configuration and seed. This crate
+//! caches them under `results/store/` so a warm rerun of the figure
+//! binaries skips straight to the cheap parts.
+//!
+//! Like `parallel` and `telemetry`, the crate has no external
+//! dependencies (it depends only on the in-workspace `telemetry` crate
+//! for counters and timers).
+//!
+//! # Keys
+//!
+//! An artifact is addressed by a 128-bit digest ([`Key`]) of its kind
+//! tag plus a *canonical serialization* of everything that determines
+//! its bytes: the producing config (via the [`Canonical`] trait, which
+//! the workspace config types implement), the seed, and the crate's
+//! [`FORMAT_VERSION`]/[`SCHEMA_VERSION`]. Change any field — a
+//! resistance, an epoch count, a seed — and the key changes; bump
+//! [`SCHEMA_VERSION`] when a payload serialization changes and every
+//! old entry is invalidated at once.
+//!
+//! # Integrity
+//!
+//! Entries are single files (`<root>/<kind>/<key>.gxa`) with a magic
+//! header, version fields, and an FNV-1a checksum over the payload.
+//! Writes are atomic (unique temp file, fsync, rename); damaged
+//! entries are quarantined, never re-read, and never panic the loader.
+//!
+//! # Modes
+//!
+//! The `GENIEX_STORE` environment variable gates everything:
+//! `off` (no caching), `read` (hit the cache, never write), and
+//! `readwrite` (default). See [`Mode`].
+//!
+//! # Example
+//!
+//! ```
+//! use store::{Canonical, Key, KeyBuilder, Mode, Store};
+//!
+//! struct SolverConfig {
+//!     rows: usize,
+//!     r_on: f64,
+//!     seed: u64,
+//! }
+//!
+//! impl Canonical for SolverConfig {
+//!     fn canonicalize(&self, key: &mut KeyBuilder) {
+//!         key.usize("rows", self.rows)
+//!             .f64("r_on", self.r_on)
+//!             .u64("seed", self.seed);
+//!     }
+//! }
+//!
+//! let config = SolverConfig { rows: 16, r_on: 100e3, seed: 7 };
+//! let mut builder = KeyBuilder::new(*b"dset");
+//! config.canonicalize(&mut builder);
+//! let key: Key = builder.finish();
+//!
+//! let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! let store = Store::with_mode(&dir, Mode::ReadWrite);
+//! if store.load(&key).is_none() {
+//!     let expensive_result = vec![1u8, 2, 3]; // ... solve circuits ...
+//!     store.save(&key, &expensive_result).ok();
+//! }
+//! assert_eq!(store.load(&key), Some(vec![1, 2, 3]));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod format;
+pub mod key;
+#[allow(clippy::module_inception)]
+pub mod store;
+
+/// Container-layout revision; bump when the on-disk header changes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Payload-serialization revision; bump when any cached artifact's
+/// byte layout changes (invalidates every existing entry).
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub use format::{decode, encode, DecodeError, HEADER_LEN, MAGIC};
+pub use key::{fnv1a64, Canonical, Key, KeyBuilder, Kind};
+pub use store::{Entry, Mode, Store, VerifyReport};
+
+/// Kind tag for xbar truth datasets (`core::dataset`).
+pub const KIND_DATASET: Kind = *b"dset";
+/// Kind tag for trained GENIEx surrogates (`core::surrogate`).
+pub const KIND_SURROGATE: Kind = *b"srgt";
+/// Kind tag for trained vision models (`vision::models`).
+pub const KIND_VISION_MODEL: Kind = *b"vmdl";
+/// Kind tag for cached sweep/solver result blobs (`xbar::sweep`).
+pub const KIND_SWEEP: Kind = *b"swep";
+
+/// Builds a key for `kind` from a [`Canonical`] config in one call.
+pub fn key_of(kind: Kind, config: &dyn Canonical) -> Key {
+    let mut builder = KeyBuilder::new(kind);
+    config.canonicalize(&mut builder);
+    builder.finish()
+}

@@ -1,0 +1,590 @@
+//! The on-disk store: directory layout, atomic writes, quarantine.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::format::{self, DecodeError};
+use crate::key::Key;
+
+/// What the store is allowed to do, from the `GENIEX_STORE` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Never touch the disk: every load misses, every save is dropped.
+    Off,
+    /// Load cached artifacts but never write new ones (reproducibility
+    /// runs: a miss recomputes without polluting the cache).
+    Read,
+    /// Full caching (the default).
+    #[default]
+    ReadWrite,
+}
+
+impl Mode {
+    /// Parses a `GENIEX_STORE` value; `None` for unrecognized input.
+    pub fn parse(value: &str) -> Option<Mode> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "disabled" => Some(Mode::Off),
+            "read" | "ro" | "readonly" => Some(Mode::Read),
+            "readwrite" | "rw" | "on" | "1" => Some(Mode::ReadWrite),
+            _ => None,
+        }
+    }
+
+    /// Resolves the mode from the `GENIEX_STORE` environment variable
+    /// (default [`Mode::ReadWrite`]; unrecognized values warn once on
+    /// stderr and fall back to the default).
+    pub fn from_env() -> Mode {
+        match std::env::var("GENIEX_STORE") {
+            Ok(value) => Mode::parse(&value).unwrap_or_else(|| {
+                eprintln!(
+                    "[store] unrecognized GENIEX_STORE={value:?} \
+                     (expected off|read|readwrite); defaulting to readwrite"
+                );
+                Mode::ReadWrite
+            }),
+            Err(_) => Mode::ReadWrite,
+        }
+    }
+
+    /// Human-readable name (`off`/`read`/`readwrite`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Read => "read",
+            Mode::ReadWrite => "readwrite",
+        }
+    }
+
+    fn can_read(&self) -> bool {
+        !matches!(self, Mode::Off)
+    }
+
+    fn can_write(&self) -> bool {
+        matches!(self, Mode::ReadWrite)
+    }
+}
+
+/// One artifact on disk, as reported by [`Store::entries`].
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Artifact kind (directory name).
+    pub kind: String,
+    /// 32-hex-digit key.
+    pub key_hex: String,
+    /// File size in bytes (header + payload).
+    pub bytes: u64,
+    /// Last-modified time, when the filesystem reports one.
+    pub modified: Option<SystemTime>,
+    /// Full path of the entry.
+    pub path: PathBuf,
+}
+
+/// Outcome of [`Store::verify`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Entries that decoded cleanly.
+    pub ok: usize,
+    /// Entries from an older format/schema revision.
+    pub stale: usize,
+    /// Damaged entries (moved to `quarantine/` in readwrite mode).
+    pub corrupt: usize,
+}
+
+/// Telemetry handles, resolved once per store.
+struct StoreMetrics {
+    hits: std::sync::Arc<telemetry::Counter>,
+    misses: std::sync::Arc<telemetry::Counter>,
+    writes: std::sync::Arc<telemetry::Counter>,
+    corrupt: std::sync::Arc<telemetry::Counter>,
+    stale: std::sync::Arc<telemetry::Counter>,
+    load_seconds: std::sync::Arc<telemetry::Timer>,
+    save_seconds: std::sync::Arc<telemetry::Timer>,
+}
+
+impl StoreMetrics {
+    fn new() -> Self {
+        StoreMetrics {
+            hits: telemetry::counter("store.hit"),
+            misses: telemetry::counter("store.miss"),
+            writes: telemetry::counter("store.write"),
+            corrupt: telemetry::counter("store.corrupt"),
+            stale: telemetry::counter("store.stale"),
+            load_seconds: telemetry::timer("store.load_seconds"),
+            save_seconds: telemetry::timer("store.save_seconds"),
+        }
+    }
+}
+
+/// A content-addressed artifact store rooted at one directory.
+///
+/// Layout:
+///
+/// ```text
+/// <root>/<kind>/<key-hex>.gxa     # one artifact per file
+/// <root>/tmp/                     # in-flight writes (temp + rename)
+/// <root>/quarantine/              # damaged entries, kept for autopsy
+/// ```
+///
+/// Loads and saves are race-safe across processes: writes land under
+/// unique temp names and are atomically renamed into place, so a
+/// reader never observes a partial file, and a killed run leaves at
+/// worst an orphaned temp file that [`Store::gc`] sweeps up.
+pub struct Store {
+    root: PathBuf,
+    mode: Mode,
+    metrics: StoreMetrics,
+    tmp_seq: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating directories lazily) a store rooted at `root`,
+    /// with the mode taken from `GENIEX_STORE`.
+    pub fn open(root: impl Into<PathBuf>) -> Store {
+        Store::with_mode(root, Mode::from_env())
+    }
+
+    /// Opens a store with an explicit mode (tests, tooling).
+    pub fn with_mode(root: impl Into<PathBuf>, mode: Mode) -> Store {
+        Store {
+            root: root.into(),
+            mode,
+            metrics: StoreMetrics::new(),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The store's operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Path the artifact for `key` lives at (whether or not it exists).
+    pub fn path_for(&self, key: &Key) -> PathBuf {
+        self.root
+            .join(key.kind_str())
+            .join(format!("{}.gxa", key.hex()))
+    }
+
+    fn emit(&self, outcome: &str, key: &Key, bytes: usize) {
+        telemetry::emit(
+            "store",
+            &format!("store.{outcome}"),
+            vec![
+                ("kind".into(), telemetry::Json::from(key.kind_str())),
+                ("key".into(), telemetry::Json::from(key.hex().as_str())),
+                ("bytes".into(), telemetry::Json::from(bytes as u64)),
+            ],
+        );
+    }
+
+    /// Loads and validates the artifact for `key`. Returns the payload
+    /// on a hit; `None` on a miss, a stale entry, a damaged entry
+    /// (quarantined in readwrite mode), or when the mode forbids reads.
+    /// Never panics on damaged input.
+    pub fn load(&self, key: &Key) -> Option<Vec<u8>> {
+        if !self.mode.can_read() {
+            return None;
+        }
+        let start = Instant::now();
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.metrics.misses.inc();
+                self.emit("miss", key, 0);
+                return None;
+            }
+        };
+        match format::decode(key.kind, &bytes) {
+            Ok(payload) => {
+                let payload = payload.to_vec();
+                self.metrics.hits.inc();
+                self.metrics.load_seconds.record(start.elapsed());
+                self.emit("hit", key, payload.len());
+                Some(payload)
+            }
+            Err(DecodeError::Stale { .. }) => {
+                self.metrics.stale.inc();
+                self.metrics.misses.inc();
+                self.emit("stale", key, bytes.len());
+                // A later save overwrites the stale file in place.
+                None
+            }
+            Err(error) => {
+                self.metrics.corrupt.inc();
+                self.metrics.misses.inc();
+                self.emit("corrupt", key, bytes.len());
+                eprintln!("[store] {}: {error}", path.display());
+                if self.mode.can_write() {
+                    if let Err(quarantine_error) = self.quarantine(&path) {
+                        eprintln!(
+                            "[store] failed to quarantine {}: {quarantine_error}",
+                            path.display()
+                        );
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Saves an artifact. Returns `true` if the entry was written
+    /// (false when the mode forbids writes).
+    ///
+    /// The write is atomic: the container goes to a unique temp file
+    /// in `<root>/tmp` which is fsynced and renamed into place, so a
+    /// concurrent reader (or a kill -9 mid-write) can never observe a
+    /// partial entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers treat the store as best-effort
+    /// and may ignore them).
+    pub fn save(&self, key: &Key, payload: &[u8]) -> io::Result<bool> {
+        if !self.mode.can_write() {
+            return Ok(false);
+        }
+        let start = Instant::now();
+        let container = format::encode(key.kind, payload);
+        let final_path = self.path_for(key);
+        if let Some(parent) = final_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp_dir = self.root.join("tmp");
+        fs::create_dir_all(&tmp_dir)?;
+        let tmp_path = tmp_dir.join(format!(
+            "{}-{}-{}.part",
+            key.hex(),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut file = fs::File::create(&tmp_path)?;
+            file.write_all(&container)?;
+            file.sync_all()?;
+        }
+        match fs::rename(&tmp_path, &final_path) {
+            Ok(()) => {}
+            Err(error) => {
+                let _ = fs::remove_file(&tmp_path);
+                return Err(error);
+            }
+        }
+        self.metrics.writes.inc();
+        self.metrics.save_seconds.record(start.elapsed());
+        self.emit("write", key, payload.len());
+        Ok(true)
+    }
+
+    fn quarantine(&self, path: &Path) -> io::Result<()> {
+        let dir = self.root.join("quarantine");
+        fs::create_dir_all(&dir)?;
+        let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        let kind = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            .unwrap_or("unknown");
+        let unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        fs::rename(path, dir.join(format!("{kind}-{stem}-{unix}.corrupt")))
+    }
+
+    /// Lists every artifact currently in the store (quarantine and
+    /// temp files excluded), sorted by kind then key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk I/O failures (a missing root is an
+    /// empty store, not an error).
+    pub fn entries(&self) -> io::Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        let kinds = match fs::read_dir(&self.root) {
+            Ok(iter) => iter,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(error) => return Err(error),
+        };
+        for kind_dir in kinds {
+            let kind_dir = kind_dir?;
+            let kind = kind_dir.file_name().to_string_lossy().into_owned();
+            if kind == "tmp" || kind == "quarantine" || !kind_dir.file_type()?.is_dir() {
+                continue;
+            }
+            for file in fs::read_dir(kind_dir.path())? {
+                let file = file?;
+                let name = file.file_name().to_string_lossy().into_owned();
+                let Some(key_hex) = name.strip_suffix(".gxa") else {
+                    continue;
+                };
+                let meta = file.metadata()?;
+                out.push(Entry {
+                    kind: kind.clone(),
+                    key_hex: key_hex.to_string(),
+                    bytes: meta.len(),
+                    modified: meta.modified().ok(),
+                    path: file.path(),
+                });
+            }
+        }
+        out.sort_by(|a, b| (&a.kind, &a.key_hex).cmp(&(&b.kind, &b.key_hex)));
+        Ok(out)
+    }
+
+    /// Decodes every entry: damaged ones are quarantined (readwrite
+    /// mode) and counted, stale ones counted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk I/O failures.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        for entry in self.entries()? {
+            let kind: [u8; 4] = match entry.kind.as_bytes().try_into() {
+                Ok(kind) => kind,
+                Err(_) => {
+                    report.corrupt += 1;
+                    continue;
+                }
+            };
+            let bytes = fs::read(&entry.path)?;
+            match format::decode(kind, &bytes) {
+                Ok(_) => report.ok += 1,
+                Err(DecodeError::Stale { .. }) => report.stale += 1,
+                Err(_) => {
+                    report.corrupt += 1;
+                    if self.mode.can_write() {
+                        let _ = self.quarantine(&entry.path);
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Removes entries (and orphaned temp files). With `older_than`,
+    /// only entries whose mtime is further in the past are removed;
+    /// without it, everything goes. Returns `(files_removed,
+    /// bytes_freed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk I/O failures.
+    pub fn gc(&self, older_than: Option<Duration>) -> io::Result<(usize, u64)> {
+        let mut removed = 0usize;
+        let mut freed = 0u64;
+        let now = SystemTime::now();
+        for entry in self.entries()? {
+            let expired = match older_than {
+                None => true,
+                Some(age) => entry
+                    .modified
+                    .and_then(|m| now.duration_since(m).ok())
+                    .is_some_and(|elapsed| elapsed > age),
+            };
+            if expired && fs::remove_file(&entry.path).is_ok() {
+                removed += 1;
+                freed += entry.bytes;
+            }
+        }
+        // Orphaned in-flight writes from killed runs.
+        if let Ok(tmp) = fs::read_dir(self.root.join("tmp")) {
+            for file in tmp.flatten() {
+                let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+                if fs::remove_file(file.path()).is_ok() {
+                    removed += 1;
+                    freed += bytes;
+                }
+            }
+        }
+        Ok((removed, freed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBuilder;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "geniex-store-test-{tag}-{}-{}",
+            std::process::id(),
+            telemetry::current_thread_id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(kind: [u8; 4], seed: u64) -> Key {
+        let mut builder = KeyBuilder::new(kind);
+        builder.u64("seed", seed);
+        builder.finish()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let root = temp_root("roundtrip");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"dset", 1);
+        assert!(store.load(&k).is_none());
+        assert!(store.save(&k, b"payload").unwrap());
+        assert_eq!(store.load(&k).unwrap(), b"payload");
+        // Overwrite with new content under the same key.
+        assert!(store.save(&k, b"payload2").unwrap());
+        assert_eq!(store.load(&k).unwrap(), b"payload2");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn modes_gate_reads_and_writes() {
+        let root = temp_root("modes");
+        let rw = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"dset", 2);
+        assert!(rw.save(&k, b"data").unwrap());
+
+        let read_only = Store::with_mode(&root, Mode::Read);
+        assert_eq!(read_only.load(&k).unwrap(), b"data");
+        let k2 = key(*b"dset", 3);
+        assert!(!read_only.save(&k2, b"other").unwrap());
+        assert!(read_only.load(&k2).is_none());
+
+        let off = Store::with_mode(&root, Mode::Off);
+        assert!(off.load(&k).is_none());
+        assert!(!off.save(&k2, b"other").unwrap());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(Mode::parse("off"), Some(Mode::Off));
+        assert_eq!(Mode::parse("READ"), Some(Mode::Read));
+        assert_eq!(Mode::parse(" rw "), Some(Mode::ReadWrite));
+        assert_eq!(Mode::parse("readwrite"), Some(Mode::ReadWrite));
+        assert_eq!(Mode::parse("sideways"), None);
+        assert_eq!(Mode::default(), Mode::ReadWrite);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_not_panicking() {
+        let root = temp_root("truncate");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"srgt", 4);
+        store
+            .save(&k, b"a long enough payload to truncate")
+            .unwrap();
+        let path = store.path_for(&k);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        assert!(store.load(&k).is_none());
+        assert!(!path.exists(), "corrupt entry still in place");
+        let quarantined: Vec<_> = fs::read_dir(root.join("quarantine"))
+            .unwrap()
+            .flatten()
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        // The store recovers: a fresh save works again.
+        assert!(store.save(&k, b"fresh").unwrap());
+        assert_eq!(store.load(&k).unwrap(), b"fresh");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined() {
+        let root = temp_root("bitflip");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"vmdl", 5);
+        store.save(&k, b"model weights here").unwrap();
+        let path = store.path_for(&k);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(&k).is_none());
+        assert!(!path.exists());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn read_mode_reports_corruption_without_mutating() {
+        let root = temp_root("ro-corrupt");
+        let rw = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"dset", 6);
+        rw.save(&k, b"data").unwrap();
+        let path = rw.path_for(&k);
+        fs::write(&path, b"garbage").unwrap();
+
+        let ro = Store::with_mode(&root, Mode::Read);
+        assert!(ro.load(&k).is_none());
+        assert!(path.exists(), "read mode must not move files");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_as_miss() {
+        let root = temp_root("stale");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"dset", 7);
+        store.save(&k, b"data").unwrap();
+        let path = store.path_for(&k);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[16] = bytes[16].wrapping_add(1); // schema_version
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(&k).is_none());
+        assert!(path.exists(), "stale entries are kept for overwrite");
+        // A save replaces the stale entry and the key hits again.
+        store.save(&k, b"data").unwrap();
+        assert_eq!(store.load(&k).unwrap(), b"data");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn entries_verify_and_gc() {
+        let root = temp_root("maint");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        store.save(&key(*b"dset", 8), b"one").unwrap();
+        store.save(&key(*b"srgt", 9), b"two").unwrap();
+        store.save(&key(*b"vmdl", 10), b"three").unwrap();
+
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].kind, "dset");
+        assert!(entries.iter().all(|e| e.key_hex.len() == 32));
+
+        // Corrupt one entry; verify catches and quarantines it.
+        fs::write(&entries[1].path, b"junk").unwrap();
+        let report = store.verify().unwrap();
+        assert_eq!(report.ok, 2);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(store.entries().unwrap().len(), 2);
+
+        // Age-gated gc removes nothing for fresh files, then a full
+        // gc drains the store.
+        let (removed, _) = store.gc(Some(Duration::from_secs(3600))).unwrap();
+        assert_eq!(removed, 0);
+        let (removed, freed) = store.gc(None).unwrap();
+        assert_eq!(removed, 2);
+        assert!(freed > 0);
+        assert!(store.entries().unwrap().is_empty());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_root_is_an_empty_store() {
+        let root = temp_root("missing");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        assert!(store.entries().unwrap().is_empty());
+        assert_eq!(store.verify().unwrap(), VerifyReport::default());
+        assert_eq!(store.gc(None).unwrap().0, 0);
+    }
+}

@@ -52,6 +52,12 @@ impl SynthSpec {
     }
 }
 
+impl store::Canonical for SynthSpec {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.str("spec", self.name());
+    }
+}
+
 /// A generated dataset: images (NCHW, values in `[0, 1]`) plus labels.
 #[derive(Debug, Clone)]
 pub struct SynthVision {

@@ -67,6 +67,58 @@ impl NetworkSpec {
     }
 }
 
+impl store::Canonical for NetworkSpec {
+    /// Content key over every weight, bias, and structural field, so
+    /// anything that changes what the network computes — retraining,
+    /// rescaling, an architecture edit — changes the key.
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        for (i, shape) in self.input_shape.iter().enumerate() {
+            key.usize(&format!("input_shape{i}"), *shape);
+        }
+        key.usize("classes", self.classes);
+        key.usize("ops", self.ops.len());
+        for op in &self.ops {
+            match op {
+                SpecOp::Conv2d {
+                    weight,
+                    bias,
+                    stride,
+                    padding,
+                } => {
+                    key.str("op", "conv2d")
+                        .f32_slice("weight", weight.data())
+                        .f32_slice("bias", bias.data())
+                        .usize("stride", *stride)
+                        .usize("padding", *padding);
+                }
+                SpecOp::Linear { weight, bias } => {
+                    key.str("op", "linear")
+                        .f32_slice("weight", weight.data())
+                        .f32_slice("bias", bias.data());
+                }
+                SpecOp::Relu => {
+                    key.str("op", "relu");
+                }
+                SpecOp::MaxPool2 => {
+                    key.str("op", "maxpool2");
+                }
+                SpecOp::GlobalAvgPool => {
+                    key.str("op", "gap");
+                }
+                SpecOp::Flatten => {
+                    key.str("op", "flatten");
+                }
+                SpecOp::ResidualBegin => {
+                    key.str("op", "res_begin");
+                }
+                SpecOp::ResidualAdd => {
+                    key.str("op", "res_add");
+                }
+            }
+        }
+    }
+}
+
 /// Executes a spec in plain `f32` — the FP32 reference path.
 ///
 /// # Errors

@@ -33,6 +33,15 @@ impl Default for TrainOptions {
     }
 }
 
+impl store::Canonical for TrainOptions {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.usize("epochs", self.epochs)
+            .usize("batch_size", self.batch_size)
+            .f32("learning_rate", self.learning_rate)
+            .u64("seed", self.seed);
+    }
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainStats {

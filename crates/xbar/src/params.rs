@@ -295,6 +295,39 @@ impl CrossbarParamsBuilder {
     }
 }
 
+impl store::Canonical for DeviceParams {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.f64("d0", self.d0)
+            .f64("v0", self.v0)
+            .f64("i0", self.i0)
+            .f64("access_g", self.access_g)
+            .f64("access_v_sat", self.access_v_sat);
+    }
+}
+
+impl store::Canonical for NonIdealityConfig {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.bool("parasitics", self.parasitics)
+            .bool("device_nonlinearity", self.device_nonlinearity)
+            .bool("access_device", self.access_device);
+    }
+}
+
+impl store::Canonical for CrossbarParams {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.usize("rows", self.rows)
+            .usize("cols", self.cols)
+            .f64("r_on", self.r_on)
+            .f64("on_off_ratio", self.on_off_ratio)
+            .f64("r_source", self.r_source)
+            .f64("r_sink", self.r_sink)
+            .f64("r_wire", self.r_wire)
+            .f64("v_supply", self.v_supply)
+            .nested("device", &self.device)
+            .nested("nonideality", &self.nonideality);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +414,40 @@ mod tests {
         assert_eq!((p.rows, p.cols), (16, 32));
         assert_eq!(p.r_source, 1000.0);
         assert_eq!(p.nonideality, NonIdealityConfig::linear_only());
+    }
+
+    #[test]
+    fn canonical_key_tracks_every_field() {
+        let base = CrossbarParams::builder(16, 16).build().unwrap();
+        let key = |p: &CrossbarParams| store::key_of(*b"test", p);
+        assert_eq!(key(&base), key(&base.clone()));
+
+        let variants = [
+            CrossbarParams::builder(32, 16).build().unwrap(),
+            CrossbarParams::builder(16, 16).r_on(50e3).build().unwrap(),
+            CrossbarParams::builder(16, 16)
+                .on_off_ratio(10.0)
+                .build()
+                .unwrap(),
+            CrossbarParams::builder(16, 16).r_wire(3.0).build().unwrap(),
+            CrossbarParams::builder(16, 16)
+                .v_supply(0.5)
+                .build()
+                .unwrap(),
+            CrossbarParams::builder(16, 16)
+                .device(DeviceParams {
+                    d0: 0.3,
+                    ..DeviceParams::default()
+                })
+                .build()
+                .unwrap(),
+            CrossbarParams::builder(16, 16)
+                .nonideality(NonIdealityConfig::linear_only())
+                .build()
+                .unwrap(),
+        ];
+        for v in &variants {
+            assert_ne!(key(&base), key(v), "field change missed: {v:?}");
+        }
     }
 }

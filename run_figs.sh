@@ -9,8 +9,14 @@ mkdir -p results/logs
 # Worker-thread count for the shared pool (results are identical for
 # any value; this only affects wall time).
 export GENIEX_THREADS="${GENIEX_THREADS:-$(nproc)}"
+# Artifact-store mode (off|read|readwrite; default readwrite). A cold
+# run populates results/store/ with truth datasets, trained surrogates,
+# and vision models; a warm rerun skips all dataset generation and
+# training and produces byte-identical CSVs. GENIEX_STORE=off forces a
+# from-scratch run.
+export GENIEX_STORE="${GENIEX_STORE:-readwrite}"
 : > results/logs/progress.txt
-echo "GENIEX_THREADS=$GENIEX_THREADS" >> results/logs/progress.txt
+echo "GENIEX_THREADS=$GENIEX_THREADS GENIEX_STORE=$GENIEX_STORE" >> results/logs/progress.txt
 for b in fig2_nf_analysis fig3_nonlinearity fig5_rmse fig7_design_space fig8_quantization fig9_bit_slicing validate_truth cost_report ablation_hidden ablation_sparsity ablation_mapping ablation_variations ablation_target ablation_ensemble; do
   echo "=== $b start $(date +%H:%M:%S) ===" >> results/logs/progress.txt
   t0=$SECONDS
@@ -18,4 +24,6 @@ for b in fig2_nf_analysis fig3_nonlinearity fig5_rmse fig7_design_space fig8_qua
   status=$?
   echo "=== $b done $(date +%H:%M:%S) exit $status wall $((SECONDS - t0))s ===" >> results/logs/progress.txt
 done
+# Store inventory for the record (what a rerun will reuse).
+cargo run -q --release -p geniex-bench --bin store_maint -- ls > results/logs/store_ls.log 2>&1
 echo ALL_FIGS_DONE >> results/logs/progress.txt

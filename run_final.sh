@@ -2,7 +2,9 @@
 cd /root/repo
 mkdir -p results/logs
 export GENIEX_THREADS="${GENIEX_THREADS:-$(nproc)}"
-echo "GENIEX_THREADS=$GENIEX_THREADS" >> results/logs/progress.txt
+# See run_figs.sh: artifact-store mode for warm reruns.
+export GENIEX_STORE="${GENIEX_STORE:-readwrite}"
+echo "GENIEX_THREADS=$GENIEX_THREADS GENIEX_STORE=$GENIEX_STORE" >> results/logs/progress.txt
 cargo test --workspace 2>&1 | tee /root/repo/test_output.txt > /dev/null
 echo "=== tests done $(date +%H:%M:%S) ===" >> results/logs/progress.txt
 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
