@@ -72,13 +72,7 @@ impl GeniexTile {
         for p in 0..hidden {
             let row = &w1.data()[p * in_dim..(p + 1) * in_dim];
             w_v[p * rows..(p + 1) * rows].copy_from_slice(&row[..rows]);
-            let mut acc = b1.data()[p];
-            for (k, &g) in g_levels.iter().enumerate() {
-                if g != 0.0 {
-                    acc += row[rows + k] * g;
-                }
-            }
-            h_g[p] = acc;
+            h_g[p] = b1.data()[p] + kernels::dot_f32(&row[rows..], g_levels);
         }
 
         Ok(GeniexTile {
@@ -119,26 +113,8 @@ impl GeniexTile {
                 self.rows
             )));
         }
-        // h = ReLU(W_v v + h_g)
-        let mut h = vec![0.0f32; self.hidden];
-        for p in 0..self.hidden {
-            let row = &self.w_v[p * self.rows..(p + 1) * self.rows];
-            let mut acc = self.h_g[p];
-            for (w, &v) in row.iter().zip(v_levels) {
-                acc += w * v;
-            }
-            h[p] = acc.max(0.0);
-        }
-        // y = W2 h + b2, denormalized and clamped.
         let mut out = vec![0.0f32; self.cols];
-        for (j, out_val) in out.iter_mut().enumerate() {
-            let row = &self.w2[j * self.hidden..(j + 1) * self.hidden];
-            let mut acc = self.b2[j];
-            for (w, &hp) in row.iter().zip(&h) {
-                acc += w * hp;
-            }
-            *out_val = (acc * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
-        }
+        kernels::scratch::with_f32(self.hidden, |h| self.forward_into(v_levels, h, &mut out));
         Ok(out)
     }
 
@@ -161,28 +137,28 @@ impl GeniexTile {
             )));
         }
         let mut out = vec![0.0f32; n * self.cols];
-        let mut h = vec![0.0f32; self.hidden];
-        for b in 0..n {
-            let v = &v_levels[b * self.rows..(b + 1) * self.rows];
-            for p in 0..self.hidden {
-                let row = &self.w_v[p * self.rows..(p + 1) * self.rows];
-                let mut acc = self.h_g[p];
-                for (w, &vi) in row.iter().zip(v) {
-                    acc += w * vi;
-                }
-                h[p] = acc.max(0.0);
+        kernels::scratch::with_f32(self.hidden, |h| {
+            for (v, out_row) in v_levels
+                .chunks_exact(self.rows.max(1))
+                .zip(out.chunks_exact_mut(self.cols))
+                .take(n)
+            {
+                self.forward_into(v, h, out_row);
             }
-            let out_row = &mut out[b * self.cols..(b + 1) * self.cols];
-            for (j, out_val) in out_row.iter_mut().enumerate() {
-                let row = &self.w2[j * self.hidden..(j + 1) * self.hidden];
-                let mut acc = self.b2[j];
-                for (w, &hp) in row.iter().zip(&h) {
-                    acc += w * hp;
-                }
-                *out_val = (acc * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
-            }
-        }
+        });
         Ok(out)
+    }
+
+    /// The two fused GEMVs shared by the single and batched entry
+    /// points: `h = ReLU(W_v·v + h_g)`, then `y = W2·h + b2`
+    /// denormalized and clamped. One code path means the batched and
+    /// single-vector results are bit-identical by construction.
+    fn forward_into(&self, v_levels: &[f32], h: &mut [f32], out: &mut [f32]) {
+        kernels::gemv_bias_relu_f32(&self.w_v, v_levels, &self.h_g, h);
+        kernels::gemv_into_f32(&self.w2, h, &self.b2, out);
+        for out_val in out.iter_mut() {
+            *out_val = (*out_val * self.norm_span + self.norm_min).clamp(F_R_CLAMP.0, F_R_CLAMP.1);
+        }
     }
 
     /// Predicts `f_R` from physical voltages (volts), normalizing by

@@ -7,10 +7,16 @@
 //! median ns/iteration — which is enough for the coarse
 //! regression-spotting these benches exist for. It honors the standard
 //! `cargo bench -- <filter>` argument.
+//!
+//! When `GENIEX_BENCH_OUT` names a file, every measurement is also
+//! appended there as `label,median_ns` CSV rows so scripted consumers
+//! (the kernel-bench summary, CI artifacts) don't have to parse the
+//! human-readable output.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Benchmark identifier (`group/function/parameter`).
@@ -142,6 +148,31 @@ impl Criterion {
             format!("{:.3} ms", ns / 1e6)
         };
         println!("{label:<56} {human:>12}/iter");
+        if let Ok(path) = std::env::var("GENIEX_BENCH_OUT") {
+            if !path.is_empty() {
+                append_csv(&path, &label, ns);
+            }
+        }
+    }
+}
+
+/// Appends one `label,median_ns` row to the CSV at `path`, creating it
+/// (with a header) on first use. Failures are reported to stderr but
+/// never abort a bench run.
+fn append_csv(path: &str, label: &str, median_ns: f64) {
+    let write = || -> std::io::Result<()> {
+        let existed = std::path::Path::new(path).exists();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if !existed {
+            writeln!(f, "label,median_ns")?;
+        }
+        writeln!(f, "{label},{median_ns:.1}")
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: GENIEX_BENCH_OUT={path}: {e}");
     }
 }
 

@@ -93,14 +93,7 @@ fn gemv_batch(
     const PAR_MIN_FLOPS: usize = 32 * 1024;
     let mut out = vec![0.0f64; n * cols];
     let one = |v: &[f32], o: &mut [f64]| {
-        for (j, out_val) in o.iter_mut().enumerate() {
-            let row = &matrix[j * rows..(j + 1) * rows];
-            let mut acc = 0.0f64;
-            for (m, &lv) in row.iter().zip(v) {
-                acc += m * lv as f64;
-            }
-            *out_val = acc * scale;
-        }
+        kernels::gemv_levels_scaled(matrix, v, scale, o);
     };
     let pool = parallel::global();
     if n > 1 && pool.threads() > 1 && n * rows * cols >= PAR_MIN_FLOPS {

@@ -1,0 +1,336 @@
+//! Register-blocked GEMM micro-kernels and a blocked transpose.
+
+use crate::{reduce_lanes_f32, scratch, LANES};
+
+/// Rows per register tile in [`gemm_nn`].
+const MR: usize = 4;
+/// Columns per packed RHS panel (equal to the lane count).
+const NR: usize = LANES;
+/// Square tile edge for [`transpose_f32`].
+const TR: usize = 32;
+
+/// `out = A · B` with `A` row-major `m×k`, `B` row-major `k×n`, `out`
+/// row-major `m×n` (`m` is inferred from the slice lengths).
+///
+/// The kernel packs `B` into 8-column panels and updates 4×8 register
+/// tiles. Every output element accumulates its `k` products in
+/// ascending order from 0.0 — the identical chain to the textbook
+/// `ikj` triple loop, so this kernel is **bit-identical to the naive
+/// loop** (see [`naive::gemm_nn`](crate::naive::gemm_nn)); the blocking
+/// only changes memory traffic, not arithmetic order. There is no
+/// zero-skip branch: on dense data it mispredicts and blocks
+/// vectorization of the inner column loop.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `k`/`n`.
+pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    // k == 0 leaves m unrecoverable from `a`; the product is all
+    // zeros for any m consistent with `out`.
+    let m = match a.len().checked_div(k) {
+        Some(q) => q,
+        None => out.len() / n.max(1),
+    };
+    assert_eq!(a.len(), m * k, "gemm_nn: lhs length");
+    assert_eq!(b.len(), k * n, "gemm_nn: rhs length");
+    assert_eq!(out.len(), m * n, "gemm_nn: out length");
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    scratch::with_f32(k * NR, |panel| {
+        let mut j = 0;
+        while j + NR <= n {
+            // Pack the 8-column panel so the micro-kernel streams it
+            // contiguously instead of striding by n.
+            for kk in 0..k {
+                panel[kk * NR..(kk + 1) * NR].copy_from_slice(&b[kk * n + j..kk * n + j + NR]);
+            }
+            let mut i = 0;
+            while i + MR <= m {
+                tile_4x8(a, panel, out, i, j, k, n);
+                i += MR;
+            }
+            while i < m {
+                tile_1x8(a, panel, out, i, j, k, n);
+                i += 1;
+            }
+            j += NR;
+        }
+        // Column tail (< 8 columns): plain ikj over the remainder, same
+        // ascending-k chain per element.
+        if j < n {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n + j..(i + 1) * n];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[kk * n + j..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// 4×8 register tile: `out[i..i+4][j..j+8] = Σ_k a[·][k] · panel[k][·]`.
+#[inline]
+fn tile_4x8(a: &[f32], panel: &[f32], out: &mut [f32], i: usize, j: usize, k: usize, n: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let p = &panel[kk * NR..(kk + 1) * NR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = a[(i + r) * k + kk];
+            for c in 0..NR {
+                acc_row[c] += av * p[c];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// 1×8 tile for the row tail of [`gemm_nn`].
+#[inline]
+fn tile_1x8(a: &[f32], panel: &[f32], out: &mut [f32], i: usize, j: usize, k: usize, n: usize) {
+    let mut acc = [0.0f32; NR];
+    let a_row = &a[i * k..(i + 1) * k];
+    for (kk, &av) in a_row.iter().enumerate() {
+        let p = &panel[kk * NR..(kk + 1) * NR];
+        for c in 0..NR {
+            acc[c] += av * p[c];
+        }
+    }
+    out[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+}
+
+/// `out = A · Bᵀ` with `A` row-major `m×k`, `B` row-major `n×k`, `out`
+/// row-major `m×n` (`m` inferred from slice lengths).
+///
+/// This is the dot-product GEMM: each output element is a length-`k`
+/// reduction, computed with the 8-lane split and fixed tree of
+/// [`dot_f32`](crate::dot_f32) — the identical numeric spec, so
+/// `gemm_nt(a, b)[i][j] == dot_f32(a_row_i, b_row_j)` bit for bit.
+/// Four output columns are evaluated per pass to reuse the loaded
+/// `A` row.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `k`/`n`.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if k == 0 {
+        // Product of m×0 and n×0ᵀ matrices: all zeros.
+        out.fill(0.0);
+        return;
+    }
+    let m = a.len() / k;
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs length");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs length");
+    assert_eq!(out.len(), m * n, "gemm_nt: out length");
+    if n == 0 {
+        return;
+    }
+    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        let mut j = 0;
+        while j + 4 <= n {
+            let quad = dot4_f32(
+                a_row,
+                &b[j * k..(j + 1) * k],
+                &b[(j + 1) * k..(j + 2) * k],
+                &b[(j + 2) * k..(j + 3) * k],
+                &b[(j + 3) * k..(j + 4) * k],
+            );
+            out_row[j..j + 4].copy_from_slice(&quad);
+            j += 4;
+        }
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            *o = crate::dot_f32(a_row, &b[jj * k..(jj + 1) * k]);
+        }
+    }
+}
+
+/// Four simultaneous 8-lane dots sharing one LHS row. Each result uses
+/// the exact [`dot_f32`](crate::dot_f32) spec. Fixed-size `[f32; LANES]`
+/// block references keep the inner loop free of bounds checks so it
+/// vectorizes cleanly.
+#[inline]
+fn dot4_f32(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let n = a.len();
+    let mut acc0 = [0.0f32; LANES];
+    let mut acc1 = [0.0f32; LANES];
+    let mut acc2 = [0.0f32; LANES];
+    let mut acc3 = [0.0f32; LANES];
+    let blocks = n / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        let xa: &[f32; LANES] = a[base..base + LANES].try_into().expect("block width");
+        let x0: &[f32; LANES] = b0[base..base + LANES].try_into().expect("block width");
+        let x1: &[f32; LANES] = b1[base..base + LANES].try_into().expect("block width");
+        let x2: &[f32; LANES] = b2[base..base + LANES].try_into().expect("block width");
+        let x3: &[f32; LANES] = b3[base..base + LANES].try_into().expect("block width");
+        for l in 0..LANES {
+            acc0[l] += xa[l] * x0[l];
+            acc1[l] += xa[l] * x1[l];
+            acc2[l] += xa[l] * x2[l];
+            acc3[l] += xa[l] * x3[l];
+        }
+    }
+    for i in blocks * LANES..n {
+        let l = i - blocks * LANES;
+        acc0[l] += a[i] * b0[i];
+        acc1[l] += a[i] * b1[i];
+        acc2[l] += a[i] * b2[i];
+        acc3[l] += a[i] * b3[i];
+    }
+    [
+        reduce_lanes_f32(&acc0),
+        reduce_lanes_f32(&acc1),
+        reduce_lanes_f32(&acc2),
+        reduce_lanes_f32(&acc3),
+    ]
+}
+
+/// Blocked 2-D transpose: `dst[j][i] = src[i][j]` for row-major `m×n`
+/// `src` into row-major `n×m` `dst`, walked in 32×32 tiles so both
+/// sides stay cache-resident. Pure data movement — trivially
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ from `m * n`.
+pub fn transpose_f32(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    assert_eq!(src.len(), m * n, "transpose_f32: src length");
+    assert_eq!(dst.len(), m * n, "transpose_f32: dst length");
+    let mut i0 = 0;
+    while i0 < m {
+        let i1 = (i0 + TR).min(m);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + TR).min(n);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use proptest::prelude::*;
+
+    fn linear(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32 * 0.37 - 3.0) * scale).collect()
+    }
+
+    #[test]
+    fn gemm_nn_known_2x2() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0f32; 4];
+        gemm_nn(&a, &b, &mut out, 2, 2);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_nn_overwrites_stale_output() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 0.0];
+        let mut out = [7.0f32];
+        gemm_nn(&a, &b, &mut out, 2, 1);
+        assert_eq!(out, [0.0]);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let mut out: [f32; 0] = [];
+        gemm_nn(&[], &[], &mut out, 0, 5);
+        gemm_nt(&[], &[], &mut out, 3, 0);
+        let mut out1 = [1.0f32; 2];
+        // k == 0: product of an m×0 and n×0ᵀ matrix is all zeros.
+        gemm_nt(&[], &[], &mut out1, 0, 2);
+        assert_eq!(out1, [0.0, 0.0]);
+        let mut t: [f32; 0] = [];
+        transpose_f32(&[], &mut t, 0, 4);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        for (m, n) in [(1, 1), (3, 7), (33, 65), (64, 64)] {
+            let src = linear(m * n, 1.0);
+            let mut dst = vec![0.0f32; m * n];
+            transpose_f32(&src, &mut dst, m, n);
+            let mut back = vec![0.0f32; m * n];
+            transpose_f32(&dst, &mut back, n, m);
+            assert_eq!(src, back, "{m}x{n}");
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(dst[j * m + i], src[i * n + j]);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// The blocked NN kernel is bit-identical to the naive ikj
+        /// triple loop at every shape, including all tile tails.
+        #[test]
+        fn gemm_nn_bit_identical_to_naive(
+            m in 1usize..12, k in 1usize..12, n in 1usize..20, seed in 0u32..4,
+        ) {
+            let a = linear(m * k, 1.0 + seed as f32 * 0.1);
+            let b = linear(k * n, 0.7 - seed as f32 * 0.05);
+            let mut blocked = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, &mut blocked, k, n);
+            let mut reference = vec![0.0f32; m * n];
+            naive::gemm_nn(&a, &b, &mut reference, k, n);
+            for (x, y) in blocked.iter().zip(&reference) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// Every NT output element equals a plain `dot_f32` of its row
+        /// pair — the 4-column blocking must not change the lane spec.
+        #[test]
+        fn gemm_nt_bit_identical_to_dot(
+            m in 1usize..10, k in 1usize..40, n in 1usize..10,
+        ) {
+            let a = linear(m * k, 0.9);
+            let b = linear(n * k, -1.1);
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, &mut out, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let expect = crate::dot_f32(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    prop_assert_eq!(out[i * n + j].to_bits(), expect.to_bits());
+                }
+            }
+        }
+
+        /// NT stays ulp-close to the old sequential dot ordering.
+        #[test]
+        fn gemm_nt_close_to_naive(
+            m in 1usize..6, k in 1usize..50, n in 1usize..6,
+        ) {
+            let a = linear(m * k, 0.13);
+            let b = linear(n * k, 0.31);
+            let mut blocked = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, &mut blocked, k, n);
+            let mut reference = vec![0.0f32; m * n];
+            naive::gemm_nt(&a, &b, &mut reference, k, n);
+            for (i, (x, y)) in blocked.iter().zip(&reference).enumerate() {
+                let row = i / n;
+                let magnitude: f32 = a[row * k..(row + 1) * k].iter().map(|v| v.abs()).sum();
+                let bound = (f32::EPSILON * magnitude * magnitude * k as f32).max(1e-5);
+                prop_assert!((x - y).abs() <= bound, "{x} vs {y} at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic GEMV kernels for the surrogate and simulator hot paths.
+
+use crate::dot_f32;
+
+/// `out[j] = init[j] + Σ_k w[j][k] · x[k]` with `w` row-major
+/// `out.len() × x.len()`.
+///
+/// The reduction uses the [`dot_f32`] lane spec; the `init` term (a
+/// bias, or the precomputed conductance contribution in the
+/// fast-forward surrogate) is added to the finished tree sum, which is
+/// bitwise equal to starting the accumulation from it (IEEE addition
+/// is commutative).
+///
+/// # Panics
+///
+/// Panics if `w.len() != out.len() * x.len()` or
+/// `init.len() != out.len()`.
+#[inline]
+pub fn gemv_into_f32(w: &[f32], x: &[f32], init: &[f32], out: &mut [f32]) {
+    assert_eq!(w.len(), out.len() * x.len(), "gemv_into_f32: matrix length");
+    assert_eq!(init.len(), out.len(), "gemv_into_f32: init length");
+    let k = x.len();
+    if k == 0 {
+        for (o, b) in out.iter_mut().zip(init) {
+            *o = b + 0.0;
+        }
+        return;
+    }
+    for ((o, row), b) in out.iter_mut().zip(w.chunks_exact(k)).zip(init) {
+        *o = b + dot_f32(row, x);
+    }
+}
+
+/// [`gemv_into_f32`] followed by an in-place ReLU — the surrogate's
+/// hidden-layer update `h = max(0, W·x + init)` fused into one pass.
+///
+/// # Panics
+///
+/// Panics on the same length mismatches as [`gemv_into_f32`].
+#[inline]
+pub fn gemv_bias_relu_f32(w: &[f32], x: &[f32], init: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        w.len(),
+        out.len() * x.len(),
+        "gemv_bias_relu_f32: matrix length"
+    );
+    assert_eq!(init.len(), out.len(), "gemv_bias_relu_f32: init length");
+    let k = x.len();
+    if k == 0 {
+        for (o, b) in out.iter_mut().zip(init) {
+            *o = (b + 0.0).max(0.0);
+        }
+        return;
+    }
+    for ((o, row), b) in out.iter_mut().zip(w.chunks_exact(k)).zip(init) {
+        *o = (b + dot_f32(row, x)).max(0.0);
+    }
+}
+
+/// `out[j] = (Σ_i mat[j][i] · x[i] as f64) · scale` with `mat`
+/// row-major `out.len() × x.len()` — the level-to-current GEMV shared
+/// by the functional simulator's linear tile backends.
+///
+/// Uses the [`dot_f64_f32`] lane spec; the scale (supply voltage)
+/// multiplies the finished sum, as the pre-kernel loop did. The level
+/// vector is widened to `f64` once up front (widening is exact, so
+/// this is bit-identical to converting inside the inner loop) and the
+/// rows then run through the pure-f64 dot kernel.
+///
+/// # Panics
+///
+/// Panics if `mat.len() != out.len() * x.len()`.
+#[inline]
+pub fn gemv_levels_scaled(mat: &[f64], x: &[f32], scale: f64, out: &mut [f64]) {
+    assert_eq!(
+        mat.len(),
+        out.len() * x.len(),
+        "gemv_levels_scaled: matrix length"
+    );
+    let k = x.len();
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    crate::scratch::with_f64(k, |xw| {
+        for (w, &v) in xw.iter_mut().zip(x) {
+            *w = f64::from(v);
+        }
+        for (o, row) in out.iter_mut().zip(mat.chunks_exact(k)) {
+            *o = crate::dot_f64(row, xw) * scale;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_matches_dot_plus_init() {
+        let w: Vec<f32> = (0..3 * 13).map(|i| (i as f32).sin()).collect();
+        let x: Vec<f32> = (0..13).map(|i| (i as f32).cos()).collect();
+        let init = [0.5f32, -0.25, 4.0];
+        let mut out = [0.0f32; 3];
+        gemv_into_f32(&w, &x, &init, &mut out);
+        for j in 0..3 {
+            let expect = init[j] + dot_f32(&w[j * 13..(j + 1) * 13], &x);
+            assert_eq!(out[j].to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn relu_variant_clamps() {
+        let w = [1.0f32, -1.0];
+        let x = [0.0f32];
+        let init = [2.0f32, -3.0];
+        let mut out = [0.0f32; 2];
+        gemv_bias_relu_f32(&w, &x, &init, &mut out);
+        assert_eq!(out, [2.0, 0.0]);
+    }
+
+    #[test]
+    fn levels_gemv_scales_after_sum() {
+        let mat = [1.0f64, 2.0, 3.0, 4.0];
+        let x = [0.5f32, 0.25];
+        let mut out = [0.0f64; 2];
+        gemv_levels_scaled(&mat, &x, 10.0, &mut out);
+        assert_eq!(out, [10.0, 25.0]);
+    }
+
+    #[test]
+    fn empty_input_dimension() {
+        let mut out = [1.0f32; 2];
+        gemv_into_f32(&[], &[], &[3.0, 4.0], &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        let mut out64 = [1.0f64; 2];
+        gemv_levels_scaled(&[], &[], 5.0, &mut out64);
+        assert_eq!(out64, [0.0, 0.0]);
+    }
+}

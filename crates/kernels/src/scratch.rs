@@ -1,0 +1,115 @@
+//! Thread-local scratch buffers for kernel workspaces.
+//!
+//! The packed-panel GEMM and the surrogate / MLP forward passes need
+//! short-lived f32/f64 workspaces on every call. Allocating them per
+//! call dominated the small-crossbar profiles (a 64×64 MVM is only
+//! ~8k flops), so this module keeps per-thread free lists and hands
+//! buffers out by closure. Checked-out buffers have *unspecified
+//! contents* — callers must fully overwrite them.
+//!
+//! Telemetry: `kernels.scratch.alloc` counts checkouts that had to
+//! grow a buffer (or create one); `kernels.scratch.reuse` counts
+//! checkouts served entirely from the pool. A healthy steady-state
+//! workload shows `reuse` ≫ `alloc` in its run manifest.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+use telemetry::Counter;
+
+fn alloc_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| telemetry::counter("kernels.scratch.alloc"))
+}
+
+fn reuse_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| telemetry::counter("kernels.scratch.reuse"))
+}
+
+thread_local! {
+    static POOL_F32: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static POOL_F64: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn checkout<T: Copy + Default>(pool: &RefCell<Vec<Vec<T>>>, len: usize) -> Vec<T> {
+    let mut buf = pool.borrow_mut().pop().unwrap_or_default();
+    if buf.capacity() < len {
+        alloc_counter().inc();
+    } else {
+        reuse_counter().inc();
+    }
+    // Contents are unspecified by contract; resize only adjusts length.
+    buf.resize(len, T::default());
+    buf
+}
+
+/// Runs `f` with a scratch `&mut [f32]` of exactly `len` elements,
+/// recycled across calls on the same thread. Contents on entry are
+/// unspecified. Re-entrant: nested calls check out distinct buffers.
+#[inline]
+pub fn with_f32<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = POOL_F32.with(|p| checkout(p, len));
+    let out = f(&mut buf);
+    POOL_F32.with(|p| p.borrow_mut().push(buf));
+    out
+}
+
+/// Runs `f` with a scratch `&mut [f64]` of exactly `len` elements,
+/// recycled across calls on the same thread. Contents on entry are
+/// unspecified. Re-entrant: nested calls check out distinct buffers.
+#[inline]
+pub fn with_f64<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = POOL_F64.with(|p| checkout(p, len));
+    let out = f(&mut buf);
+    POOL_F64.with(|p| p.borrow_mut().push(buf));
+    out
+}
+
+/// Runs `f` with two independent scratch `&mut [f32]` buffers — the
+/// ping-pong pair used by multi-layer forward passes.
+#[inline]
+pub fn with_f32_pair<R>(
+    len_a: usize,
+    len_b: usize,
+    f: impl FnOnce(&mut [f32], &mut [f32]) -> R,
+) -> R {
+    with_f32(len_a, |a| with_f32(len_b, |b| f(a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_have_requested_length() {
+        with_f32(13, |b| assert_eq!(b.len(), 13));
+        with_f64(7, |b| assert_eq!(b.len(), 7));
+        with_f32_pair(3, 5, |a, b| {
+            assert_eq!((a.len(), b.len()), (3, 5));
+        });
+    }
+
+    #[test]
+    fn nested_checkouts_are_distinct() {
+        with_f32(4, |a| {
+            a.fill(1.0);
+            with_f32(4, |b| {
+                b.fill(2.0);
+                assert_eq!(a, [1.0; 4].as_slice());
+            });
+            assert_eq!(a, [1.0; 4].as_slice());
+        });
+    }
+
+    #[test]
+    fn second_checkout_reuses_capacity() {
+        // Warm the pool with a large buffer, then take a smaller one:
+        // the second checkout must come from the free list.
+        telemetry::set_enabled(true);
+        with_f32(1024, |_| {});
+        let reuse = telemetry::counter("kernels.scratch.reuse");
+        let before = reuse.get();
+        with_f32(64, |_| {});
+        assert!(reuse.get() > before, "expected a pool hit");
+    }
+}

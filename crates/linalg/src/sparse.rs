@@ -225,13 +225,7 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "csr matvec_into: x length");
         assert_eq!(y.len(), self.rows, "csr matvec_into: y length");
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            y[r] = acc;
-        }
+        kernels::spmv_csr(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
     /// Returns the diagonal as a vector (structural zeros become 0.0).

@@ -3,7 +3,8 @@
 //! These are deliberately slice-based (rather than methods on a vector
 //! newtype) so callers can apply them to any contiguous storage.
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, on the deterministic
+/// 8-lane kernel spec ([`kernels::dot_f64`]).
 ///
 /// # Panics
 ///
@@ -12,7 +13,7 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot_f64(a, b)
 }
 
 /// Euclidean norm `||a||_2`.
@@ -35,9 +36,7 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy_f64(alpha, x, y);
 }
 
 /// `y = x + beta * y` in place (used by CG direction updates).
@@ -48,9 +47,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 #[inline]
 pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + beta * *yi;
-    }
+    kernels::xpby_f64(x, beta, y);
 }
 
 /// Element-wise `a - b` into a new vector.

@@ -98,6 +98,9 @@ impl Mlp {
     }
 
     fn run(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.run_inference(input);
+        }
         let mut x = input.clone();
         let n = self.dense.len();
         for k in 0..n {
@@ -107,6 +110,45 @@ impl Mlp {
             }
         }
         x
+    }
+
+    /// Allocation-light inference: the whole pass runs in one scratch
+    /// ping-pong pair, with bias-add and ReLU fused into each layer's
+    /// GEMV. Bit-identical to the layer-by-layer training path — the
+    /// GEMVs use the same 8-lane kernel spec as `matmul_transpose`,
+    /// and `bias + dot == dot + bias` under IEEE addition.
+    fn run_inference(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "mlp input must be [batch, in]");
+        assert_eq!(input.shape()[1], self.sizes[0], "mlp input width");
+        let batch = input.shape()[0];
+        let out_w = *self.sizes.last().expect("validated at construction");
+        let max_w = self.sizes.iter().copied().max().expect("non-empty");
+        let n = self.dense.len();
+        let mut result = vec![0.0f32; batch * out_w];
+        kernels::scratch::with_f32_pair(batch * max_w, batch * max_w, |a, b| {
+            let (mut cur, mut next) = (a, b);
+            cur[..input.len()].copy_from_slice(input.data());
+            for k in 0..n {
+                let (w_in, w_out) = (self.sizes[k], self.sizes[k + 1]);
+                let dense = &self.dense[k];
+                let w = dense.weight().data();
+                let bias = dense.bias().data();
+                let last = k + 1 == n;
+                let dst: &mut [f32] = if last { &mut result } else { next };
+                let rows = cur[..batch * w_in]
+                    .chunks_exact(w_in)
+                    .zip(dst[..batch * w_out].chunks_exact_mut(w_out));
+                for (x_row, y_row) in rows {
+                    if last {
+                        kernels::gemv_into_f32(w, x_row, bias, y_row);
+                    } else {
+                        kernels::gemv_bias_relu_f32(w, x_row, bias, y_row);
+                    }
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+        });
+        Tensor::from_vec(result, &[batch, out_w]).expect("shape consistent")
     }
 
     /// Backward pass from the output gradient; returns the input
@@ -249,6 +291,17 @@ mod tests {
         let x = Tensor::from_vec((0..4).map(|i| i as f32).collect(), &[1, 4]).unwrap();
         assert_eq!(a.forward(&x), b.forward(&x));
         assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn inference_matches_training_forward_bitwise() {
+        // The fused scratch-buffer inference path must produce the
+        // same bits as the layer-by-layer training path.
+        let mut mlp = Mlp::new(&[5, 11, 7, 2], 3).unwrap();
+        let x = Tensor::from_vec((0..15).map(|i| 0.3 * i as f32 - 2.0).collect(), &[3, 5]).unwrap();
+        let inf = mlp.forward(&x);
+        let train = mlp.forward_train(&x);
+        assert_eq!(inf, train);
     }
 
     #[test]

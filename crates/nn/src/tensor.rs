@@ -180,22 +180,13 @@ impl Tensor {
             return Err(NnError::Shape(format!("matmul: [{m}, {k1}] x [{k2}, {n}]")));
         }
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the inner loop contiguous in both the
-        // rhs and the output. Each output row depends only on its own
-        // lhs row, so rows split across threads bit-identically; the
-        // per-row arithmetic order never changes.
+        // The register-blocked kernel keeps the ascending-k chain of
+        // the textbook ikj loop per output element, so it is
+        // bit-identical to it at any blocking. Each output row depends
+        // only on its own lhs row, so rows split across threads
+        // bit-identically; the per-row arithmetic order never changes.
         let rows = |lhs_rows: &[f32], out_rows: &mut [f32]| {
-            for (lhs_row, out_row) in lhs_rows.chunks(k1).zip(out_rows.chunks_mut(n)) {
-                for (k, &a) in lhs_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let rhs_row = &other.data[k * n..(k + 1) * n];
-                    for j in 0..n {
-                        out_row[j] += a * rhs_row[j];
-                    }
-                }
-            }
+            kernels::gemm_nn(lhs_rows, &other.data, out_rows, k1, n);
         };
         run_row_blocks(&self.data, &mut out, m, k1, n, &rows);
         Tensor::from_vec(out, &[m, n])
@@ -225,17 +216,12 @@ impl Tensor {
             )));
         }
         let mut out = vec![0.0f32; m * n];
+        // Dot-product GEMM on the 8-lane kernel spec: every output
+        // element is kernels::dot_f32(lhs row, rhs row), a pure
+        // function of the two rows, so row-block splits stay
+        // bit-identical at any GENIEX_THREADS.
         let rows = |lhs_rows: &[f32], out_rows: &mut [f32]| {
-            for (lhs_row, out_row) in lhs_rows.chunks(k1).zip(out_rows.chunks_mut(n)) {
-                for (j, out_val) in out_row.iter_mut().enumerate() {
-                    let rhs_row = &other.data[j * k1..(j + 1) * k1];
-                    let mut acc = 0.0f32;
-                    for k in 0..k1 {
-                        acc += lhs_row[k] * rhs_row[k];
-                    }
-                    *out_val = acc;
-                }
-            }
+            kernels::gemm_nt(lhs_rows, &other.data, out_rows, k1, n);
         };
         run_row_blocks(&self.data, &mut out, m, k1, n, &rows);
         Tensor::from_vec(out, &[m, n])
@@ -255,11 +241,7 @@ impl Tensor {
         }
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        kernels::transpose_f32(&self.data, &mut out, m, n);
         Tensor::from_vec(out, &[n, m])
     }
 
