@@ -1,0 +1,150 @@
+//! Conformance suite runner: executes every registered law
+//! (differential oracles, physics invariants, metamorphic relations)
+//! and writes a JSONL report through the telemetry manifest.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin conformance
+//! cargo run --release -p geniex-bench --bin conformance -- --list
+//! cargo run --release -p geniex-bench --bin conformance -- --law oracle/gemv --cases 32
+//! GENIEX_CONFORMANCE_SEED=7 cargo run --release -p geniex-bench --bin conformance
+//! ```
+//!
+//! On any violation the process prints the failing cases, emits the
+//! one-line `GENIEX_CONFORMANCE_SEED=<n> ...` reproduction command,
+//! and exits non-zero. Per-law records land in
+//! `results/logs/conformance.jsonl`.
+
+use conformance::{run_laws, Law, SuiteConfig};
+use telemetry::Json;
+
+struct Args {
+    law_filter: Option<String>,
+    cases: Option<u64>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        law_filter: None,
+        cases: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--law" => {
+                args.law_filter = Some(it.next().ok_or("--law needs a substring argument")?);
+            }
+            "--cases" => {
+                let n = it.next().ok_or("--cases needs a count argument")?;
+                args.cases = Some(n.parse().map_err(|_| format!("bad case count `{n}`"))?);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: conformance [--list] [--law <substring>] [--cases <n>]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut laws: Vec<Box<dyn Law>> = conformance::registry();
+    if let Some(filter) = &args.law_filter {
+        laws.retain(|l| l.name().contains(filter.as_str()));
+        if laws.is_empty() {
+            eprintln!("no law matches `{filter}` (run with --list to see the registry)");
+            std::process::exit(2);
+        }
+    }
+    if args.list {
+        for law in &laws {
+            println!("{:<44} {}", law.name(), law.tolerance());
+        }
+        return;
+    }
+
+    let mut config = SuiteConfig::from_env();
+    if args.cases.is_some() {
+        config.cases_override = args.cases;
+    }
+
+    let run = geniex_bench::manifest::start(
+        "conformance",
+        &[
+            ("seed", Json::from(config.seed)),
+            (
+                "cases_override",
+                config.cases_override.map_or(Json::Null, Json::from),
+            ),
+            (
+                "law_filter",
+                args.law_filter.as_deref().map_or(Json::Null, Json::from),
+            ),
+            ("laws", Json::from(laws.len())),
+            ("threads", Json::from(parallel::default_threads())),
+        ],
+    );
+
+    println!(
+        "conformance suite: {} laws, seed {}",
+        laws.len(),
+        config.seed
+    );
+    let report = run_laws(&laws, &config);
+    for law in &report.laws {
+        let status = if law.passed() { "pass" } else { "FAIL" };
+        println!(
+            "  [{status}] {:<44} {:>3} cases {:>8.1} ms",
+            law.name, law.cases_run, law.wall_ms
+        );
+        for failure in &law.failures {
+            println!("         case {}: {}", failure.case, failure.detail);
+        }
+        telemetry::emit(
+            "conformance",
+            "conformance.law",
+            vec![
+                ("law".to_string(), Json::from(law.name)),
+                ("category".to_string(), Json::from(law.category.as_str())),
+                ("tolerance".to_string(), Json::from(law.tolerance)),
+                ("cases".to_string(), Json::from(law.cases_run)),
+                ("failures".to_string(), Json::from(law.failures.len())),
+                ("wall_ms".to_string(), Json::from(law.wall_ms)),
+                ("passed".to_string(), Json::from(law.passed())),
+            ],
+        );
+    }
+    println!(
+        "{} laws, {} cases, {} violation(s)",
+        report.laws.len(),
+        report.total_cases(),
+        report.total_failures()
+    );
+
+    let repro = report.repro_line();
+    geniex_bench::manifest::finish(
+        run,
+        &[
+            ("laws", Json::from(report.laws.len())),
+            ("cases", Json::from(report.total_cases())),
+            ("failures", Json::from(report.total_failures())),
+            ("passed", Json::from(report.passed())),
+        ],
+    );
+    if let Some(line) = repro {
+        eprintln!("reproduce with:\n  {line}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,418 @@
+//! Metamorphic relations: applying a known transformation to the
+//! inputs of the functional simulator (or the circuit) must transform
+//! the outputs in a predictable way.
+
+use crate::gen;
+use crate::{Category, Law};
+use funcsim::{
+    rescale_saturate, AnalyticalEngine, ArchConfig, CrossbarEngine, FxpFormat, IdealEngine,
+    ProgrammedMatrix, WeightMapping,
+};
+use nn::Tensor;
+use proptest::TestRng;
+use xbar::{ideal_mvm, ConductanceMatrix, CrossbarCircuit, CrossbarParams, NonIdealityConfig};
+
+pub(crate) fn laws() -> Vec<Box<dyn Law>> {
+    vec![
+        Box::new(TileSizeInvariance),
+        Box::new(BitSliceRecombination),
+        Box::new(PermutationEquivariance),
+        Box::new(VoltageScalingLinear),
+        Box::new(BatchInvariance),
+    ]
+}
+
+/// An arch with a generous ADC on a `size`-sided ideal crossbar, so
+/// the pipeline is (nearly) exact digital arithmetic.
+fn precise_arch(size: usize) -> ArchConfig {
+    ArchConfig {
+        adc_bits: 20,
+        xbar: CrossbarParams::builder(size, size).build().unwrap(),
+        ..ArchConfig::default()
+    }
+}
+
+/// Random fixed-point MVM problem: weights, bias, and quantized
+/// non-negative input codes.
+fn random_problem(rng: &mut TestRng, m: usize, k: usize, n: usize) -> (Tensor, Tensor, Vec<i64>) {
+    let weight = Tensor::from_vec(gen::vec_f32(rng, m * k, -0.9, 0.9), &[m, k]).unwrap();
+    let bias = Tensor::from_vec(gen::vec_f32(rng, m, -0.2, 0.2), &[m]).unwrap();
+    let fmt = FxpFormat::paper_default();
+    let x: Vec<i64> = gen::vec_f32(rng, n * k, 0.0, 1.0)
+        .into_iter()
+        .map(|v| fmt.quantize(v))
+        .collect();
+    (weight, bias, x)
+}
+
+/// Pure-integer reference of the whole fixed-point pipeline — the
+/// "full-precision GEMV" the bit-sliced crossbar decomposition must
+/// recombine to. No crossbars involved.
+fn reference_mvm(
+    weight: &Tensor,
+    bias: &Tensor,
+    arch: &ArchConfig,
+    x_codes: &[i64],
+    n: usize,
+) -> Vec<i64> {
+    let (m, k) = (weight.shape()[0], weight.shape()[1]);
+    let wf = arch.weight_format;
+    let product_frac = arch.input_format.frac_bits() + wf.frac_bits();
+    let mut out = vec![0i64; n * m];
+    for b in 0..n {
+        for j in 0..m {
+            let mut acc = 0i64;
+            for i in 0..k {
+                acc += x_codes[b * k + i] * wf.quantize(weight.data()[j * k + i]);
+            }
+            acc += (bias.data()[j] as f64 * (1i64 << product_frac) as f64).round() as i64;
+            let in_acc = rescale_saturate(
+                acc,
+                product_frac,
+                arch.accumulator_frac,
+                arch.accumulator_bits,
+            );
+            out[b * m + j] = rescale_saturate(
+                in_acc,
+                arch.accumulator_frac,
+                arch.input_format.frac_bits(),
+                arch.input_format.total_bits(),
+            );
+        }
+    }
+    out
+}
+
+/// The crossbar dimension is a hardware detail: mapping the same
+/// matrix onto 8x8 or 16x16 tiles must give the same answer.
+struct TileSizeInvariance;
+
+impl Law for TileSizeInvariance {
+    fn name(&self) -> &'static str {
+        "metamorphic/tile_size_invariance"
+    }
+    fn category(&self) -> Category {
+        Category::Metamorphic
+    }
+    fn tolerance(&self) -> &'static str {
+        "|codes_8x8 - codes_16x16| <= 4 output LSBs (ideal engine, 20-bit ADC)"
+    }
+    fn cases(&self) -> u64 {
+        4
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let m = gen::usize_in(rng, 1, 12);
+        let k = gen::usize_in(rng, 1, 20);
+        let n = gen::usize_in(rng, 1, 3);
+        let (weight, bias, x) = random_problem(rng, m, k, n);
+
+        let mut outputs = Vec::new();
+        for size in [8usize, 16] {
+            let arch = precise_arch(size);
+            let pm = ProgrammedMatrix::program(&IdealEngine, &arch, &weight, &bias)
+                .map_err(|e| e.to_string())?;
+            outputs.push(pm.mvm_codes(&x, n).map_err(|e| e.to_string())?);
+        }
+        for (idx, (a, b)) in outputs[0].iter().zip(&outputs[1]).enumerate() {
+            if (a - b).abs() > 4 {
+                return Err(format!(
+                    "output {idx} ({m}x{k}, n={n}): 8x8 tiles give {a}, 16x16 tiles give {b}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splitting inputs into streams and weights into slices, running each
+/// combination through a crossbar, and shift-adding the results must
+/// recombine to the full-precision integer GEMV — for every slicing
+/// choice and weight mapping.
+struct BitSliceRecombination;
+
+impl Law for BitSliceRecombination {
+    fn name(&self) -> &'static str {
+        "metamorphic/bitslice_recombination"
+    }
+    fn category(&self) -> Category {
+        Category::Metamorphic
+    }
+    fn tolerance(&self) -> &'static str {
+        "|codes - integer GEMV| <= 4 output LSBs for stream/slice widths in {1,2,4,8}"
+    }
+    fn cases(&self) -> u64 {
+        4
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let widths = [1u32, 2, 4, 8];
+        let stream_width = widths[gen::usize_in(rng, 0, widths.len() - 1)];
+        let slice_width = widths[gen::usize_in(rng, 0, widths.len() - 1)];
+        let mapping = if gen::usize_in(rng, 0, 1) == 0 {
+            WeightMapping::Differential
+        } else {
+            WeightMapping::Offset
+        };
+        let m = gen::usize_in(rng, 1, 8);
+        let k = gen::usize_in(rng, 1, 12);
+        let n = gen::usize_in(rng, 1, 2);
+        let (weight, bias, x) = random_problem(rng, m, k, n);
+
+        let arch = ArchConfig {
+            weight_mapping: mapping,
+            ..precise_arch(8)
+        }
+        .with_bit_slicing(stream_width, slice_width);
+        let pm = ProgrammedMatrix::program(&IdealEngine, &arch, &weight, &bias)
+            .map_err(|e| e.to_string())?;
+        let got = pm.mvm_codes(&x, n).map_err(|e| e.to_string())?;
+        let expect = reference_mvm(&weight, &bias, &arch, &x, n);
+        for (idx, (g, e)) in got.iter().zip(&expect).enumerate() {
+            if (g - e).abs() > 4 {
+                return Err(format!(
+                    "output {idx}: sliced {g} vs full-precision {e} \
+                     (stream {stream_width}, slice {slice_width}, {mapping:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Permuting word lines (with their inputs) leaves the ideal MVM
+/// unchanged; permuting bit lines permutes it. On the programmed
+/// matrix, permuting output units permutes the codes exactly.
+struct PermutationEquivariance;
+
+impl Law for PermutationEquivariance {
+    fn name(&self) -> &'static str {
+        "metamorphic/permutation_equivariance"
+    }
+    fn category(&self) -> Category {
+        Category::Metamorphic
+    }
+    fn tolerance(&self) -> &'static str {
+        "rows: eps * rows * sum|v g| per column; columns and output units: exact"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let rows = gen::usize_in(rng, 1, 8);
+        let cols = gen::usize_in(rng, 1, 8);
+        let params = CrossbarParams::builder(rows.max(2), cols.max(2))
+            .build()
+            .map_err(|e| e.to_string())?;
+        let levels = gen::vec_f64(rng, rows * cols, 0.0, 1.0);
+        let g_flat: Vec<f64> = levels
+            .iter()
+            .map(|&l| params.g_off() + l * (params.g_on() - params.g_off()))
+            .collect();
+        let g =
+            ConductanceMatrix::from_vec(rows, cols, g_flat.clone()).map_err(|e| e.to_string())?;
+        let v = gen::vec_f64(rng, rows, 0.0, params.v_supply);
+        let base = ideal_mvm(&v, &g).map_err(|e| e.to_string())?;
+
+        // Word-line permutation: same set of products per column.
+        let row_perm = gen::permutation(rng, rows);
+        let v_p: Vec<f64> = row_perm.iter().map(|&i| v[i]).collect();
+        let mut g_rows = vec![0.0f64; rows * cols];
+        for (dst, &src) in row_perm.iter().enumerate() {
+            g_rows[dst * cols..(dst + 1) * cols]
+                .copy_from_slice(&g_flat[src * cols..(src + 1) * cols]);
+        }
+        let g_p = ConductanceMatrix::from_vec(rows, cols, g_rows).map_err(|e| e.to_string())?;
+        let permuted = ideal_mvm(&v_p, &g_p).map_err(|e| e.to_string())?;
+        for j in 0..cols {
+            let magnitude: f64 = (0..rows).map(|i| (v[i] * g_flat[i * cols + j]).abs()).sum();
+            let bound = f64::EPSILON * rows as f64 * magnitude;
+            if (base[j] - permuted[j]).abs() > bound {
+                return Err(format!(
+                    "row permutation changed column {j}: {} vs {} (bound {bound})",
+                    base[j], permuted[j]
+                ));
+            }
+        }
+
+        // Bit-line permutation: outputs permute bit-for-bit (each
+        // column's accumulation order is untouched).
+        let col_perm = gen::permutation(rng, cols);
+        let mut g_cols = vec![0.0f64; rows * cols];
+        for i in 0..rows {
+            for (dst, &src) in col_perm.iter().enumerate() {
+                g_cols[i * cols + dst] = g_flat[i * cols + src];
+            }
+        }
+        let g_c = ConductanceMatrix::from_vec(rows, cols, g_cols).map_err(|e| e.to_string())?;
+        let shuffled = ideal_mvm(&v, &g_c).map_err(|e| e.to_string())?;
+        for (dst, &src) in col_perm.iter().enumerate() {
+            if shuffled[dst].to_bits() != base[src].to_bits() {
+                return Err(format!(
+                    "column permutation not exact: out[{dst}] = {} vs base[{src}] = {}",
+                    shuffled[dst], base[src]
+                ));
+            }
+        }
+
+        // Programmed matrix: permuting output units (weight rows and
+        // bias together) permutes the output codes exactly.
+        let m = gen::usize_in(rng, 1, 6);
+        let k = gen::usize_in(rng, 1, 10);
+        let (weight, bias, x) = random_problem(rng, m, k, 1);
+        let arch = precise_arch(8);
+        let base_codes = ProgrammedMatrix::program(&IdealEngine, &arch, &weight, &bias)
+            .and_then(|pm| pm.mvm_codes(&x, 1))
+            .map_err(|e| e.to_string())?;
+        let out_perm = gen::permutation(rng, m);
+        let mut w_p = vec![0.0f32; m * k];
+        let mut b_p = vec![0.0f32; m];
+        for (dst, &src) in out_perm.iter().enumerate() {
+            w_p[dst * k..(dst + 1) * k].copy_from_slice(&weight.data()[src * k..(src + 1) * k]);
+            b_p[dst] = bias.data()[src];
+        }
+        let weight_p = Tensor::from_vec(w_p, &[m, k]).unwrap();
+        let bias_p = Tensor::from_vec(b_p, &[m]).unwrap();
+        let permuted_codes = ProgrammedMatrix::program(&IdealEngine, &arch, &weight_p, &bias_p)
+            .and_then(|pm| pm.mvm_codes(&x, 1))
+            .map_err(|e| e.to_string())?;
+        for (dst, &src) in out_perm.iter().enumerate() {
+            if permuted_codes[dst] != base_codes[src] {
+                return Err(format!(
+                    "output permutation not exact: code[{dst}] = {} vs base[{src}] = {}",
+                    permuted_codes[dst], base_codes[src]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Voltage scaling: a crossbar with only linear non-idealities is a
+/// linear network, so `I(αV) = α I(V)` to solver precision; with the
+/// sinh device in its linear regime the relation holds approximately.
+struct VoltageScalingLinear;
+
+impl Law for VoltageScalingLinear {
+    fn name(&self) -> &'static str {
+        "metamorphic/voltage_scaling"
+    }
+    fn category(&self) -> Category {
+        Category::Metamorphic
+    }
+    fn tolerance(&self) -> &'static str {
+        "linear config: 1e-8 * max|I| + 1e-12 A; sinh at |V| <= 0.1 V_supply: 1% of max|I|"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let rows = gen::usize_in(rng, 2, 6);
+        let cols = gen::usize_in(rng, 2, 6);
+        let levels = gen::vec_f64(rng, rows * cols, 0.0, 1.0);
+        let alpha = gen::f64_in(rng, 0.1, 0.9);
+
+        // Exactly linear network.
+        let params = CrossbarParams::builder(rows, cols)
+            .nonideality(NonIdealityConfig::linear_only())
+            .build()
+            .map_err(|e| e.to_string())?;
+        let g = ConductanceMatrix::from_levels(&params, &levels).map_err(|e| e.to_string())?;
+        let circuit = CrossbarCircuit::new(&params, &g).map_err(|e| e.to_string())?;
+        let v = gen::vec_f64(rng, rows, 0.0, params.v_supply);
+        let v_scaled: Vec<f64> = v.iter().map(|x| alpha * x).collect();
+        let base = circuit.solve(&v).map_err(|e| e.to_string())?;
+        let scaled = circuit.solve(&v_scaled).map_err(|e| e.to_string())?;
+        let max_current = base
+            .currents
+            .iter()
+            .fold(0.0f64, |acc, &x| acc.max(x.abs()));
+        for (j, (full, part)) in base.currents.iter().zip(&scaled.currents).enumerate() {
+            let bound = 1e-8 * max_current + 1e-12;
+            if (alpha * full - part).abs() > bound {
+                return Err(format!(
+                    "linear column {j}: alpha*I = {} vs I(alpha V) = {part} (bound {bound})",
+                    alpha * full
+                ));
+            }
+        }
+
+        // Sinh devices, restricted to the linear regime (V/V0 <= 0.1).
+        let params = CrossbarParams::builder(rows, cols)
+            .nonideality(NonIdealityConfig::all())
+            .build()
+            .map_err(|e| e.to_string())?;
+        let g = ConductanceMatrix::from_levels(&params, &levels).map_err(|e| e.to_string())?;
+        let circuit = CrossbarCircuit::new(&params, &g).map_err(|e| e.to_string())?;
+        let v_small: Vec<f64> = v.iter().map(|x| 0.1 * x).collect();
+        let v_small_scaled: Vec<f64> = v_small.iter().map(|x| alpha * x).collect();
+        let base = circuit.solve(&v_small).map_err(|e| e.to_string())?;
+        let scaled = circuit.solve(&v_small_scaled).map_err(|e| e.to_string())?;
+        let max_current = base
+            .currents
+            .iter()
+            .fold(0.0f64, |acc, &x| acc.max(x.abs()));
+        for (j, (full, part)) in base.currents.iter().zip(&scaled.currents).enumerate() {
+            let bound = 0.01 * max_current + 1e-12;
+            if (alpha * full - part).abs() > bound {
+                return Err(format!(
+                    "sinh column {j}: alpha*I = {} vs I(alpha V) = {part} (bound {bound})",
+                    alpha * full
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Batching is a performance detail: evaluating `n` vectors at once
+/// must equal evaluating them one at a time, bit-for-bit, on every
+/// analytic backend.
+struct BatchInvariance;
+
+impl Law for BatchInvariance {
+    fn name(&self) -> &'static str {
+        "metamorphic/batch_invariance"
+    }
+    fn category(&self) -> Category {
+        Category::Metamorphic
+    }
+    fn tolerance(&self) -> &'static str {
+        "currents_batch(n) bit-identical to n single-vector calls (exact)"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let size = gen::usize_in(rng, 2, 8);
+        let n = gen::usize_in(rng, 1, 5);
+        let params = CrossbarParams::builder(size, size)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let g_levels = gen::vec_f32(rng, size * size, 0.0, 1.0);
+        let v_levels = gen::vec_f32(rng, n * size, 0.0, 1.0);
+
+        let engines: [(&str, &dyn CrossbarEngine); 2] =
+            [("ideal", &IdealEngine), ("analytical", &AnalyticalEngine)];
+        for (name, engine) in engines {
+            let tile = engine
+                .program(&params, &g_levels)
+                .map_err(|e| e.to_string())?;
+            let batched = tile
+                .currents_batch(&v_levels, n)
+                .map_err(|e| e.to_string())?;
+            for b in 0..n {
+                let single = tile
+                    .currents_batch(&v_levels[b * size..(b + 1) * size], 1)
+                    .map_err(|e| e.to_string())?;
+                for j in 0..size {
+                    let (x, y) = (batched[b * size + j], single[j]);
+                    if x.to_bits() != y.to_bits() {
+                        return Err(format!(
+                            "{name} engine, vector {b}, column {j}: batch {x} vs single {y}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

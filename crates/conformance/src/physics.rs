@@ -1,0 +1,301 @@
+//! Physics invariants: properties the circuit ground truth must
+//! satisfy regardless of how the solver is implemented.
+
+use crate::gen;
+use crate::{Category, Law};
+use proptest::TestRng;
+use xbar::device::{AccessDevice, DeviceModel, FilamentaryRram, SeriesPair};
+use xbar::{
+    ConductanceMatrix, CrossbarCircuit, CrossbarParams, DeviceParams, NonIdealityConfig,
+    SolveReport, XbarError,
+};
+
+pub(crate) fn laws() -> Vec<Box<dyn Law>> {
+    vec![
+        Box::new(KclResidual),
+        Box::new(PassivityPower),
+        Box::new(IrDropMonotone),
+        Box::new(DeviceOddness),
+        Box::new(CircuitOddSymmetry),
+    ]
+}
+
+/// Samples a small random crossbar (2..=6 per side, varied wire
+/// resistance and non-ideality mix) with a programmed conductance
+/// state.
+fn random_circuit(
+    rng: &mut TestRng,
+    nonideality: NonIdealityConfig,
+) -> Result<(CrossbarParams, CrossbarCircuit), XbarError> {
+    let rows = gen::usize_in(rng, 2, 6);
+    let cols = gen::usize_in(rng, 2, 6);
+    let params = CrossbarParams::builder(rows, cols)
+        .r_wire(gen::f64_in(rng, 0.5, 8.0))
+        .nonideality(nonideality)
+        .build()?;
+    let levels = gen::vec_f64(rng, rows * cols, 0.0, 1.0);
+    let g = ConductanceMatrix::from_levels(&params, &levels)?;
+    let circuit = CrossbarCircuit::new(&params, &g)?;
+    Ok((params, circuit))
+}
+
+/// Picks one of the two parasitic non-ideality mixes (the KCL notion
+/// is vacuous without parasitics).
+fn parasitic_config(rng: &mut TestRng) -> NonIdealityConfig {
+    if gen::usize_in(rng, 0, 1) == 0 {
+        NonIdealityConfig::all()
+    } else {
+        NonIdealityConfig::linear_only()
+    }
+}
+
+/// Total current injected by the word-line sources, recomputed from
+/// the node voltages (first word-line segment of each row).
+fn injected_current(params: &CrossbarParams, v: &[f64], report: &SolveReport) -> f64 {
+    let g_src = 1.0 / params.r_source;
+    (0..params.rows)
+        .map(|i| g_src * (v[i] - report.node_voltages[i * params.cols]))
+        .sum()
+}
+
+/// Per-node KCL must hold at the reported operating point, verified
+/// by an independent residual recomputation through the public
+/// [`CrossbarCircuit::verify_kcl`] API.
+struct KclResidual;
+
+impl Law for KclResidual {
+    fn name(&self) -> &'static str {
+        "invariant/kcl_residual"
+    }
+    fn category(&self) -> Category {
+        Category::Invariant
+    }
+    fn tolerance(&self) -> &'static str {
+        "recomputed residual <= 1.01 * effective_tolerance(v); report.residual_norm likewise"
+    }
+    fn cases(&self) -> u64 {
+        8
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let config = parasitic_config(rng);
+        let (params, circuit) = random_circuit(rng, config).map_err(|e| e.to_string())?;
+        let v = gen::vec_f64(rng, params.rows, 0.0, params.v_supply);
+        let report = circuit.solve(&v).map_err(|e| e.to_string())?;
+        let tolerance = 1.01 * circuit.effective_tolerance(&v);
+        let recomputed = circuit
+            .verify_kcl(&v, &report.node_voltages)
+            .map_err(|e| e.to_string())?;
+        if recomputed > tolerance {
+            return Err(format!(
+                "recomputed KCL residual {recomputed} above tolerance {tolerance} \
+                 ({}x{}, {} Newton iterations)",
+                params.rows, params.cols, report.newton_iterations
+            ));
+        }
+        if report.residual_norm > tolerance {
+            return Err(format!(
+                "reported residual {} above tolerance {tolerance}",
+                report.residual_norm
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The crossbar is a passive network: with non-negative inputs every
+/// sensed current is non-negative, the sources inject exactly what the
+/// sinks drain, and the injected power is non-negative.
+struct PassivityPower;
+
+impl Law for PassivityPower {
+    fn name(&self) -> &'static str {
+        "invariant/passivity_power"
+    }
+    fn category(&self) -> Category {
+        Category::Invariant
+    }
+    fn tolerance(&self) -> &'static str {
+        "I_j >= -1e-12 A; |I_in - I_out| <= 1e-9 * I_in + 1e-12 A; P_in >= -1e-15 W"
+    }
+    fn cases(&self) -> u64 {
+        8
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let config = parasitic_config(rng);
+        let (params, circuit) = random_circuit(rng, config).map_err(|e| e.to_string())?;
+        let v = gen::vec_f64(rng, params.rows, 0.0, params.v_supply);
+        let report = circuit.solve(&v).map_err(|e| e.to_string())?;
+
+        for (j, &current) in report.currents.iter().enumerate() {
+            if current < -1e-12 {
+                return Err(format!(
+                    "negative sensed current {current} A at column {j} for non-negative inputs"
+                ));
+            }
+        }
+        let injected = injected_current(&params, &v, &report);
+        let sensed: f64 = report.currents.iter().sum();
+        let bound = 1e-9 * injected.abs() + 1e-12;
+        if (injected - sensed).abs() > bound {
+            return Err(format!(
+                "current not conserved: injected {injected} vs sensed {sensed} (bound {bound})"
+            ));
+        }
+        let g_src = 1.0 / params.r_source;
+        let power: f64 = (0..params.rows)
+            .map(|i| v[i] * g_src * (v[i] - report.node_voltages[i * params.cols]))
+            .sum();
+        if power < -1e-15 {
+            return Err(format!("negative injected power {power} W"));
+        }
+        Ok(())
+    }
+}
+
+/// Raising the wire resistance can only worsen IR drop: the total
+/// sensed current under a full-on stimulus must not increase.
+struct IrDropMonotone;
+
+impl Law for IrDropMonotone {
+    fn name(&self) -> &'static str {
+        "invariant/ir_drop_monotone"
+    }
+    fn category(&self) -> Category {
+        Category::Invariant
+    }
+    fn tolerance(&self) -> &'static str {
+        "total current non-increasing over R_wire x{1,4,16,64} (slack 1e-9 relative)"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let rows = gen::usize_in(rng, 3, 6);
+        let cols = gen::usize_in(rng, 3, 6);
+        let levels = gen::vec_f64(rng, rows * cols, 0.0, 1.0);
+        let r_wire_base = gen::f64_in(rng, 0.5, 2.5);
+        let config = parasitic_config(rng);
+
+        let mut previous: Option<(f64, f64)> = None;
+        for factor in [1.0, 4.0, 16.0, 64.0] {
+            let r_wire = r_wire_base * factor;
+            let params = CrossbarParams::builder(rows, cols)
+                .r_wire(r_wire)
+                .nonideality(config)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let g = ConductanceMatrix::from_levels(&params, &levels).map_err(|e| e.to_string())?;
+            let circuit = CrossbarCircuit::new(&params, &g).map_err(|e| e.to_string())?;
+            let v = vec![params.v_supply; rows];
+            let report = circuit.solve(&v).map_err(|e| e.to_string())?;
+            let total: f64 = report.currents.iter().sum();
+            if let Some((prev_r, prev_total)) = previous {
+                if total > prev_total * (1.0 + 1e-9) {
+                    return Err(format!(
+                        "total current rose from {prev_total} A (R_wire {prev_r}) to \
+                         {total} A (R_wire {r_wire}) on a {rows}x{cols} array"
+                    ));
+                }
+            }
+            previous = Some((r_wire, total));
+        }
+        Ok(())
+    }
+}
+
+/// The sinh filamentary device (and its series combination with the
+/// tanh access device) is an odd function of voltage, with an even
+/// derivative.
+struct DeviceOddness;
+
+impl Law for DeviceOddness {
+    fn name(&self) -> &'static str {
+        "invariant/device_oddness"
+    }
+    fn category(&self) -> Category {
+        Category::Invariant
+    }
+    fn tolerance(&self) -> &'static str {
+        "|I(-V) + I(V)| <= 1e-12 * |I(V)| + 1e-18 A (series pair: 1e-9 relative)"
+    }
+    fn cases(&self) -> u64 {
+        16
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let device_params = DeviceParams::new();
+        let reference = CrossbarParams::builder(2, 2)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let g = gen::f64_in(rng, reference.g_off(), reference.g_on());
+        let v = gen::f64_in(rng, -0.3, 0.3);
+
+        let rram = FilamentaryRram::from_conductance(g, &device_params);
+        let (pos, neg) = (rram.current(v), rram.current(-v));
+        if (pos + neg).abs() > 1e-12 * pos.abs() + 1e-18 {
+            return Err(format!(
+                "sinh oddness: I({v}) = {pos}, I({:.6}) = {neg}",
+                -v
+            ));
+        }
+        let (dp, dn) = (rram.di_dv(v), rram.di_dv(-v));
+        if (dp - dn).abs() > 1e-12 * dp.abs() + 1e-18 {
+            return Err(format!(
+                "sinh derivative not even: {dp} vs {dn} at |v| = {v}"
+            ));
+        }
+
+        let access = AccessDevice::new(device_params.access_g, device_params.access_v_sat);
+        let (pos, neg) = (access.current(v), access.current(-v));
+        if (pos + neg).abs() > 1e-12 * pos.abs() + 1e-18 {
+            return Err(format!("tanh access oddness: I({v}) = {pos} vs {neg}"));
+        }
+
+        // The series pair solves a scalar Newton iteration for the
+        // internal node, so oddness holds only to solver precision.
+        let series = SeriesPair::new(access, rram);
+        let (pos, neg) = (series.current(v), series.current(-v));
+        if (pos + neg).abs() > 1e-9 * pos.abs() + 1e-15 {
+            return Err(format!("series-pair oddness: I({v}) = {pos} vs {neg}"));
+        }
+        Ok(())
+    }
+}
+
+/// Every branch of the network is odd in voltage, so the whole circuit
+/// is: negating the inputs negates the operating point.
+struct CircuitOddSymmetry;
+
+impl Law for CircuitOddSymmetry {
+    fn name(&self) -> &'static str {
+        "invariant/circuit_odd_symmetry"
+    }
+    fn category(&self) -> Category {
+        Category::Invariant
+    }
+    fn tolerance(&self) -> &'static str {
+        "|I_j(V) + I_j(-V)| <= 1e-8 * max|I| + 1e-12 A per column"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let config = parasitic_config(rng);
+        let (params, circuit) = random_circuit(rng, config).map_err(|e| e.to_string())?;
+        let v = gen::vec_f64(rng, params.rows, 0.0, params.v_supply);
+        let v_neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        let pos = circuit.solve(&v).map_err(|e| e.to_string())?;
+        let neg = circuit.solve(&v_neg).map_err(|e| e.to_string())?;
+        let scale = pos
+            .currents
+            .iter()
+            .fold(0.0f64, |acc, &current| acc.max(current.abs()));
+        for (j, (a, b)) in pos.currents.iter().zip(&neg.currents).enumerate() {
+            if (a + b).abs() > 1e-8 * scale + 1e-12 {
+                return Err(format!(
+                    "column {j}: I(V) = {a}, I(-V) = {b} (not odd, scale {scale})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -56,7 +56,7 @@ pub use engine::{
     AnalyticalEngine, CircuitEngine, CrossbarEngine, GeniexEngine, IdealEngine, ProgrammedXbar,
 };
 pub use error::FuncsimError;
-pub use fixed::FxpFormat;
+pub use fixed::{digit_count, rescale_saturate, split_digits, FxpFormat};
 pub use matrix::ProgrammedMatrix;
 pub use network::{evaluate_spec, CrossbarNetwork};
 pub use record::{harvest_stimuli, RecordingEngine, StimulusLog, WorkloadStimulus};

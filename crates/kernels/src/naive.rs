@@ -81,6 +81,9 @@ pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "naive::gemm_nt: lhs length");
     assert_eq!(b.len(), n * k, "naive::gemm_nt: rhs length");
     assert_eq!(out.len(), m * n, "naive::gemm_nt: out length");
+    if n == 0 {
+        return;
+    }
     for (orow, arow) in out.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
         for (o, brow) in orow.iter_mut().zip(b.chunks_exact(k)) {
             *o = dot_f32(arow, brow);

@@ -9,10 +9,22 @@
 //! Semantics differ from upstream in one deliberate way: there is no
 //! shrinking. A failing case panics immediately with the standard
 //! assertion message, which is enough for CI triage. Case generation is
-//! deterministic (seeded per test by a hash of nothing but the case
-//! index), so failures reproduce across runs.
+//! deterministic — each case is seeded by an FNV-1a hash of the test's
+//! name mixed with the case index — so failures reproduce across runs
+//! while different tests see de-correlated input streams.
 
 #![forbid(unsafe_code)]
+
+/// FNV-1a hash of a byte string; used to de-correlate the input
+/// streams of differently named tests while staying deterministic.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// Deterministic generator driving strategy sampling (SplitMix64).
 #[derive(Debug, Clone)]
@@ -22,9 +34,35 @@ pub struct TestRng {
 
 impl TestRng {
     /// Creates the generator for one test case.
+    ///
+    /// Two generators built from the same `case` yield identical
+    /// streams; prefer [`TestRng::for_test`] (what the [`proptest!`]
+    /// macro expands to) when several tests must not see correlated
+    /// inputs.
     pub fn new(case: u64) -> Self {
         TestRng {
             state: 0xA076_1D64_78BD_642F ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Creates the generator for one case of one named test, mixing a
+    /// hash of `name` into the seed so that `foo` and `bar` sample
+    /// different values at the same case index.
+    pub fn for_test(name: &str, case: u64) -> Self {
+        Self::with_seed(fnv1a64(name.as_bytes()), case)
+    }
+
+    /// Creates the generator for one case under an explicit base seed
+    /// (e.g. a conformance-suite seed taken from the environment).
+    pub fn with_seed(seed: u64, case: u64) -> Self {
+        // Run one SplitMix64 round over the seed so that structurally
+        // close seeds (0, 1, 2, ...) land far apart in state space.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TestRng {
+            state: 0xA076_1D64_78BD_642F ^ z ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         }
     }
 
@@ -246,7 +284,7 @@ macro_rules! __proptest_body {
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
             for case in 0..config.cases as u64 {
-                let mut __proptest_rng = $crate::TestRng::new(case);
+                let mut __proptest_rng = $crate::TestRng::for_test(stringify!($name), case);
                 $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
                 $body
             }
@@ -325,5 +363,42 @@ mod tests {
         fn macro_default_config(x in 0i32..=3) {
             prop_assert!((0..=3).contains(&x));
         }
+    }
+
+    #[test]
+    fn per_test_seeding_is_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|case| crate::TestRng::for_test("some_law", case).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|case| crate::TestRng::for_test("some_law", case).next_u64())
+            .collect();
+        assert_eq!(a, b, "same name + case must reproduce the same stream");
+    }
+
+    #[test]
+    fn per_test_seeding_decorrelates_names() {
+        // Before the name hash was mixed in, every test saw the exact
+        // same stream at the same case index. Two different names must
+        // now disagree on (at least) the first draw of every case.
+        let collisions = (0..64u64)
+            .filter(|&case| {
+                crate::TestRng::for_test("law_alpha", case).next_u64()
+                    == crate::TestRng::for_test("law_beta", case).next_u64()
+            })
+            .count();
+        assert_eq!(collisions, 0, "name hash failed to de-correlate streams");
+    }
+
+    #[test]
+    fn with_seed_separates_nearby_seeds() {
+        let x = crate::TestRng::with_seed(0, 0).next_u64();
+        let y = crate::TestRng::with_seed(1, 0).next_u64();
+        assert_ne!(x, y);
+        // for_test is with_seed over the FNV-1a name hash.
+        assert_eq!(
+            crate::TestRng::for_test("abc", 3).next_u64(),
+            crate::TestRng::with_seed(crate::fnv1a64(b"abc"), 3).next_u64()
+        );
     }
 }

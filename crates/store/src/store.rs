@@ -549,6 +549,78 @@ mod tests {
     }
 
     #[test]
+    fn truncated_header_counts_corrupt_and_quarantines() {
+        let root = temp_root("short-header");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"dset", 11);
+        store.save(&k, b"payload behind a full header").unwrap();
+        let path = store.path_for(&k);
+        let full = fs::read(&path).unwrap();
+        // Cut inside the 36-byte header itself (not just the payload).
+        fs::write(&path, &full[..crate::format::HEADER_LEN / 2]).unwrap();
+
+        let _guard = telemetry::test_lock();
+        telemetry::set_enabled(true);
+        let corrupt = telemetry::counter("store.corrupt");
+        let misses = telemetry::counter("store.miss");
+        let hits = telemetry::counter("store.hit");
+        let (corrupt0, misses0, hits0) = (corrupt.get(), misses.get(), hits.get());
+
+        assert!(store.load(&k).is_none());
+        // Deltas are >=: other tests in this process may also be
+        // touching the global counters while telemetry is enabled.
+        assert!(corrupt.get() > corrupt0, "store.corrupt must count");
+        assert!(misses.get() > misses0, "a corrupt load is a miss");
+        assert!(!path.exists(), "truncated header must be quarantined");
+        let quarantined = fs::read_dir(root.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined, 1);
+
+        // The slot is usable again: a fresh save hits on reload.
+        assert!(store.save(&k, b"regenerated").unwrap());
+        assert_eq!(store.load(&k).unwrap(), b"regenerated");
+        assert!(hits.get() > hits0, "store.hit must count");
+        telemetry::set_enabled(false);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn schema_bump_counts_stale_and_warm_run_regenerates() {
+        let root = temp_root("stale-regen");
+        let store = Store::with_mode(&root, Mode::ReadWrite);
+        let k = key(*b"srgt", 12);
+        store.save(&k, b"old-schema artifact").unwrap();
+        let path = store.path_for(&k);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[16] = bytes[16].wrapping_add(1); // schema_version
+        fs::write(&path, &bytes).unwrap();
+
+        let _guard = telemetry::test_lock();
+        telemetry::set_enabled(true);
+        let stale = telemetry::counter("store.stale");
+        let writes = telemetry::counter("store.write");
+        let (stale0, writes0) = (stale.get(), writes.get());
+
+        // The warm-run idiom every producer uses: try the cache, fall
+        // back to regeneration, save for next time.
+        let payload = match store.load(&k) {
+            Some(cached) => cached,
+            None => {
+                let regenerated = b"regenerated artifact".to_vec();
+                store.save(&k, &regenerated).unwrap();
+                regenerated
+            }
+        };
+        assert_eq!(payload, b"regenerated artifact");
+        assert!(stale.get() > stale0, "store.stale must count");
+        assert!(writes.get() > writes0, "regeneration must re-save");
+        assert!(path.exists(), "stale entries are overwritten in place");
+        // Next warm run hits the regenerated entry.
+        assert_eq!(store.load(&k).unwrap(), b"regenerated artifact");
+        telemetry::set_enabled(false);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn entries_verify_and_gc() {
         let root = temp_root("maint");
         let store = Store::with_mode(&root, Mode::ReadWrite);

@@ -377,17 +377,7 @@ impl CrossbarCircuit {
         self.kcl_residual(v, &x, &mut residual);
         let mut res_norm = linalg::vec_ops::norm_inf(&residual);
 
-        // The KCL residual is a sum of branch currents of magnitude up
-        // to g_max * v_max, so f64 cancellation leaves a noise floor
-        // proportional to that scale; never demand convergence below it.
-        let g_max = (1.0 / self.params.r_wire)
-            .max(1.0 / self.params.r_source)
-            .max(1.0 / self.params.r_sink);
-        let v_max = v.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-6);
-        let tolerance = self
-            .options
-            .abs_tolerance
-            .max(64.0 * f64::EPSILON * g_max * v_max);
+        let tolerance = self.effective_tolerance(v);
 
         let mut iterations = 0;
         let mut dampings_total = 0usize;
@@ -483,6 +473,60 @@ impl CrossbarCircuit {
             warm_start: false,
             cg: None,
         }
+    }
+
+    /// The KCL residual tolerance (amperes, infinity norm) the Newton
+    /// loop enforces for inputs `v`.
+    ///
+    /// The residual is a sum of branch currents of magnitude up to
+    /// `g_max * v_max`, so f64 cancellation leaves a noise floor
+    /// proportional to that scale; convergence is never demanded below
+    /// it. Exposed so external checkers (the conformance suite) can
+    /// hold a [`SolveReport`] to exactly the bound the solver promised.
+    pub fn effective_tolerance(&self, v: &[f64]) -> f64 {
+        let g_max = (1.0 / self.params.r_wire)
+            .max(1.0 / self.params.r_source)
+            .max(1.0 / self.params.r_sink);
+        let v_max = v.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-6);
+        self.options
+            .abs_tolerance
+            .max(64.0 * f64::EPSILON * g_max * v_max)
+    }
+
+    /// Recomputes the infinity-norm KCL residual of candidate node
+    /// voltages `x` (layout as in [`SolveReport::node_voltages`]) under
+    /// inputs `v`, independently of any solver bookkeeping.
+    ///
+    /// A converged [`SolveReport`] must satisfy
+    /// `verify_kcl(v, &report.node_voltages) <= effective_tolerance(v)`.
+    ///
+    /// # Errors
+    ///
+    /// [`XbarError::Shape`] if `v.len() != rows` or
+    /// `x.len() != 2 * rows * cols`.
+    pub fn verify_kcl(&self, v: &[f64], x: &[f64]) -> Result<f64, XbarError> {
+        let (rows, cols) = (self.rows(), self.cols());
+        if v.len() != rows {
+            return Err(XbarError::Shape(format!(
+                "{} input voltages for {rows} word lines",
+                v.len()
+            )));
+        }
+        let n = 2 * rows * cols;
+        if x.len() != n {
+            return Err(XbarError::Shape(format!(
+                "{} node voltages for {n} nodes",
+                x.len()
+            )));
+        }
+        if !self.params.nonideality.parasitics {
+            // No parasitic network: the operating point is closed-form
+            // and the residual notion is vacuous.
+            return Ok(0.0);
+        }
+        let mut residual = vec![0.0; n];
+        self.kcl_residual(v, x, &mut residual);
+        Ok(linalg::vec_ops::norm_inf(&residual))
     }
 
     /// KCL residual `F(x)`: net current leaving each node.
@@ -871,6 +915,26 @@ mod tests {
         let mut res = vec![0.0; p.node_count()];
         circuit.kcl_residual(&v, &report.node_voltages, &mut res);
         assert!(linalg::vec_ops::norm_inf(&res) <= 1e-13);
+    }
+
+    #[test]
+    fn verify_kcl_matches_report_and_tolerance() {
+        let p = params(6, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = ConductanceMatrix::random_sparse(&p, 0.4, &mut rng);
+        let circuit = CrossbarCircuit::new(&p, &g).unwrap();
+        let v = vec![0.25, 0.125, 0.0, 0.1875, 0.0625, 0.25];
+        let report = circuit.solve(&v).unwrap();
+        let res = circuit.verify_kcl(&v, &report.node_voltages).unwrap();
+        let tol = circuit.effective_tolerance(&v);
+        assert!(res <= tol, "residual {res} above tolerance {tol}");
+        // Perturbing a node voltage must break KCL.
+        let mut bad = report.node_voltages.clone();
+        bad[0] += 1e-3;
+        assert!(circuit.verify_kcl(&v, &bad).unwrap() > tol);
+        // Shape validation.
+        assert!(circuit.verify_kcl(&v[..3], &report.node_voltages).is_err());
+        assert!(circuit.verify_kcl(&v, &bad[..5]).is_err());
     }
 
     #[test]

@@ -12,6 +12,14 @@ use vision::{
 };
 use xbar::CrossbarParams;
 
+/// Full-size runs are opt-in: `GENIEX_SLOW_TESTS=1 cargo test` trains
+/// at the original sample/epoch budgets; the default keeps `cargo
+/// test -q` fast with reduced sizes (and accordingly looser accuracy
+/// floors).
+fn slow_tests() -> bool {
+    std::env::var("GENIEX_SLOW_TESTS").is_ok_and(|v| v.trim() == "1")
+}
+
 /// One shared trained + calibrated workload for all tests in this file
 /// (training is the expensive part; share it).
 fn workload() -> &'static (vision::NetworkSpec, SynthVision, f64) {
@@ -25,7 +33,7 @@ fn workload() -> &'static (vision::NetworkSpec, SynthVision, f64) {
             &mut model,
             &train,
             &TrainOptions {
-                epochs: 22,
+                epochs: if slow_tests() { 22 } else { 16 },
                 ..TrainOptions::default()
             },
         )
@@ -44,7 +52,13 @@ fn small_arch(size: usize) -> ArchConfig {
 #[test]
 fn ideal_backend_matches_fp32_accuracy() {
     let (spec, test, fp32) = workload().clone();
-    assert!(fp32 > 0.7, "fp32 accuracy {fp32} too low to be meaningful");
+    // The reduced default budget (16 epochs) tops out lower than the
+    // full 22-epoch run; both floors are far above chance (1/8).
+    let floor = if slow_tests() { 0.7 } else { 0.6 };
+    assert!(
+        fp32 > floor,
+        "fp32 accuracy {fp32} too low to be meaningful"
+    );
     let acc = evaluate_spec(spec, &small_arch(16), &IdealEngine, &test, 8).unwrap();
     // 16-bit FxP with calibration loses essentially nothing (Fig. 8's
     // 16-bit column).
@@ -103,21 +117,26 @@ fn geniex_backend_runs_end_to_end() {
     let (spec, test, _) = workload().clone();
     let xb = CrossbarParams::builder(8, 8).build().unwrap();
     let arch = ArchConfig::default().with_xbar(xb.clone());
+    let (samples, epochs, hidden, floor) = if slow_tests() {
+        (600, 40, 64, 0.5)
+    } else {
+        (200, 14, 32, 0.3)
+    };
     let data = generate(
         &xb,
         &DatasetConfig {
-            samples: 600,
+            samples,
             seed: 7,
             ..DatasetConfig::default()
         },
     )
     .unwrap();
-    let mut surrogate = Geniex::new(&xb, 64, 3).unwrap();
+    let mut surrogate = Geniex::new(&xb, hidden, 3).unwrap();
     surrogate
         .train(
             &data,
             &TrainConfig {
-                epochs: 40,
+                epochs,
                 ..TrainConfig::default()
             },
         )
@@ -126,7 +145,7 @@ fn geniex_backend_runs_end_to_end() {
     assert!((0.0..=1.0).contains(&acc));
     // At a benign 8x8 design point the surrogate-backed network should
     // still classify far above chance (1/8).
-    assert!(acc > 0.5, "geniex-backend accuracy {acc} collapsed");
+    assert!(acc > floor, "geniex-backend accuracy {acc} collapsed");
 }
 
 #[test]
