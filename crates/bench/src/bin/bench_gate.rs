@@ -1,0 +1,122 @@
+//! Perf-regression gate over kernel benchmark summaries.
+//!
+//! Compares a current `BENCH_kernels.json`-style summary against the
+//! committed baseline (`results/BENCH_baseline.json`) on speedup
+//! ratios — machine-relative, so the baseline transfers across hosts —
+//! and exits non-zero with a one-line repro when any kernel regresses
+//! past the tolerance.
+//!
+//! Usage:
+//!   bench_gate [current.json]
+//!              [--baseline <path>] [--tolerance <fraction>]
+//!              [--update] [--inject-regression <kernel>[:factor]]
+//!
+//! Defaults: current `results/BENCH_kernels.json`, baseline
+//! `results/BENCH_baseline.json`, tolerance `$GENIEX_GATE_TOLERANCE`
+//! (0.10). `--update` rewrites the baseline from the current summary
+//! after a passing run — the explicit opt-in for ratcheting.
+//! `--inject-regression` worsens one kernel before comparing so CI can
+//! prove the gate trips.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geniex_bench::gate;
+use geniex_bench::setup::results_dir;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut current_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut tolerance: Option<f64> = None;
+    let mut update = false;
+    let mut inject: Option<(String, f64)> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => match argv.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return fail("--baseline needs a path"),
+            },
+            "--tolerance" => {
+                let parsed = argv.next().and_then(|t| t.parse::<f64>().ok());
+                match parsed.filter(|t| t.is_finite() && *t >= 0.0) {
+                    Some(t) => tolerance = Some(t),
+                    None => return fail("--tolerance needs a non-negative fraction"),
+                }
+            }
+            "--update" => update = true,
+            "--inject-regression" => {
+                let Some(spec) = argv.next() else {
+                    return fail("--inject-regression needs <kernel>[:factor]");
+                };
+                let (kernel, factor) = match spec.rsplit_once(':') {
+                    Some((k, f)) => match f.parse::<f64>() {
+                        Ok(f) => (k.to_string(), f),
+                        Err(_) => return fail(&format!("bad injection factor in '{spec}'")),
+                    },
+                    None => (spec, 2.0),
+                };
+                inject = Some((kernel, factor));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate [current.json] [--baseline <path>] \
+                     [--tolerance <fraction>] [--update] \
+                     [--inject-regression <kernel>[:factor]]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && current_path.is_none() => {
+                current_path = Some(PathBuf::from(other));
+            }
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let current_path = current_path.unwrap_or_else(|| results_dir().join("BENCH_kernels.json"));
+    let baseline_path = baseline_path.unwrap_or_else(|| results_dir().join("BENCH_baseline.json"));
+    let tolerance = tolerance.unwrap_or_else(gate::gate_tolerance);
+
+    let read = |path: &PathBuf, role: &str| -> Result<gate::KernelSummary, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {role} {}: {e}", path.display()))?;
+        gate::parse_summary(&text).map_err(|e| format!("bad {role} {}: {e}", path.display()))
+    };
+    let baseline = match read(&baseline_path, "baseline") {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut current = match read(&current_path, "current summary") {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if let Some((kernel, factor)) = inject {
+        if let Err(e) = gate::inject_regression(&mut current, &kernel, factor) {
+            return fail(&e);
+        }
+        eprintln!("bench_gate: injected {factor}x slowdown into '{kernel}' (self-test)");
+    }
+
+    let report = gate::compare(&baseline, &current, tolerance);
+    print!("{}", gate::render(&report, tolerance));
+
+    if !report.passed() {
+        return ExitCode::FAILURE;
+    }
+    if update {
+        if let Err(e) = std::fs::copy(&current_path, &baseline_path) {
+            return fail(&format!(
+                "cannot update baseline {}: {e}",
+                baseline_path.display()
+            ));
+        }
+        println!("baseline updated: {}", baseline_path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,75 @@
+//! Self-time / critical-path breakdown of a Chrome Trace Event file.
+//!
+//! Post-processes a trace written by a `GENIEX_TRACE=1` run (see
+//! DESIGN.md §13) into the profiling view: per-phase inclusive times
+//! and per-span-name self times, sorted by where the cycles actually
+//! went.
+//!
+//! Usage: `trace_report <run.trace.json>` — with no argument, picks
+//! the newest `*.trace.json` under `results/logs/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geniex_bench::setup::results_dir;
+use geniex_bench::trace_report;
+
+fn newest_trace() -> Option<PathBuf> {
+    let dir = results_dir().join("logs");
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let path = entry.path();
+        if !path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".trace.json"))
+        {
+            continue;
+        }
+        let modified = entry.metadata().ok()?.modified().ok()?;
+        if best.as_ref().is_none_or(|(t, _)| modified > *t) {
+            best = Some((modified, path));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+fn main() -> ExitCode {
+    let path = match std::env::args().nth(1) {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            println!("usage: trace_report [run.trace.json]");
+            return ExitCode::SUCCESS;
+        }
+        Some(arg) => PathBuf::from(arg),
+        None => match newest_trace() {
+            Some(p) => p,
+            None => {
+                eprintln!(
+                    "trace_report: no *.trace.json under {} — run a binary with GENIEX_TRACE=1",
+                    results_dir().join("logs").display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match trace_report::analyze(&text) {
+        Ok(report) => {
+            println!("file: {}", path.display());
+            print!("{}", trace_report::render(&report));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_report: {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Perf-regression gate: compares a `kernel_bench_summary` JSON
+//! against a committed baseline so kernel speedups ratchet instead of
+//! drifting (ROADMAP item 2).
+//!
+//! The gate compares **speedup ratios** (`naive_ns / blocked_ns`), not
+//! raw nanoseconds: ratios are machine-relative, so a baseline
+//! committed from one machine remains meaningful on another (raw
+//! timings would not be). A kernel regresses when its current speedup
+//! falls more than the tolerance fraction below the baseline's:
+//!
+//! ```text
+//! current < baseline * (1 - tolerance)   →   regression
+//! ```
+//!
+//! The tolerance comes from `GENIEX_GATE_TOLERANCE` (fraction, default
+//! 0.10); `bench_gate --update` refreshes the baseline on explicit
+//! opt-in. See the `bench_gate` binary for the CLI.
+
+use std::collections::BTreeMap;
+
+use telemetry::json::{parse, Json};
+
+/// One kernel's timings from a summary file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    pub naive_ns: f64,
+    pub blocked_ns: f64,
+    pub speedup: f64,
+}
+
+/// Parsed `BENCH_kernels.json`-style summary: kernel name → row.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSummary {
+    pub kernels: BTreeMap<String, KernelRow>,
+    /// Thread count the summary was produced with, if recorded.
+    pub threads: Option<u64>,
+}
+
+/// Parses a summary produced by `kernel_bench_summary`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct: invalid
+/// JSON, a missing `kernels` array, or rows without the
+/// `kernel`/`naive_ns`/`blocked_ns`/`speedup` fields.
+pub fn parse_summary(text: &str) -> Result<KernelSummary, String> {
+    let root = parse(text)?;
+    let rows = root
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or("summary has no 'kernels' array")?;
+    let mut kernels = BTreeMap::new();
+    for row in rows {
+        let name = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("kernel row without 'kernel' name")?;
+        let num = |key: &str| -> Result<f64, String> {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("kernel '{name}': missing or non-positive '{key}'"))
+        };
+        kernels.insert(
+            name.to_string(),
+            KernelRow {
+                naive_ns: num("naive_ns")?,
+                blocked_ns: num("blocked_ns")?,
+                speedup: num("speedup")?,
+            },
+        );
+    }
+    if kernels.is_empty() {
+        return Err("summary contains no kernels".to_string());
+    }
+    Ok(KernelSummary {
+        kernels,
+        threads: root.get("threads").and_then(Json::as_u64),
+    })
+}
+
+/// One kernel whose speedup fell below the tolerated band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub kernel: String,
+    pub baseline_speedup: f64,
+    pub current_speedup: f64,
+    /// `current / baseline` — e.g. 0.85 means 15% of the baseline
+    /// speedup was lost.
+    pub ratio: f64,
+}
+
+/// Outcome of comparing a current summary against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Kernels that regressed beyond tolerance (the gate fails when
+    /// non-empty).
+    pub regressions: Vec<Regression>,
+    /// Kernels whose speedup *improved* beyond tolerance — candidates
+    /// for a baseline update so the ratchet tightens.
+    pub improvements: Vec<Regression>,
+    /// Baseline kernels absent from the current summary (warned, not
+    /// failed: quick modes may run subsets).
+    pub missing: Vec<String>,
+    /// Current kernels the baseline doesn't know yet.
+    pub new_kernels: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no regression beyond tolerance).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline` with a fractional
+/// `tolerance` (0.10 = a kernel may lose up to 10% of its baseline
+/// speedup before the gate trips). Negative tolerances are treated
+/// as 0.
+pub fn compare(baseline: &KernelSummary, current: &KernelSummary, tolerance: f64) -> GateReport {
+    let tolerance = tolerance.max(0.0);
+    let mut report = GateReport::default();
+    for (name, base) in &baseline.kernels {
+        let Some(cur) = current.kernels.get(name) else {
+            report.missing.push(name.clone());
+            continue;
+        };
+        let ratio = cur.speedup / base.speedup;
+        let entry = Regression {
+            kernel: name.clone(),
+            baseline_speedup: base.speedup,
+            current_speedup: cur.speedup,
+            ratio,
+        };
+        if cur.speedup < base.speedup * (1.0 - tolerance) {
+            report.regressions.push(entry);
+        } else if cur.speedup > base.speedup * (1.0 + tolerance) {
+            report.improvements.push(entry);
+        }
+    }
+    for name in current.kernels.keys() {
+        if !baseline.kernels.contains_key(name) {
+            report.new_kernels.push(name.clone());
+        }
+    }
+    // Worst loss first, so the headline line names the biggest
+    // offender.
+    report
+        .regressions
+        .sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
+    report
+        .improvements
+        .sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    report
+}
+
+/// The gate tolerance: `GENIEX_GATE_TOLERANCE` as a fraction, default
+/// 0.10. Invalid values fall back to the default.
+pub fn gate_tolerance() -> f64 {
+    std::env::var("GENIEX_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(0.10)
+}
+
+/// Divides the named kernel's speedup by `factor` — the `bench_gate
+/// --inject-regression` self-test hook that lets CI verify the gate
+/// actually trips.
+///
+/// # Errors
+///
+/// Returns an error naming the kernel if it is absent or `factor` is
+/// not a finite positive number.
+pub fn inject_regression(
+    summary: &mut KernelSummary,
+    kernel: &str,
+    factor: f64,
+) -> Result<(), String> {
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(format!("injection factor {factor} must be positive"));
+    }
+    let row = summary
+        .kernels
+        .get_mut(kernel)
+        .ok_or_else(|| format!("kernel '{kernel}' not in summary"))?;
+    row.speedup /= factor;
+    row.blocked_ns *= factor;
+    Ok(())
+}
+
+/// Renders the gate outcome as a human-readable table plus, on
+/// failure, a one-line repro command.
+pub fn render(report: &GateReport, tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "perf gate: tolerance {:.1}% on speedup ratios (naive/blocked)\n",
+        tolerance * 100.0
+    ));
+    let row = |r: &Regression| {
+        format!(
+            "  {:<28} baseline {:>8.3}x  current {:>8.3}x  ({:+.1}%)\n",
+            r.kernel,
+            r.baseline_speedup,
+            r.current_speedup,
+            (r.ratio - 1.0) * 100.0
+        )
+    };
+    if !report.regressions.is_empty() {
+        out.push_str("REGRESSED beyond tolerance:\n");
+        for r in &report.regressions {
+            out.push_str(&row(r));
+        }
+    }
+    if !report.improvements.is_empty() {
+        out.push_str("improved beyond tolerance (consider --update to ratchet):\n");
+        for r in &report.improvements {
+            out.push_str(&row(r));
+        }
+    }
+    for name in &report.missing {
+        out.push_str(&format!(
+            "  warning: baseline kernel '{name}' not in current summary\n"
+        ));
+    }
+    for name in &report.new_kernels {
+        out.push_str(&format!("  note: new kernel '{name}' (not in baseline)\n"));
+    }
+    if report.passed() {
+        out.push_str("perf gate: PASS\n");
+    } else {
+        out.push_str("perf gate: FAIL\n");
+        out.push_str(
+            "repro: GENIEX_THREADS=1 GENIEX_BENCH_OUT=/tmp/bench_kernels.csv \
+             cargo bench -p geniex-bench --bench kernels && \
+             cargo run --release -p geniex-bench --bin kernel_bench_summary /tmp/bench_kernels.csv && \
+             cargo run --release -p geniex-bench --bin bench_gate\n",
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"csv":"/tmp/x.csv","threads":1,"kernels":[
+        {"kernel":"matmul/64","naive_ns":24000,"blocked_ns":16000,"speedup":1.5},
+        {"kernel":"spmv/128","naive_ns":580,"blocked_ns":716,"speedup":0.81},
+        {"kernel":"dot_f32/64","naive_ns":33,"blocked_ns":6.6,"speedup":5.0}
+    ]}"#;
+
+    #[test]
+    fn parses_summary() {
+        let s = parse_summary(SAMPLE).expect("parse");
+        assert_eq!(s.kernels.len(), 3);
+        assert_eq!(s.threads, Some(1));
+        assert_eq!(s.kernels["matmul/64"].speedup, 1.5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_summary("{}").is_err());
+        assert!(parse_summary("{\"kernels\":[]}").is_err());
+        assert!(parse_summary("{\"kernels\":[{\"kernel\":\"x\"}]}").is_err());
+        assert!(parse_summary(
+            "{\"kernels\":[{\"kernel\":\"x\",\"naive_ns\":0,\"blocked_ns\":1,\"speedup\":1}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let s = parse_summary(SAMPLE).unwrap();
+        let report = compare(&s, &s, 0.10);
+        assert!(report.passed());
+        assert!(report.improvements.is_empty());
+        assert!(report.missing.is_empty());
+        assert!(report.new_kernels.is_empty());
+    }
+
+    #[test]
+    fn ten_percent_loss_trips_default_tolerance() {
+        let baseline = parse_summary(SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        // 15% slower blocked time → speedup ratio drops ~13%.
+        inject_regression(&mut current, "matmul/64", 1.15).unwrap();
+        let report = compare(&baseline, &current, 0.10);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].kernel, "matmul/64");
+        assert!(render(&report, 0.10).contains("repro:"));
+        // A wider tolerance absorbs the same loss.
+        assert!(compare(&baseline, &current, 0.20).passed());
+    }
+
+    #[test]
+    fn worst_regression_sorts_first() {
+        let baseline = parse_summary(SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        inject_regression(&mut current, "matmul/64", 1.2).unwrap();
+        inject_regression(&mut current, "dot_f32/64", 2.0).unwrap();
+        let report = compare(&baseline, &current, 0.10);
+        assert_eq!(report.regressions[0].kernel, "dot_f32/64");
+    }
+
+    #[test]
+    fn missing_and_new_kernels_reported_not_failed() {
+        let baseline = parse_summary(SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        let row = current.kernels.remove("spmv/128").unwrap();
+        current.kernels.insert("spmv/256".to_string(), row);
+        let report = compare(&baseline, &current, 0.10);
+        assert!(report.passed());
+        assert_eq!(report.missing, vec!["spmv/128".to_string()]);
+        assert_eq!(report.new_kernels, vec!["spmv/256".to_string()]);
+    }
+
+    #[test]
+    fn improvements_flagged_for_ratchet() {
+        let baseline = parse_summary(SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        current.kernels.get_mut("matmul/64").unwrap().speedup = 2.5;
+        let report = compare(&baseline, &current, 0.10);
+        assert!(report.passed());
+        assert_eq!(report.improvements.len(), 1);
+        assert!(render(&report, 0.10).contains("--update"));
+    }
+
+    #[test]
+    fn inject_rejects_bad_inputs() {
+        let mut s = parse_summary(SAMPLE).unwrap();
+        assert!(inject_regression(&mut s, "nope", 2.0).is_err());
+        assert!(inject_regression(&mut s, "matmul/64", 0.0).is_err());
+        assert!(inject_regression(&mut s, "matmul/64", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_passes_against_itself() {
+        // Guards the checked-in baseline file itself: it must stay
+        // parseable and self-consistent.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_baseline.json"
+        );
+        let text = std::fs::read_to_string(path).expect("committed baseline exists");
+        let baseline = parse_summary(&text).expect("baseline parses");
+        assert!(baseline.kernels.contains_key("matmul/64"));
+        assert!(compare(&baseline, &baseline, 0.0).passed());
+    }
+}

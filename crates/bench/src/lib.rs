@@ -5,6 +5,8 @@
 //! Each `src/bin/figN_*.rs` binary prints the same rows/series the
 //! paper reports and writes a CSV into `results/`.
 
+pub mod gate;
 pub mod manifest;
 pub mod setup;
 pub mod table;
+pub mod trace_report;

@@ -1,0 +1,309 @@
+//! Post-processing for Chrome Trace Event JSON: self-time and
+//! critical-path breakdowns.
+//!
+//! A trace answers "when"; this module turns it back into "where did
+//! the time go": for every span name it aggregates count, total
+//! (inclusive) time, **self time** (total minus time spent in child
+//! spans on the same thread), and the maximum single occurrence. The
+//! per-phase view groups top-level spans (no parent on their thread),
+//! whose total is the phase's contribution to the run's critical path
+//! on that thread.
+
+use std::collections::BTreeMap;
+
+use telemetry::json::{parse, Json};
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    pub count: u64,
+    /// Inclusive wall time (µs) summed over occurrences.
+    pub total_us: f64,
+    /// Exclusive time (µs): total minus child-span time.
+    pub self_us: f64,
+    /// Longest single occurrence (µs).
+    pub max_us: f64,
+}
+
+/// Breakdown of one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Per span name, across all threads.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Top-level spans only (phases): name → inclusive stats.
+    pub phases: BTreeMap<String, SpanStat>,
+    /// Trace extent: last timestamp minus first (µs).
+    pub wall_us: f64,
+    /// Number of distinct threads with at least one event.
+    pub threads: usize,
+    /// Instant/counter events by name (convergence ticks, steals...).
+    pub instants: BTreeMap<String, u64>,
+}
+
+/// Analyzes Chrome Trace Event JSON text (as written by
+/// `telemetry::finish_trace`).
+///
+/// # Errors
+///
+/// Returns a description of the first problem: invalid JSON, no
+/// `traceEvents` array, or a malformed event record. Unbalanced
+/// begin/end pairs are an error here — the in-tree writer guarantees
+/// balance, so imbalance means the file was truncated or edited.
+pub fn analyze(text: &str) -> Result<TraceReport, String> {
+    let root = parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no 'traceEvents' array")?;
+
+    let mut report = TraceReport::default();
+    // Per-tid stack of (name, start ts, child time so far).
+    let mut stacks: BTreeMap<u64, Vec<(String, f64, f64)>> = BTreeMap::new();
+    let (mut first_ts, mut last_ts) = (f64::INFINITY, f64::NEG_INFINITY);
+
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or("event without 'ph'")?;
+        if ph == "M" {
+            continue;
+        }
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or("event without 'tid'")?;
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event without 'name'")?;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or("event without 'ts'")?;
+        first_ts = first_ts.min(ts);
+        last_ts = last_ts.max(ts);
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => stack.push((name.to_string(), ts, 0.0)),
+            "E" => {
+                let (open_name, start, child_us) = stack
+                    .pop()
+                    .ok_or_else(|| format!("unmatched end '{name}' on tid {tid}"))?;
+                if open_name != name {
+                    return Err(format!(
+                        "end '{name}' closes begin '{open_name}' on tid {tid}"
+                    ));
+                }
+                let dur = (ts - start).max(0.0);
+                let self_us = (dur - child_us).max(0.0);
+                let stat = report.spans.entry(open_name.clone()).or_default();
+                stat.count += 1;
+                stat.total_us += dur;
+                stat.self_us += self_us;
+                stat.max_us = stat.max_us.max(dur);
+                match stack.last_mut() {
+                    // Credit inclusive time to the parent's child total.
+                    Some(parent) => parent.2 += dur,
+                    // Top of the stack: a phase.
+                    None => {
+                        let phase = report.phases.entry(open_name).or_default();
+                        phase.count += 1;
+                        phase.total_us += dur;
+                        phase.self_us += self_us;
+                        phase.max_us = phase.max_us.max(dur);
+                    }
+                }
+            }
+            "i" | "C" => {
+                *report.instants.entry(name.to_string()).or_default() += 1;
+            }
+            other => return Err(format!("unknown phase '{other}'")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid} ends with {} unclosed span(s)",
+                stack.len()
+            ));
+        }
+    }
+    report.wall_us = if first_ts.is_finite() && last_ts.is_finite() {
+        (last_ts - first_ts).max(0.0)
+    } else {
+        0.0
+    };
+    report.threads = stacks.len();
+    Ok(report)
+}
+
+fn fmt_us(us: f64) -> String {
+    if us < 1e3 {
+        format!("{us:.1} µs")
+    } else if us < 1e6 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{:.3} s", us / 1e6)
+    }
+}
+
+/// Renders the breakdown: phases by inclusive time, then all span
+/// names by self time (the profiling view: where cycles are actually
+/// spent).
+pub fn render(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} over {} thread(s), {} span name(s)\n\n",
+        fmt_us(report.wall_us),
+        report.threads,
+        report.spans.len()
+    ));
+
+    if !report.phases.is_empty() {
+        out.push_str("phases (top-level spans, inclusive):\n");
+        out.push_str(&format!(
+            "  {:<36} {:>8} {:>12} {:>8}\n",
+            "phase", "count", "total", "% wall"
+        ));
+        let mut phases: Vec<_> = report.phases.iter().collect();
+        phases.sort_by(|a, b| b.1.total_us.total_cmp(&a.1.total_us));
+        for (name, stat) in phases {
+            let pct = if report.wall_us > 0.0 {
+                100.0 * stat.total_us / report.wall_us
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<36} {:>8} {:>12} {:>7.1}%\n",
+                name,
+                stat.count,
+                fmt_us(stat.total_us),
+                pct
+            ));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("self time by span (exclusive of children):\n");
+    out.push_str(&format!(
+        "  {:<36} {:>8} {:>12} {:>12} {:>12} {:>8}\n",
+        "span", "count", "self", "total", "max", "% self"
+    ));
+    let self_total: f64 = report.spans.values().map(|s| s.self_us).sum();
+    let mut spans: Vec<_> = report.spans.iter().collect();
+    spans.sort_by(|a, b| b.1.self_us.total_cmp(&a.1.self_us));
+    for (name, stat) in spans {
+        let pct = if self_total > 0.0 {
+            100.0 * stat.self_us / self_total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<36} {:>8} {:>12} {:>12} {:>12} {:>7.1}%\n",
+            name,
+            stat.count,
+            fmt_us(stat.self_us),
+            fmt_us(stat.total_us),
+            fmt_us(stat.max_us),
+            pct
+        ));
+    }
+
+    if !report.instants.is_empty() {
+        out.push_str("\ninstant/counter events:\n");
+        for (name, count) in &report.instants {
+            out.push_str(&format!("  {name:<36} {count:>8}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads: tid 1 runs solve(10–90µs) containing two tile
+    /// spans (20–40, 50–80); tid 2 runs one task (0–30).
+    const SAMPLE: &str = r#"{"traceEvents":[
+        {"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"main"}},
+        {"ph":"B","pid":1,"tid":1,"ts":10,"name":"solve"},
+        {"ph":"B","pid":1,"tid":1,"ts":20,"name":"tile"},
+        {"ph":"i","pid":1,"tid":1,"ts":25,"name":"newton_iter","s":"t"},
+        {"ph":"E","pid":1,"tid":1,"ts":40,"name":"tile"},
+        {"ph":"B","pid":1,"tid":1,"ts":50,"name":"tile"},
+        {"ph":"E","pid":1,"tid":1,"ts":80,"name":"tile"},
+        {"ph":"E","pid":1,"tid":1,"ts":90,"name":"solve"},
+        {"ph":"B","pid":1,"tid":2,"ts":0,"name":"task"},
+        {"ph":"C","pid":1,"tid":2,"ts":15,"name":"active","args":{"value":1}},
+        {"ph":"E","pid":1,"tid":2,"ts":30,"name":"task"}
+    ]}"#;
+
+    #[test]
+    fn self_time_excludes_children() {
+        let report = analyze(SAMPLE).expect("analyze");
+        let solve = &report.spans["solve"];
+        assert_eq!(solve.count, 1);
+        assert!((solve.total_us - 80.0).abs() < 1e-9);
+        // 80 inclusive minus (20 + 30) in tiles = 30 self.
+        assert!((solve.self_us - 30.0).abs() < 1e-9);
+        let tile = &report.spans["tile"];
+        assert_eq!(tile.count, 2);
+        assert!((tile.total_us - 50.0).abs() < 1e-9);
+        assert!((tile.self_us - 50.0).abs() < 1e-9);
+        assert!((tile.max_us - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_are_top_level_spans() {
+        let report = analyze(SAMPLE).expect("analyze");
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.phases.contains_key("solve"));
+        assert!(report.phases.contains_key("task"));
+        assert!(!report.phases.contains_key("tile"));
+        assert_eq!(report.threads, 2);
+        assert!((report.wall_us - 90.0).abs() < 1e-9);
+        assert_eq!(report.instants["newton_iter"], 1);
+        assert_eq!(report.instants["active"], 1);
+    }
+
+    #[test]
+    fn render_breaks_down_by_self_time() {
+        let report = analyze(SAMPLE).expect("analyze");
+        let text = render(&report);
+        assert!(text.contains("phases"), "{text}");
+        assert!(text.contains("solve"));
+        assert!(text.contains("tile"));
+        assert!(text.contains("% self"));
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(analyze("not json").is_err());
+        assert!(analyze("{}").is_err());
+        // Unmatched end.
+        assert!(
+            analyze(r#"{"traceEvents":[{"ph":"E","pid":1,"tid":1,"ts":5,"name":"x"}]}"#).is_err()
+        );
+        // Unclosed begin.
+        assert!(
+            analyze(r#"{"traceEvents":[{"ph":"B","pid":1,"tid":1,"ts":5,"name":"x"}]}"#).is_err()
+        );
+        // Mismatched names.
+        assert!(analyze(
+            r#"{"traceEvents":[
+                {"ph":"B","pid":1,"tid":1,"ts":5,"name":"x"},
+                {"ph":"E","pid":1,"tid":1,"ts":9,"name":"y"}
+            ]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let report = analyze(r#"{"traceEvents":[]}"#).expect("empty ok");
+        assert_eq!(report.threads, 0);
+        assert_eq!(report.wall_us, 0.0);
+        assert!(render(&report).contains("0 thread"));
+    }
+}

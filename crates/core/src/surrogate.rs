@@ -252,6 +252,10 @@ impl Geniex {
 
         for epoch in 0..config.epochs {
             let t_epoch = telemetry::enabled().then(Instant::now);
+            // Nested under "geniex.train"; closes at the end of each
+            // iteration carrying the epoch's attributes.
+            let mut epoch_span = telemetry::span("epoch");
+            epoch_span.attr("epoch", epoch);
             // Cosine annealing from the initial rate to
             // `final_lr_fraction` of it across the run.
             let progress = epoch as f32 / config.epochs.max(1) as f32;
@@ -284,6 +288,8 @@ impl Geniex {
             let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
             epoch_losses.push(train_loss);
             epochs_run = epoch + 1;
+            epoch_span.attr("loss", train_loss as f64);
+            epoch_span.attr("lr", optimizer.learning_rate as f64);
 
             let mut val_this_epoch = None;
             if val_count > 0 {

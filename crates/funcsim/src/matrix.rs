@@ -326,6 +326,20 @@ impl ProgrammedMatrix {
                 layer.add(n as u64);
             }
         }
+        // Raw trace scopes (gated on trace_active before building the
+        // attribute vectors) keep the hot loop allocation-free while
+        // tracing is off — same discipline as the metrics handles.
+        let tracing = telemetry::trace_active();
+        let _mvm_trace = tracing.then(|| {
+            telemetry::trace_scope(
+                "funcsim.mvm",
+                vec![
+                    ("n".to_string(), telemetry::Json::from(n)),
+                    ("k".to_string(), telemetry::Json::from(self.k)),
+                    ("m".to_string(), telemetry::Json::from(self.m)),
+                ],
+            )
+        });
         let arch = &self.arch;
         let size = arch.xbar.rows;
         let stream_count = digit_count(arch.input_format.magnitude_bits(), arch.stream_width);
@@ -388,12 +402,35 @@ impl ProgrammedMatrix {
                         continue;
                     }
 
+                    // One trace span per bit-stream step; the per-tile
+                    // spans below nest under the pool's task spans on
+                    // whichever worker runs them.
+                    let _stream_trace = tracing.then(|| {
+                        telemetry::trace_scope(
+                            "funcsim.stream",
+                            vec![
+                                ("sign".to_string(), telemetry::Json::from(x_sign)),
+                                ("tile_row".to_string(), telemetry::Json::from(tr)),
+                                ("stream".to_string(), telemetry::Json::from(u64::from(t))),
+                            ],
+                        )
+                    });
                     let v_levels_ref = &v_levels;
                     let d_sums_ref = &d_sums;
                     let combo_counts = parallel::par_map_grained(
                         &combos,
                         1,
                         |&(tc, s, sign)| -> Result<Vec<i64>, FuncsimError> {
+                            let _tile_trace = telemetry::trace_active().then(|| {
+                                telemetry::trace_scope(
+                                    "funcsim.tile",
+                                    vec![
+                                        ("tile_col".to_string(), telemetry::Json::from(tc)),
+                                        ("slice".to_string(), telemetry::Json::from(u64::from(s))),
+                                        ("sign".to_string(), telemetry::Json::from(sign)),
+                                    ],
+                                )
+                            });
                             let tile = self.tile(tr, tc, s, sign);
                             shared_metrics().tile_ops.inc();
                             self.metrics.engine_ops.inc();

@@ -86,10 +86,27 @@ struct PoolMetrics {
     steals: Arc<telemetry::Counter>,
     queue_depth: Arc<telemetry::Gauge>,
     task_seconds: Arc<telemetry::Histogram>,
+    /// Number of tasks executing right now (busy workers + helping
+    /// callers) — the pool-utilization gauge.
+    active: Arc<telemetry::Gauge>,
+    /// Per-worker accounting, indexed by the worker's home queue.
+    worker_tasks: Vec<Arc<telemetry::Counter>>,
+    worker_steals: Vec<Arc<telemetry::Counter>>,
+    worker_idle_waits: Vec<Arc<telemetry::Counter>>,
+    /// Trace event names, preformatted so the per-task trace hooks
+    /// never allocate.
+    task_trace_name: String,
+    active_trace_name: String,
+    steal_trace_name: String,
 }
 
 impl PoolMetrics {
-    fn new(name: &str) -> Self {
+    fn new(name: &str, workers: usize) -> Self {
+        let per_worker = |what: &str| {
+            (0..workers)
+                .map(|w| telemetry::counter(&format!("parallel.{name}.worker{w}.{what}")))
+                .collect()
+        };
         PoolMetrics {
             tasks: telemetry::counter(&format!("parallel.{name}.tasks")),
             steals: telemetry::counter(&format!("parallel.{name}.steals")),
@@ -98,6 +115,13 @@ impl PoolMetrics {
                 &format!("parallel.{name}.task_seconds"),
                 &telemetry::exponential_buckets(1e-6, 4.0, 12),
             ),
+            active: telemetry::gauge(&format!("parallel.{name}.active_workers")),
+            worker_tasks: per_worker("tasks"),
+            worker_steals: per_worker("steals"),
+            worker_idle_waits: per_worker("idle_waits"),
+            task_trace_name: format!("parallel.{name}.task"),
+            active_trace_name: format!("parallel.{name}.active_workers"),
+            steal_trace_name: format!("parallel.{name}.steal"),
         }
     }
 }
@@ -131,7 +155,9 @@ impl Shared {
 
     /// Takes one queued job: the caller's own queue first (FIFO), then
     /// steals the coldest job (back of the deque) from the others.
-    fn take(&self, home: usize) -> Option<Job> {
+    /// `worker` identifies a pool worker for per-worker accounting;
+    /// `None` marks a caller helping from [`ThreadPool::wait_scope`].
+    fn take(&self, home: usize, worker: Option<usize>) -> Option<Job> {
         let n = self.queues.len();
         for k in 0..n {
             let idx = (home + k) % n;
@@ -152,7 +178,24 @@ impl Shared {
                     self.metrics.queue_depth.add(-1.0);
                     if k != 0 {
                         self.metrics.steals.inc();
+                        if let Some(w) = worker {
+                            self.metrics.worker_steals[w].inc();
+                        }
                     }
+                }
+                if k != 0 && telemetry::trace_active() {
+                    telemetry::trace_instant(
+                        &self.metrics.steal_trace_name,
+                        vec![
+                            ("from".to_string(), telemetry::Json::from(idx)),
+                            (
+                                "by".to_string(),
+                                worker.map_or(telemetry::Json::Str("caller".into()), |w| {
+                                    telemetry::Json::from(w)
+                                }),
+                            ),
+                        ],
+                    );
                 }
                 return Some(job);
             }
@@ -163,23 +206,42 @@ impl Shared {
     /// Runs one job. Scope-spawned jobs catch their own panics; the
     /// extra guard here keeps a worker alive even if bookkeeping in a
     /// foreign job unwinds.
-    fn run(&self, job: Job) {
-        if telemetry::enabled() {
-            self.metrics.tasks.inc();
-            let start = Instant::now();
+    fn run(&self, job: Job, worker: Option<usize>) {
+        let enabled = telemetry::enabled();
+        let tracing = telemetry::trace_active();
+        if !enabled && !tracing {
             let _ = catch_unwind(AssertUnwindSafe(job));
+            return;
+        }
+        if enabled {
+            self.metrics.tasks.inc();
+            if let Some(w) = worker {
+                self.metrics.worker_tasks[w].inc();
+            }
+            self.metrics.active.add(1.0);
+        }
+        if tracing {
+            telemetry::trace_counter(&self.metrics.active_trace_name, self.metrics.active.get());
+            telemetry::trace_begin(&self.metrics.task_trace_name, Vec::new());
+        }
+        let start = Instant::now();
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        if enabled {
             self.metrics
                 .task_seconds
                 .observe(start.elapsed().as_secs_f64());
-        } else {
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            self.metrics.active.add(-1.0);
+        }
+        if tracing {
+            telemetry::trace_end(&self.metrics.task_trace_name, Vec::new());
+            telemetry::trace_counter(&self.metrics.active_trace_name, self.metrics.active.get());
         }
     }
 
     fn worker_loop(self: Arc<Self>, home: usize) {
         loop {
-            if let Some(job) = self.take(home) {
-                self.run(job);
+            if let Some(job) = self.take(home, Some(home)) {
+                self.run(job, Some(home));
                 continue;
             }
             let mut pending = self.pending_jobs.lock().unwrap();
@@ -189,6 +251,9 @@ impl Shared {
                 }
                 if *pending > 0 {
                     break;
+                }
+                if telemetry::enabled() {
+                    self.metrics.worker_idle_waits[home].inc();
                 }
                 pending = self.work_available.wait(pending).unwrap();
             }
@@ -287,7 +352,11 @@ impl ThreadPool {
     }
 
     /// Like [`ThreadPool::new`] with a telemetry prefix: metrics are
-    /// registered as `parallel.<name>.{tasks,steals,queue_depth,task_seconds}`.
+    /// registered as `parallel.<name>.{tasks,steals,queue_depth,
+    /// task_seconds,active_workers}` plus per-worker
+    /// `parallel.<name>.worker<i>.{tasks,steals,idle_waits}`; while a
+    /// trace records, each task contributes a begin/end pair and an
+    /// `active_workers` counter track.
     pub fn with_name(threads: usize, name: &str) -> Self {
         let threads = threads.max(1);
         let worker_count = if threads == 1 { 0 } else { threads };
@@ -299,7 +368,7 @@ impl ThreadPool {
             work_available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_queue: AtomicUsize::new(0),
-            metrics: PoolMetrics::new(name),
+            metrics: PoolMetrics::new(name, worker_count.max(1)),
         });
         let workers = (0..worker_count)
             .map(|home| {
@@ -357,8 +426,8 @@ impl ThreadPool {
             if *state.pending_tasks.lock().unwrap() == 0 {
                 return;
             }
-            if let Some(job) = self.shared.take(0) {
-                self.shared.run(job);
+            if let Some(job) = self.shared.take(0, None) {
+                self.shared.run(job, None);
                 continue;
             }
             let pending = state.pending_tasks.lock().unwrap();
@@ -799,6 +868,69 @@ mod tests {
             42
         });
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn per_worker_accounting_sums_to_pool_totals() {
+        let _guard = telemetry::test_lock();
+        telemetry::set_enabled(true);
+        let pool = ThreadPool::with_name(4, "acct_test");
+        let items: Vec<u64> = (0..64).collect();
+        let _ = pool.par_map_grained(&items, 1, |&x| x * 2);
+        telemetry::set_enabled(false);
+        let m = &pool.shared.metrics;
+        let total = m.tasks.get();
+        assert!(total >= items.len() as u64 / 2, "tasks counted: {total}");
+        let by_worker: u64 = m.worker_tasks.iter().map(|c| c.get()).sum();
+        // Helper (caller) tasks have no worker index, so per-worker
+        // counts never exceed the pool total.
+        assert!(by_worker <= total, "{by_worker} > {total}");
+        let steals_by_worker: u64 = m.worker_steals.iter().map(|c| c.get()).sum();
+        assert!(steals_by_worker <= m.steals.get());
+        // No task still running: the utilization gauge returned to 0.
+        assert_eq!(m.active.get(), 0.0);
+    }
+
+    #[test]
+    fn trace_records_pool_task_spans() {
+        let _guard = telemetry::test_lock();
+        let path = std::env::temp_dir().join(format!(
+            "geniex-parallel-trace-{}.trace.json",
+            std::process::id()
+        ));
+        telemetry::start_trace(&path).expect("start trace");
+        let pool = ThreadPool::with_name(3, "trace_test");
+        let items: Vec<u64> = (0..32).collect();
+        // A small sleep keeps tasks in flight long enough that the
+        // workers (not just the helping caller) participate.
+        let _ = pool.par_map_grained(&items, 1, |&x| {
+            std::thread::sleep(Duration::from_micros(300));
+            x + 1
+        });
+        let written = telemetry::finish_trace().expect("finish").expect("path");
+        let text = std::fs::read_to_string(&written).expect("read");
+        let trace = telemetry::json::parse(&text).expect("valid JSON");
+        let events = trace
+            .get("traceEvents")
+            .and_then(telemetry::Json::as_arr)
+            .expect("traceEvents");
+        let task_begins = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(telemetry::Json::as_str) == Some("B")
+                    && e.get("name").and_then(telemetry::Json::as_str)
+                        == Some("parallel.trace_test.task")
+            })
+            .count();
+        assert_eq!(task_begins, 32, "every task contributes one span");
+        // The utilization counter track is present alongside the task
+        // spans.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(telemetry::Json::as_str) == Some("C")
+                && e.get("name").and_then(telemetry::Json::as_str)
+                    == Some("parallel.trace_test.active_workers")
+        }));
+        std::fs::remove_file(&written).ok();
     }
 
     proptest! {

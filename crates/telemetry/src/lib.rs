@@ -46,15 +46,20 @@ pub mod manifest;
 pub mod metrics;
 pub mod sink;
 mod span;
+pub mod trace;
 
 pub use json::Json;
-pub use manifest::{git_rev, start_run, RunManifest};
+pub use manifest::{git_rev, peak_rss_kb, start_run, RunManifest};
 pub use metrics::{
     exponential_buckets, linear_buckets, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricSnapshot, Timer,
 };
 pub use sink::{current_thread_id, Event, JsonlSink, MemorySink, Sink};
 pub use span::Span;
+pub use trace::{
+    finish_trace, start_trace, trace_active, trace_begin, trace_counter, trace_end, trace_instant,
+    trace_scope, TraceScope,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -279,34 +284,43 @@ pub fn report() -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<52} {:>9} {:>12} {:>12} {:>12} {:>14}\n",
-        "metric", "type", "count", "mean", "max", "total"
+        "{:<52} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>14}\n",
+        "metric", "type", "count", "mean", "p50", "p95", "p99", "max", "total"
     ));
-    out.push_str(&format!("{}\n", "-".repeat(116)));
+    out.push_str(&format!("{}\n", "-".repeat(150)));
     for snap in &snaps {
         let line = match snap {
             MetricSnapshot::Counter { name, value } => format!(
-                "{name:<52} {:>9} {:>12} {:>12} {:>12} {:>14}",
+                "{name:<52} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>14}",
                 "counter",
+                "-",
+                "-",
+                "-",
                 "-",
                 "-",
                 "-",
                 fmt_num(*value as f64)
             ),
             MetricSnapshot::Gauge { name, value } => format!(
-                "{name:<52} {:>9} {:>12} {:>12} {:>12} {:>14}",
+                "{name:<52} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>14}",
                 "gauge",
+                "-",
+                "-",
+                "-",
                 "-",
                 "-",
                 "-",
                 fmt_num(*value)
             ),
             MetricSnapshot::Histogram(h) => format!(
-                "{:<52} {:>9} {:>12} {:>12} {:>12} {:>14}",
+                "{:<52} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>14}",
                 h.name,
                 "histogram",
                 h.count,
                 fmt_num(h.mean()),
+                fmt_num(h.p50()),
+                fmt_num(h.p95()),
+                fmt_num(h.p99()),
                 fmt_num(h.max),
                 fmt_num(h.sum)
             ),
@@ -322,9 +336,12 @@ pub fn report() -> String {
                     *total_ns as f64 / *count as f64
                 };
                 format!(
-                    "{name:<52} {:>9} {count:>12} {:>12} {:>12} {:>14}",
+                    "{name:<52} {:>9} {count:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>14}",
                     "timer",
                     fmt_time_ns(mean_ns),
+                    "-",
+                    "-",
+                    "-",
                     fmt_time_ns(*max_ns as f64),
                     fmt_time_ns(*total_ns as f64)
                 )
@@ -459,6 +476,105 @@ mod tests {
             assert!(text.contains(name), "report missing {name}:\n{text}");
         }
         assert!(text.contains("1.50 ms"), "timer not humanized:\n{text}");
+    }
+
+    #[test]
+    fn timer_total_saturates_instead_of_wrapping() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let t = timer("lib.saturating_timer");
+        t.reset();
+        t.record_ns(u64::MAX - 10);
+        t.record_ns(1_000);
+        let (count, total_ns, max_ns) = t.get();
+        assert_eq!(count, 2);
+        assert_eq!(total_ns, u64::MAX, "total must pin at MAX, not wrap");
+        assert_eq!(max_ns, u64::MAX - 10);
+        t.reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn report_includes_percentile_columns() {
+        let _guard = test_lock();
+        set_enabled(true);
+        let h = histogram("lib.report_pcts", &[1.0, 2.0, 4.0, 8.0]);
+        h.reset();
+        for _ in 0..95 {
+            h.observe(0.5);
+        }
+        for _ in 0..5 {
+            h.observe(7.0);
+        }
+        set_enabled(false);
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 1.0);
+        assert_eq!(snap.p95(), 1.0);
+        assert_eq!(snap.p99(), 8.0);
+        let text = report();
+        assert!(text.contains("p50"), "missing p50 header:\n{text}");
+        assert!(text.contains("p95") && text.contains("p99"));
+        let json = MetricSnapshot::Histogram(snap).to_json();
+        assert_eq!(json.get("p99").and_then(Json::as_f64), Some(8.0));
+    }
+
+    #[test]
+    fn concurrent_emit_and_sink_registration() {
+        let _guard = test_lock();
+        set_enabled(true);
+        // One sink stays registered for the whole test; other sinks
+        // are added and removed concurrently with emitters. The stable
+        // sink must observe every event, untorn.
+        let stable = Arc::new(MemorySink::new());
+        let stable_id = add_sink(stable.clone());
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        std::thread::scope(|scope| {
+            for worker in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        emit(
+                            "race",
+                            "lib.sink_race",
+                            vec![
+                                ("worker".to_string(), Json::from(worker)),
+                                ("i".to_string(), Json::from(i)),
+                            ],
+                        );
+                    }
+                });
+            }
+            // Churn the sink list while emitters run.
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    let extra = Arc::new(MemorySink::new());
+                    let id = add_sink(extra);
+                    std::thread::yield_now();
+                    assert!(remove_sink(id));
+                }
+            });
+        });
+        remove_sink(stable_id);
+        set_enabled(false);
+        let events = stable.events();
+        let race_events: Vec<_> = events.iter().filter(|e| e.kind == "race").collect();
+        assert_eq!(
+            race_events.len(),
+            THREADS * PER_THREAD,
+            "lost events under sink churn"
+        );
+        // Untorn: every event carries both fields, and each (worker, i)
+        // pair appears exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        for event in &race_events {
+            let worker = event
+                .field("worker")
+                .and_then(Json::as_u64)
+                .expect("worker");
+            let i = event.field("i").and_then(Json::as_u64).expect("i");
+            assert!(seen.insert((worker, i)), "duplicate event ({worker}, {i})");
+        }
+        assert_eq!(seen.len(), THREADS * PER_THREAD);
     }
 
     #[test]

@@ -70,6 +70,20 @@ pub fn configured_threads() -> usize {
         })
 }
 
+/// Peak resident set size of the current process in kiB, read from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs —
+/// callers should then fall back to `/usr/bin/time -v` at the script
+/// level (see `run_figs.sh`).
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
 /// Live manifest for one run. Obtain via [`start_run`]; close with
 /// [`RunManifest::finish`]. Dropping without `finish` still writes the
 /// metric snapshot and `run_end` record (best effort).
@@ -79,16 +93,35 @@ pub struct RunManifest {
     sink_id: u64,
     start: Instant,
     finished: bool,
+    /// Whether this manifest owns an active trace (`GENIEX_TRACE=1`);
+    /// closing the manifest then also writes the trace file.
+    owns_trace: bool,
+}
+
+/// Whether `GENIEX_TRACE` requests a Chrome Trace file per run.
+fn trace_requested() -> bool {
+    std::env::var("GENIEX_TRACE")
+        .map(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+        })
+        .unwrap_or(false)
 }
 
 /// Opens `<log_dir>/<name>.jsonl` (truncating any previous run),
 /// enables telemetry, resets all metrics so the manifest's final
 /// snapshot covers exactly this run, registers the file as an event
-/// sink, and writes the `run_start` record.
+/// sink, and writes the `run_start` record. With `GENIEX_TRACE=1` it
+/// also starts a Chrome Trace recording that closing the manifest
+/// writes to `<log_dir>/<name>.trace.json`.
 pub fn start_run(log_dir: &Path, name: &str, config: &[(&str, Json)]) -> io::Result<RunManifest> {
     let sink = Arc::new(JsonlSink::create(log_dir.join(format!("{name}.jsonl")))?);
     crate::set_enabled(true);
     crate::reset_metrics();
+    // Best effort: a second concurrent run keeps its manifest but
+    // cannot own the process-wide trace.
+    let owns_trace = trace_requested()
+        && crate::trace::start_trace(log_dir.join(format!("{name}.trace.json"))).is_ok();
     let unix_time_s = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs_f64())
@@ -118,6 +151,7 @@ pub fn start_run(log_dir: &Path, name: &str, config: &[(&str, Json)]) -> io::Res
         sink_id,
         start: Instant::now(),
         finished: false,
+        owns_trace,
     })
 }
 
@@ -141,6 +175,11 @@ impl RunManifest {
         }
         self.finished = true;
         crate::remove_sink(self.sink_id);
+        let trace_path = if self.owns_trace {
+            crate::trace::finish_trace()?
+        } else {
+            None
+        };
         for snapshot in crate::snapshot() {
             self.sink.write_raw_line(&snapshot.to_json().to_string())?;
         }
@@ -148,6 +187,14 @@ impl RunManifest {
             ("type".into(), "run_end".into()),
             ("name".into(), self.name.as_str().into()),
             ("wall_s".into(), self.start.elapsed().as_secs_f64().into()),
+            (
+                "peak_rss_kb".into(),
+                peak_rss_kb().map_or(Json::Null, Json::from),
+            ),
+            (
+                "trace".into(),
+                trace_path.map_or(Json::Null, |p| Json::Str(p.display().to_string())),
+            ),
             (
                 "final".into(),
                 Json::Obj(
@@ -240,6 +287,52 @@ mod tests {
             Some(0.05)
         );
         assert!(last.get("wall_s").and_then(Json::as_f64).unwrap() >= 0.0);
+        // Linux CI and dev machines have procfs; the footer then
+        // carries a positive peak RSS.
+        if peak_rss_kb().is_some() {
+            assert!(last.get("peak_rss_kb").and_then(Json::as_u64).unwrap() > 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn geniex_trace_env_writes_trace_file() {
+        let _guard = crate::test_lock();
+        let dir = std::env::temp_dir().join(format!(
+            "geniex-manifest-trace-test-{}-{}",
+            std::process::id(),
+            current_thread_id()
+        ));
+        std::env::set_var("GENIEX_TRACE", "1");
+        let manifest = start_run(&dir, "traced", &[]).expect("start");
+        std::env::remove_var("GENIEX_TRACE");
+        assert!(crate::trace_active());
+        {
+            let _span = crate::span("traced.phase");
+            crate::trace_instant("traced.tick", vec![]);
+        }
+        let path = manifest.finish(&[]).expect("finish");
+        crate::set_enabled(false);
+        assert!(!crate::trace_active());
+
+        let trace_path = dir.join("traced.trace.json");
+        let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+        let trace = parse(&trace_text).expect("trace is valid JSON");
+        let events = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("traced.phase")));
+
+        // The run_end footer links to the trace file.
+        let text = std::fs::read_to_string(&path).expect("read manifest");
+        let last = parse(text.lines().last().unwrap()).expect("footer");
+        assert_eq!(
+            last.get("trace").and_then(Json::as_str),
+            Some(trace_path.display().to_string().as_str())
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

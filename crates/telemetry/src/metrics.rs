@@ -280,6 +280,22 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Median estimate (upper edge of the bucket holding the 50th
+    /// percentile observation); NaN when empty.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate from the bucket edges; NaN when empty.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate from the bucket edges; NaN when empty.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Accumulated durations (for spans and explicit op timing).
@@ -317,7 +333,14 @@ impl Timer {
             return;
         }
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        // Saturating accumulate: a very long run (or a clock glitch
+        // feeding a huge duration) must pin the total at u64::MAX, not
+        // wrap back to a small number.
+        let _ = self
+            .total_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |total| {
+                Some(total.saturating_add(ns))
+            });
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
@@ -403,6 +426,9 @@ impl MetricSnapshot {
                 ("min".into(), h.min.into()),
                 ("max".into(), h.max.into()),
                 ("mean".into(), h.mean().into()),
+                ("p50".into(), h.p50().into()),
+                ("p95".into(), h.p95().into()),
+                ("p99".into(), h.p99().into()),
                 (
                     "bounds".into(),
                     Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),

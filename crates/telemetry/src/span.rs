@@ -1,57 +1,119 @@
-//! RAII scoped timers ("spans") with nesting.
+//! RAII scoped timers ("spans") with nesting, identity, and
+//! attributes.
 //!
 //! A span measures the wall time between its creation and drop. Spans
 //! nest per thread: a span opened while another is active records
 //! under the joined path (`outer/inner`), so the summary table shows
-//! where time went hierarchically. Each closing span feeds a timer
-//! metric named `span.<path>` and emits a `span` event.
+//! where time went hierarchically. Each span carries a process-unique
+//! id and its parent's id (0 for roots), and can accumulate structured
+//! attributes via [`Span::attr`]. Each closing span feeds a timer
+//! metric named `span.<path>`, emits a `span` event carrying
+//! `seconds`/`id`/`parent` plus the attributes, and — when a trace is
+//! recording (see [`crate::trace`]) — contributes a begin/end pair to
+//! the Chrome Trace timeline.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::trace;
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// (leaf name, span id) per open span on this thread.
+    static SPAN_STACK: RefCell<Vec<(String, u64)>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Process-wide span id source; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Live span handle; records on drop. Create via [`crate::span`].
 #[derive(Debug)]
 pub struct Span {
     /// Full nesting path including this span's own name. `None` when
-    /// telemetry was disabled at creation (drop is then a no-op).
+    /// both telemetry and tracing were off at creation (drop is then a
+    /// no-op).
     path: Option<String>,
+    /// Leaf name (trace events use this; Perfetto shows nesting
+    /// natively, so the joined path would be redundant there).
+    name: String,
+    /// Process-unique id.
+    id: u64,
+    /// Id of the enclosing span on this thread, 0 for a root span.
+    parent: u64,
     start: Instant,
+    attrs: Vec<(String, Json)>,
 }
 
 pub(crate) fn begin(name: &str) -> Span {
-    if !crate::enabled() {
+    if !crate::enabled() && !trace::trace_active() {
         return Span {
             path: None,
+            name: String::new(),
+            id: 0,
+            parent: 0,
             start: Instant::now(),
+            attrs: Vec::new(),
         };
     }
-    let path = SPAN_STACK.with(|stack| {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (path, parent) = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
+        let parent = stack.last().map_or(0, |(_, id)| *id);
         let path = if stack.is_empty() {
             name.to_string()
         } else {
-            format!("{}/{}", stack.join("/"), name)
+            let mut path = String::new();
+            for (part, _) in stack.iter() {
+                path.push_str(part);
+                path.push('/');
+            }
+            path.push_str(name);
+            path
         };
-        stack.push(name.to_string());
-        path
+        stack.push((name.to_string(), id));
+        (path, parent)
     });
+    trace::trace_begin(
+        name,
+        vec![
+            ("id".to_string(), Json::from(id)),
+            ("parent".to_string(), Json::from(parent)),
+        ],
+    );
     Span {
         path: Some(path),
+        name: name.to_string(),
+        id,
+        parent,
         start: Instant::now(),
+        attrs: Vec::new(),
     }
 }
 
 impl Span {
-    /// Full nesting path, or `None` if telemetry was disabled at
-    /// creation.
+    /// Full nesting path, or `None` if telemetry and tracing were both
+    /// disabled at creation.
     pub fn path(&self) -> Option<&str> {
         self.path.as_deref()
+    }
+
+    /// Process-unique id (0 if the span is inert).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Id of the enclosing span, 0 for roots (and inert spans).
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
+    /// Attaches a structured attribute, reported on the closing `span`
+    /// event and the trace end event. No-op on inert spans.
+    pub fn attr(&mut self, key: &str, value: impl Into<Json>) {
+        if self.path.is_some() {
+            self.attrs.push((key.to_string(), value.into()));
+        }
     }
 }
 
@@ -60,7 +122,9 @@ impl Drop for Span {
         let Some(path) = self.path.take() else {
             return;
         };
-        let elapsed = self.start.elapsed();
+        // Monotonic clocks can still observe now < start across some
+        // platforms' cores; saturate rather than panic or wrap.
+        let elapsed = Instant::now().saturating_duration_since(self.start);
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
@@ -68,11 +132,14 @@ impl Drop for Span {
         // must stay balanced, and a final data point is harmless. The
         // timer itself gates on the enabled flag.
         crate::timer(&format!("span.{path}")).record(elapsed);
-        crate::emit(
-            "span",
-            &path,
-            vec![("seconds".to_string(), Json::Num(elapsed.as_secs_f64()))],
-        );
+        let mut fields = vec![
+            ("seconds".to_string(), Json::Num(elapsed.as_secs_f64())),
+            ("id".to_string(), Json::from(self.id)),
+            ("parent".to_string(), Json::from(self.parent)),
+        ];
+        fields.extend(self.attrs.iter().cloned());
+        crate::emit("span", &path, fields);
+        trace::trace_end(&self.name, std::mem::take(&mut self.attrs));
     }
 }
 
@@ -86,28 +153,86 @@ mod tests {
         // `crate::test_lock`.
         let _guard = crate::test_lock();
         crate::set_enabled(false);
-        let span = begin("should-not-record");
+        let mut span = begin("should-not-record");
         assert!(span.path().is_none());
+        assert_eq!(span.id(), 0);
+        span.attr("ignored", 1u64);
     }
 
     #[test]
-    fn nested_paths_join() {
+    fn nested_paths_join_and_parents_link() {
         let _guard = crate::test_lock();
         crate::set_enabled(true);
         {
             let outer = begin("outer");
             assert_eq!(outer.path(), Some("outer"));
+            assert_eq!(outer.parent(), 0);
             {
                 let inner = begin("inner");
                 assert_eq!(inner.path(), Some("outer/inner"));
+                assert_eq!(inner.parent(), outer.id());
             }
             let sibling = begin("sibling");
             assert_eq!(sibling.path(), Some("outer/sibling"));
+            assert_eq!(sibling.parent(), outer.id());
+            assert_ne!(sibling.id(), outer.id());
         }
         // Stack fully unwound: a fresh span is top-level again.
         let fresh = begin("fresh");
         assert_eq!(fresh.path(), Some("fresh"));
         drop(fresh);
         crate::set_enabled(false);
+    }
+
+    #[test]
+    fn zero_length_and_same_name_nesting() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let mem = std::sync::Arc::new(crate::MemorySink::new());
+        let sink_id = crate::add_sink(mem.clone());
+        {
+            let outer = begin("a");
+            let inner = begin("a");
+            assert_eq!(inner.path(), Some("a/a"));
+            assert_eq!(inner.parent(), outer.id());
+            // Zero-length: drop immediately; duration must record as
+            // a non-negative value, never wrap or panic.
+            drop(inner);
+            drop(outer);
+        }
+        crate::remove_sink(sink_id);
+        crate::set_enabled(false);
+        let events = mem.events_for_current_thread();
+        let paths: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(paths, vec!["a/a", "a"]);
+        for event in &events {
+            let seconds = event.field("seconds").and_then(Json::as_f64).unwrap();
+            assert!(seconds >= 0.0, "negative span duration {seconds}");
+            assert!(event.field("id").and_then(Json::as_u64).unwrap() > 0);
+        }
+        let (inner_count, ..) = crate::timer("span.a/a").get();
+        assert!(inner_count >= 1, "same-name nested timer must exist");
+    }
+
+    #[test]
+    fn attrs_flow_to_span_event() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let mem = std::sync::Arc::new(crate::MemorySink::new());
+        let sink_id = crate::add_sink(mem.clone());
+        {
+            let mut span = begin("attributed");
+            span.attr("epoch", 3u64);
+            span.attr("loss", 0.25);
+        }
+        crate::remove_sink(sink_id);
+        crate::set_enabled(false);
+        let events = mem.events_for_current_thread();
+        let event = events
+            .iter()
+            .find(|e| e.name == "attributed")
+            .expect("span event");
+        assert_eq!(event.field("epoch").and_then(Json::as_u64), Some(3));
+        assert_eq!(event.field("loss").and_then(Json::as_f64), Some(0.25));
     }
 }

@@ -1,0 +1,552 @@
+//! Hierarchical tracing: timeline events exported as Chrome Trace
+//! Event JSON (loadable in Perfetto or `chrome://tracing`).
+//!
+//! Metrics answer "how much"; the trace answers "when and under what".
+//! While a trace is active, every [`crate::span`] (and the explicit
+//! [`trace_scope`]/[`trace_instant`]/[`trace_counter`] calls in the
+//! solver, functional simulator, and thread pool) records a timestamped
+//! event into an in-memory buffer; [`finish_trace`] writes the buffer
+//! as one `{"traceEvents": [...]}` JSON file.
+//!
+//! # Cost discipline
+//!
+//! Tracing is default-off and independent of the metrics enabled flag:
+//! with no trace active every hook is a single relaxed atomic load.
+//! Hot callers that would have to *build* attribute vectors gate on
+//! [`trace_active`] first so the allocations only happen inside a
+//! trace. The buffer is bounded ([`GENIEX_TRACE_CAP`][start_trace]);
+//! past the cap events are dropped and counted rather than growing
+//! without limit.
+//!
+//! # Well-formedness guarantee
+//!
+//! The writer validates the stream per thread: an `E` (end) with no
+//! open `B` (begin) is discarded, and any `B` still open when the
+//! trace finishes (a worker mid-task, a dropped guard) gets a
+//! synthesized closing `E` — so every emitted `B` has a matching `E`
+//! and the file is always valid JSON, even for truncated runs.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// Phase of one trace event, mirroring the Chrome Trace Event `ph`
+/// field subset this exporter uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// `B`: a duration span opens on this thread.
+    Begin,
+    /// `E`: the innermost open span on this thread closes.
+    End,
+    /// `i`: a point-in-time marker (thread scoped).
+    Instant,
+    /// `C`: a counter sample (rendered as a track of values).
+    Counter,
+}
+
+impl TracePhase {
+    fn ph(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One buffered trace event.
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    phase: TracePhase,
+    name: String,
+    /// Nanoseconds since process start.
+    ts_ns: u64,
+    /// Small sequential per-thread track id (not the hashed sink id —
+    /// Perfetto renders these as track labels).
+    tid: u64,
+    args: Vec<(String, Json)>,
+}
+
+/// Whether a trace is currently recording (one relaxed atomic load —
+/// the hot-path guard, like [`crate::enabled`] for metrics).
+#[inline]
+pub fn trace_active() -> bool {
+    TRACE_ACTIVE.load(Ordering::Relaxed)
+}
+
+static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct TraceState {
+    path: PathBuf,
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+fn trace_state() -> &'static Mutex<Option<TraceState>> {
+    static STATE: OnceLock<Mutex<Option<TraceState>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(None))
+}
+
+/// Thread-name registry for the trace's metadata events. Registered
+/// once per thread on its first traced event; survives across traces
+/// (track ids are process-stable).
+fn thread_names() -> &'static Mutex<Vec<(u64, String)>> {
+    static NAMES: OnceLock<Mutex<Vec<(u64, String)>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TRACE_TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Small sequential id of the calling thread's trace track, assigning
+/// (and registering the thread's name) on first use.
+pub fn trace_tid() -> u64 {
+    TRACE_TID.with(|cell| {
+        let mut tid = cell.get();
+        if tid == 0 {
+            tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            cell.set(tid);
+            let name = std::thread::current()
+                .name()
+                .map_or_else(|| format!("thread-{tid}"), str::to_string);
+            thread_names()
+                .lock()
+                .expect("thread-name registry poisoned")
+                .push((tid, name));
+        }
+        tid
+    })
+}
+
+/// Default event-buffer capacity; override with `GENIEX_TRACE_CAP`.
+const DEFAULT_CAP: usize = 2_000_000;
+
+/// Starts recording a trace that [`finish_trace`] will write to
+/// `path`. The buffer holds at most `GENIEX_TRACE_CAP` events (default
+/// two million); further events are dropped and counted.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::AlreadyExists`] if a trace is already
+/// active (one trace per process at a time).
+pub fn start_trace(path: impl Into<PathBuf>) -> io::Result<()> {
+    let cap = std::env::var("GENIEX_TRACE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CAP);
+    let mut state = trace_state().lock().expect("trace state poisoned");
+    if state.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "a trace is already active",
+        ));
+    }
+    *state = Some(TraceState {
+        path: path.into(),
+        events: Vec::new(),
+        cap,
+        dropped: 0,
+    });
+    TRACE_ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+fn push(event: TraceEvent) {
+    let mut state = trace_state().lock().expect("trace state poisoned");
+    let Some(state) = state.as_mut() else {
+        return;
+    };
+    if state.events.len() >= state.cap {
+        state.dropped += 1;
+        return;
+    }
+    state.events.push(event);
+}
+
+fn now_ns() -> u64 {
+    crate::process_start()
+        .elapsed()
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// Records a span-begin event on the calling thread's track. Prefer
+/// [`trace_scope`] (RAII) or [`crate::span`]; this low-level form
+/// exists for callers that manage the end themselves.
+pub fn trace_begin(name: &str, args: Vec<(String, Json)>) {
+    if !trace_active() {
+        return;
+    }
+    push(TraceEvent {
+        phase: TracePhase::Begin,
+        name: name.to_string(),
+        ts_ns: now_ns(),
+        tid: trace_tid(),
+        args,
+    });
+}
+
+/// Records the matching span-end event for the innermost open begin on
+/// this thread.
+pub fn trace_end(name: &str, args: Vec<(String, Json)>) {
+    if !trace_active() {
+        return;
+    }
+    push(TraceEvent {
+        phase: TracePhase::End,
+        name: name.to_string(),
+        ts_ns: now_ns(),
+        tid: trace_tid(),
+        args,
+    });
+}
+
+/// Records a point-in-time marker (e.g. one Newton iteration's
+/// residual, a work steal).
+pub fn trace_instant(name: &str, args: Vec<(String, Json)>) {
+    if !trace_active() {
+        return;
+    }
+    push(TraceEvent {
+        phase: TracePhase::Instant,
+        name: name.to_string(),
+        ts_ns: now_ns(),
+        tid: trace_tid(),
+        args,
+    });
+}
+
+/// Records a counter sample; Perfetto renders the series as a value
+/// track (used for the pool-utilization gauge).
+pub fn trace_counter(name: &str, value: f64) {
+    if !trace_active() {
+        return;
+    }
+    push(TraceEvent {
+        phase: TracePhase::Counter,
+        name: name.to_string(),
+        ts_ns: now_ns(),
+        tid: trace_tid(),
+        args: vec![("value".to_string(), Json::Num(value))],
+    });
+}
+
+/// RAII duration span on the trace timeline only (no timer metric, no
+/// span-stack path join — see [`crate::span`] for the full-fat
+/// version). Inert when no trace is active. Callers that build
+/// non-trivial attribute vectors should gate on [`trace_active`] so
+/// the allocation is skipped outside a trace.
+#[derive(Debug)]
+#[must_use = "the span closes when this guard drops"]
+pub struct TraceScope {
+    name: Option<String>,
+}
+
+/// Opens a [`TraceScope`]; the matching end event is recorded when the
+/// returned guard drops.
+pub fn trace_scope(name: &str, args: Vec<(String, Json)>) -> TraceScope {
+    if !trace_active() {
+        return TraceScope { name: None };
+    }
+    trace_begin(name, args);
+    TraceScope {
+        name: Some(name.to_string()),
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            trace_end(&name, Vec::new());
+        }
+    }
+}
+
+fn write_event(out: &mut impl Write, e: &TraceEvent, first: &mut bool) -> io::Result<()> {
+    let mut pairs = vec![
+        ("ph".to_string(), Json::Str(e.phase.ph().to_string())),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(e.tid as f64)),
+        ("ts".to_string(), Json::Num(e.ts_ns as f64 / 1e3)),
+        ("name".to_string(), Json::Str(e.name.clone())),
+    ];
+    if e.phase == TracePhase::Instant {
+        pairs.push(("s".to_string(), Json::Str("t".to_string())));
+    }
+    if !e.args.is_empty() {
+        pairs.push(("args".to_string(), Json::Obj(e.args.clone())));
+    }
+    let sep = if *first { "\n " } else { ",\n " };
+    *first = false;
+    write!(out, "{sep}{}", Json::Obj(pairs))
+}
+
+/// Stops recording, validates the event stream (see the module docs),
+/// writes the Chrome Trace Event JSON file, and returns its path —
+/// `Ok(None)` when no trace was active.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn finish_trace() -> io::Result<Option<PathBuf>> {
+    let state = {
+        let mut state = trace_state().lock().expect("trace state poisoned");
+        TRACE_ACTIVE.store(false, Ordering::Relaxed);
+        state.take()
+    };
+    let Some(state) = state else {
+        return Ok(None);
+    };
+    if let Some(parent) = state.path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = BufWriter::new(File::create(&state.path)?);
+    write!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+
+    // Thread-name metadata events (only for tracks that appear).
+    let mut tids: Vec<u64> = state.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for (tid, name) in thread_names()
+        .lock()
+        .expect("thread-name registry poisoned")
+        .iter()
+    {
+        if tids.binary_search(tid).is_err() {
+            continue;
+        }
+        let meta = Json::Obj(vec![
+            ("ph".to_string(), Json::Str("M".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(*tid as f64)),
+            ("name".to_string(), Json::Str("thread_name".to_string())),
+            (
+                "args".to_string(),
+                Json::Obj(vec![("name".to_string(), Json::Str(name.clone()))]),
+            ),
+        ]);
+        let sep = if first { "\n " } else { ",\n " };
+        first = false;
+        write!(out, "{sep}{meta}")?;
+    }
+
+    // Per-thread begin/end balancing: drop orphan ends, remember open
+    // begins so they can be closed synthetically at the final
+    // timestamp.
+    let mut open: Vec<(u64, Vec<&TraceEvent>)> = Vec::new();
+    let stack_of = |open: &mut Vec<(u64, Vec<&TraceEvent>)>, tid: u64| -> usize {
+        match open.iter().position(|(t, _)| *t == tid) {
+            Some(i) => i,
+            None => {
+                open.push((tid, Vec::new()));
+                open.len() - 1
+            }
+        }
+    };
+    let mut last_ts = 0u64;
+    for e in &state.events {
+        last_ts = last_ts.max(e.ts_ns);
+        match e.phase {
+            TracePhase::Begin => {
+                let i = stack_of(&mut open, e.tid);
+                open[i].1.push(e);
+            }
+            TracePhase::End => {
+                let i = stack_of(&mut open, e.tid);
+                // Only an end naming the innermost open begin closes
+                // it; anything else (orphan end, end whose begin was
+                // dropped at the cap) is discarded.
+                match open[i].1.last() {
+                    Some(begin) if begin.name == e.name => {
+                        open[i].1.pop();
+                    }
+                    _ => continue,
+                }
+            }
+            TracePhase::Instant | TracePhase::Counter => {}
+        }
+        write_event(&mut out, e, &mut first)?;
+    }
+    for (tid, stack) in &open {
+        for begin in stack.iter().rev() {
+            let close = TraceEvent {
+                phase: TracePhase::End,
+                name: begin.name.clone(),
+                ts_ns: last_ts,
+                tid: *tid,
+                args: vec![("synthesized".to_string(), Json::Bool(true))],
+            };
+            write_event(&mut out, &close, &mut first)?;
+        }
+    }
+    writeln!(out, "\n]}}")?;
+    out.flush()?;
+    if state.dropped > 0 {
+        eprintln!(
+            "telemetry: trace buffer cap reached, dropped {} events ({})",
+            state.dropped,
+            state.path.display()
+        );
+    }
+    Ok(Some(state.path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn temp_trace_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "geniex-trace-test-{}-{}-{tag}.trace.json",
+            std::process::id(),
+            crate::current_thread_id()
+        ))
+    }
+
+    /// Walks a parsed trace and asserts per-tid B/E balance. Returns
+    /// event count by phase.
+    fn check_balanced(trace: &Json) -> (usize, usize) {
+        let events = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+        let (mut begins, mut ends) = (0, 0);
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+            let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+            let name = e.get("name").and_then(Json::as_str).expect("name");
+            let idx = match stacks.iter().position(|(t, _)| *t == tid) {
+                Some(i) => i,
+                None => {
+                    stacks.push((tid, Vec::new()));
+                    stacks.len() - 1
+                }
+            };
+            match ph {
+                "B" => {
+                    begins += 1;
+                    stacks[idx].1.push(name.to_string());
+                }
+                "E" => {
+                    ends += 1;
+                    let open = stacks[idx].1.pop().expect("E without open B");
+                    assert_eq!(open, name, "E closes the innermost B");
+                }
+                _ => {}
+            }
+        }
+        for (tid, stack) in &stacks {
+            assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+        }
+        (begins, ends)
+    }
+
+    #[test]
+    fn trace_file_is_valid_and_balanced() {
+        let _guard = crate::test_lock();
+        let path = temp_trace_path("balanced");
+        start_trace(&path).expect("start");
+        {
+            let _outer = trace_scope("outer", vec![("k".into(), Json::Num(1.0))]);
+            let _inner = trace_scope("inner", Vec::new());
+            trace_instant("tick", vec![("i".into(), Json::Num(0.0))]);
+            trace_counter("active", 2.0);
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = trace_scope("worker-span", Vec::new());
+                trace_instant("worker-tick", Vec::new());
+            });
+        });
+        let written = finish_trace().expect("finish").expect("path");
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let trace = parse(&text).expect("valid JSON");
+        let (begins, ends) = check_balanced(&trace);
+        assert_eq!(begins, 3);
+        assert_eq!(ends, 3);
+        // Two threads traced; both have name metadata.
+        let metas = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert!(metas >= 2, "expected thread_name metadata, got {metas}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unmatched_begin_gets_synthesized_end() {
+        let _guard = crate::test_lock();
+        let path = temp_trace_path("synth");
+        start_trace(&path).expect("start");
+        trace_begin("left-open", Vec::new());
+        trace_end("left-open", Vec::new());
+        trace_begin("never-closed", Vec::new());
+        // Orphan end on a fresh name must be discarded, not break
+        // the stream.
+        trace_end("orphan", Vec::new());
+        finish_trace().expect("finish");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let trace = parse(&text).expect("valid JSON");
+        let (begins, ends) = check_balanced(&trace);
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2);
+        assert!(text.contains("synthesized"));
+        assert!(!text.contains("orphan"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inactive_trace_is_inert() {
+        let _guard = crate::test_lock();
+        assert!(!trace_active());
+        trace_begin("noop", Vec::new());
+        trace_instant("noop", Vec::new());
+        trace_counter("noop", 1.0);
+        let _scope = trace_scope("noop", Vec::new());
+        assert!(finish_trace().expect("finish").is_none());
+    }
+
+    #[test]
+    fn second_start_is_rejected_and_cap_drops() {
+        let _guard = crate::test_lock();
+        let path = temp_trace_path("cap");
+        std::env::set_var("GENIEX_TRACE_CAP", "4");
+        start_trace(&path).expect("start");
+        std::env::remove_var("GENIEX_TRACE_CAP");
+        assert!(start_trace(temp_trace_path("other")).is_err());
+        for i in 0..8 {
+            trace_instant("tick", vec![("i".into(), Json::Num(i as f64))]);
+        }
+        finish_trace().expect("finish");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let trace = parse(&text).expect("valid JSON");
+        let ticks = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("tick"))
+            .count();
+        assert_eq!(ticks, 4, "cap must bound the buffer");
+        std::fs::remove_file(&path).ok();
+    }
+}

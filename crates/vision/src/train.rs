@@ -87,6 +87,10 @@ pub fn train_model(
     let epoch_timer = telemetry::timer("vision.train.epoch_seconds");
     for epoch in 0..options.epochs {
         let t_epoch = telemetry::enabled().then(std::time::Instant::now);
+        // Nested under "vision.train"; closes at the end of each
+        // iteration carrying the epoch's attributes.
+        let mut epoch_span = telemetry::span("epoch");
+        epoch_span.attr("epoch", epoch);
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
@@ -102,6 +106,7 @@ pub fn train_model(
         }
         let mean_loss = (loss_sum / batches.max(1) as f64) as f32;
         epoch_losses.push(mean_loss);
+        epoch_span.attr("loss", mean_loss as f64);
         if let Some(t0) = t_epoch {
             epoch_timer.record(t0.elapsed());
             telemetry::emit(

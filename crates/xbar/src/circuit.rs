@@ -34,8 +34,14 @@ use crate::device::{
 use crate::params::CrossbarParams;
 use crate::XbarError;
 use linalg::{conjugate_gradient, CgOptions, CsrMatrix, TripletMatrix};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Process-wide tile id source: every programmed [`CrossbarCircuit`]
+/// gets a distinct id so trace events from concurrent tile solves can
+/// be told apart (clones keep the id — they model the same tile).
+static NEXT_TILE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Telemetry handles resolved once so the per-solve cost is a handful
 /// of relaxed atomic ops (and just the enabled-flag load when off).
@@ -192,6 +198,8 @@ pub struct CrossbarCircuit {
     params: CrossbarParams,
     cells: Vec<Cell>,
     options: NewtonOptions,
+    /// Process-unique tile id keying this circuit's trace events.
+    tile_id: u64,
 }
 
 impl CrossbarCircuit {
@@ -266,12 +274,19 @@ impl CrossbarCircuit {
             params: params.clone(),
             cells,
             options,
+            tile_id: NEXT_TILE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 
     /// The design parameters this circuit was built with.
     pub fn params(&self) -> &CrossbarParams {
         &self.params
+    }
+
+    /// Process-unique id of this programmed tile; trace events from
+    /// this circuit's solves carry it as the `tile` attribute.
+    pub fn tile_id(&self) -> u64 {
+        self.tile_id
     }
 
     #[inline]
@@ -337,6 +352,22 @@ impl CrossbarCircuit {
         }
 
         let t_start = telemetry::enabled().then(Instant::now);
+        // Raw trace scope (not `telemetry::span`): solves run millions
+        // of times, so the per-solve path must not allocate span paths
+        // or register timers. The RAII guard also closes the trace
+        // span on every error return below.
+        let tracing = telemetry::trace_active();
+        let _trace = tracing.then(|| {
+            telemetry::trace_scope(
+                "xbar.solve",
+                vec![
+                    ("tile".to_string(), telemetry::Json::from(self.tile_id)),
+                    ("rows".to_string(), telemetry::Json::from(rows)),
+                    ("cols".to_string(), telemetry::Json::from(cols)),
+                    ("warm".to_string(), telemetry::Json::Bool(guess.is_some())),
+                ],
+            )
+        });
 
         if !self.params.nonideality.parasitics {
             let report = self.solve_without_parasitics(v);
@@ -412,6 +443,19 @@ impl CrossbarCircuit {
                 });
             }
             iterations += 1;
+            if tracing {
+                // Per-iteration convergence trace: residual vs. iter,
+                // keyed by tile, visible as instants under the solve
+                // span.
+                telemetry::trace_instant(
+                    "xbar.newton_iter",
+                    vec![
+                        ("tile".to_string(), telemetry::Json::from(self.tile_id)),
+                        ("iter".to_string(), telemetry::Json::from(iterations)),
+                        ("residual".to_string(), telemetry::Json::Num(res_norm)),
+                    ],
+                );
+            }
         }
 
         if res_norm > tolerance {

@@ -5,8 +5,22 @@ export GENIEX_THREADS="${GENIEX_THREADS:-$(nproc)}"
 # See run_figs.sh: artifact-store mode for warm reruns.
 export GENIEX_STORE="${GENIEX_STORE:-readwrite}"
 echo "GENIEX_THREADS=$GENIEX_THREADS GENIEX_STORE=$GENIEX_STORE" >> results/logs/progress.txt
-cargo test --workspace 2>&1 | tee /root/repo/test_output.txt > /dev/null
-echo "=== tests done $(date +%H:%M:%S) ===" >> results/logs/progress.txt
-cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
-echo "=== bench done $(date +%H:%M:%S) ===" >> results/logs/progress.txt
+# Wall time and (when /usr/bin/time exists) peak RSS per phase go to
+# the progress ledger; see run_figs.sh for the per-binary version.
+run_phase() {
+  local label=$1 out=$2
+  shift 2
+  local t0=$SECONDS rss="" status
+  if [ -x /usr/bin/time ]; then
+    /usr/bin/time -v -o "results/logs/$label.time" "$@" 2>&1 | tee "$out" > /dev/null
+    status=$?
+    rss=$(awk -F': ' '/Maximum resident set size/ {print $2}' "results/logs/$label.time")
+  else
+    "$@" 2>&1 | tee "$out" > /dev/null
+    status=$?
+  fi
+  echo "=== $label done $(date +%H:%M:%S) exit $status wall $((SECONDS - t0))s peak_rss ${rss:-?}kB ===" >> results/logs/progress.txt
+}
+run_phase tests /root/repo/test_output.txt cargo test --workspace
+run_phase bench /root/repo/bench_output.txt cargo bench --workspace
 echo FINAL_DONE >> results/logs/progress.txt
