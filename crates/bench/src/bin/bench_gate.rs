@@ -1,22 +1,35 @@
-//! Perf-regression gate over kernel benchmark summaries.
+//! Perf-regression gate over kernel benchmark summaries and the serve
+//! load harness.
 //!
 //! Compares a current `BENCH_kernels.json`-style summary against the
 //! committed baseline (`results/BENCH_baseline.json`) on speedup
 //! ratios — machine-relative, so the baseline transfers across hosts —
 //! and exits non-zero with a one-line repro when any kernel regresses
-//! past the tolerance.
+//! past the tolerance. With `--serve`, also gates the serve load
+//! harness (`results/BENCH_serve.json` from `loadgen --compare`)
+//! against `results/BENCH_serve_baseline.json` on the same
+//! machine-relative terms (e.g. `batched_speedup`).
 //!
 //! Usage:
-//!   bench_gate [current.json]
-//!              [--baseline <path>] [--tolerance <fraction>]
-//!              [--update] [--inject-regression <kernel>[:factor]]
+//!
+//! ```text
+//! bench_gate [current.json]
+//!            [--baseline <path>] [--tolerance <fraction>]
+//!            [--update] [--inject-regression <kernel>[:factor]]
+//!            [--serve] [--serve-only] [--require-serve]
+//!            [--serve-current <path>] [--serve-baseline <path>]
+//! ```
 //!
 //! Defaults: current `results/BENCH_kernels.json`, baseline
 //! `results/BENCH_baseline.json`, tolerance `$GENIEX_GATE_TOLERANCE`
-//! (0.10). `--update` rewrites the baseline from the current summary
-//! after a passing run — the explicit opt-in for ratcheting.
-//! `--inject-regression` worsens one kernel before comparing so CI can
-//! prove the gate trips.
+//! (0.10). `--update` rewrites the baselines from the current
+//! summaries after a passing run — the explicit opt-in for ratcheting.
+//! `--inject-regression` worsens one metric before comparing so CI can
+//! prove the gate trips; prefix the name with `serve:` to target a
+//! serve metric (`--inject-regression serve:batched_speedup:3.0`).
+//! `--require-serve` fails when the current serve summary is missing;
+//! plain `--serve` warns and skips the section instead, so local runs
+//! without a server don't break.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,8 +45,13 @@ fn fail(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut current_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut serve_current_path: Option<PathBuf> = None;
+    let mut serve_baseline_path: Option<PathBuf> = None;
     let mut tolerance: Option<f64> = None;
     let mut update = false;
+    let mut serve = false;
+    let mut serve_only = false;
+    let mut require_serve = false;
     let mut inject: Option<(String, f64)> = None;
 
     let mut argv = std::env::args().skip(1);
@@ -43,6 +61,14 @@ fn main() -> ExitCode {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
                 None => return fail("--baseline needs a path"),
             },
+            "--serve-current" => match argv.next() {
+                Some(p) => serve_current_path = Some(PathBuf::from(p)),
+                None => return fail("--serve-current needs a path"),
+            },
+            "--serve-baseline" => match argv.next() {
+                Some(p) => serve_baseline_path = Some(PathBuf::from(p)),
+                None => return fail("--serve-baseline needs a path"),
+            },
             "--tolerance" => {
                 let parsed = argv.next().and_then(|t| t.parse::<f64>().ok());
                 match parsed.filter(|t| t.is_finite() && *t >= 0.0) {
@@ -51,24 +77,37 @@ fn main() -> ExitCode {
                 }
             }
             "--update" => update = true,
+            "--serve" => serve = true,
+            "--serve-only" => {
+                serve = true;
+                serve_only = true;
+            }
+            "--require-serve" => {
+                serve = true;
+                require_serve = true;
+            }
             "--inject-regression" => {
                 let Some(spec) = argv.next() else {
                     return fail("--inject-regression needs <kernel>[:factor]");
                 };
-                let (kernel, factor) = match spec.rsplit_once(':') {
+                // A trailing `:number` is the factor; anything else is
+                // part of the metric name (e.g. `serve:batched_speedup`).
+                let (name, factor) = match spec.rsplit_once(':') {
                     Some((k, f)) => match f.parse::<f64>() {
                         Ok(f) => (k.to_string(), f),
-                        Err(_) => return fail(&format!("bad injection factor in '{spec}'")),
+                        Err(_) => (spec, 2.0),
                     },
                     None => (spec, 2.0),
                 };
-                inject = Some((kernel, factor));
+                inject = Some((name, factor));
             }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_gate [current.json] [--baseline <path>] \
                      [--tolerance <fraction>] [--update] \
-                     [--inject-regression <kernel>[:factor]]"
+                     [--inject-regression <kernel>[:factor]] \
+                     [--serve] [--serve-only] [--require-serve] \
+                     [--serve-current <path>] [--serve-baseline <path>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,44 +118,143 @@ fn main() -> ExitCode {
         }
     }
 
-    let current_path = current_path.unwrap_or_else(|| results_dir().join("BENCH_kernels.json"));
-    let baseline_path = baseline_path.unwrap_or_else(|| results_dir().join("BENCH_baseline.json"));
     let tolerance = tolerance.unwrap_or_else(gate::gate_tolerance);
+    // A serve-namespaced injection implies the serve section.
+    let serve_inject = match &inject {
+        Some((name, factor)) => match name.strip_prefix("serve:") {
+            Some(metric) => {
+                serve = true;
+                Some((metric.to_string(), *factor))
+            }
+            None => None,
+        },
+        None => None,
+    };
+    let kernel_inject = inject.filter(|(name, _)| !name.starts_with("serve:"));
 
-    let read = |path: &PathBuf, role: &str| -> Result<gate::KernelSummary, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {role} {}: {e}", path.display()))?;
-        gate::parse_summary(&text).map_err(|e| format!("bad {role} {}: {e}", path.display()))
-    };
-    let baseline = match read(&baseline_path, "baseline") {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
-    };
-    let mut current = match read(&current_path, "current summary") {
-        Ok(s) => s,
-        Err(e) => return fail(&e),
-    };
-    if let Some((kernel, factor)) = inject {
-        if let Err(e) = gate::inject_regression(&mut current, &kernel, factor) {
-            return fail(&e);
+    let mut passed = true;
+
+    if !serve_only {
+        let current_path = current_path.unwrap_or_else(|| results_dir().join("BENCH_kernels.json"));
+        let baseline_path =
+            baseline_path.unwrap_or_else(|| results_dir().join("BENCH_baseline.json"));
+
+        let read = |path: &PathBuf, role: &str| -> Result<gate::KernelSummary, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {role} {}: {e}", path.display()))?;
+            gate::parse_summary(&text).map_err(|e| format!("bad {role} {}: {e}", path.display()))
+        };
+        let baseline = match read(&baseline_path, "baseline") {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        let mut current = match read(&current_path, "current summary") {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        };
+        if let Some((kernel, factor)) = kernel_inject {
+            if let Err(e) = gate::inject_regression(&mut current, &kernel, factor) {
+                return fail(&e);
+            }
+            eprintln!("bench_gate: injected {factor}x slowdown into '{kernel}' (self-test)");
         }
-        eprintln!("bench_gate: injected {factor}x slowdown into '{kernel}' (self-test)");
-    }
 
-    let report = gate::compare(&baseline, &current, tolerance);
-    print!("{}", gate::render(&report, tolerance));
+        let report = gate::compare(&baseline, &current, tolerance);
+        print!("{}", gate::render(&report, tolerance));
+        passed &= report.passed();
 
-    if !report.passed() {
-        return ExitCode::FAILURE;
-    }
-    if update {
-        if let Err(e) = std::fs::copy(&current_path, &baseline_path) {
-            return fail(&format!(
-                "cannot update baseline {}: {e}",
-                baseline_path.display()
-            ));
+        if passed && update {
+            if let Err(e) = std::fs::copy(&current_path, &baseline_path) {
+                return fail(&format!(
+                    "cannot update baseline {}: {e}",
+                    baseline_path.display()
+                ));
+            }
+            println!("baseline updated: {}", baseline_path.display());
         }
-        println!("baseline updated: {}", baseline_path.display());
     }
-    ExitCode::SUCCESS
+
+    if serve {
+        let serve_current_path =
+            serve_current_path.unwrap_or_else(|| results_dir().join("BENCH_serve.json"));
+        let serve_baseline_path =
+            serve_baseline_path.unwrap_or_else(|| results_dir().join("BENCH_serve_baseline.json"));
+
+        let baseline_text = match std::fs::read_to_string(&serve_baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                return fail(&format!(
+                    "cannot read serve baseline {}: {e}",
+                    serve_baseline_path.display()
+                ))
+            }
+        };
+        let baseline = match gate::parse_serve_summary(&baseline_text) {
+            Ok(s) => s,
+            Err(e) => {
+                return fail(&format!(
+                    "bad serve baseline {}: {e}",
+                    serve_baseline_path.display()
+                ))
+            }
+        };
+
+        match std::fs::read_to_string(&serve_current_path) {
+            Err(e) if !require_serve => {
+                // No fresh load-harness run on this machine: warn and
+                // skip, so a local kernel-only bench_gate still works.
+                eprintln!(
+                    "bench_gate: serve gate skipped, no current summary at {} ({e})",
+                    serve_current_path.display()
+                );
+            }
+            Err(e) => {
+                return fail(&format!(
+                    "cannot read current serve summary {}: {e}",
+                    serve_current_path.display()
+                ));
+            }
+            Ok(text) => {
+                let mut current = match gate::parse_serve_summary(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return fail(&format!(
+                            "bad current serve summary {}: {e}",
+                            serve_current_path.display()
+                        ))
+                    }
+                };
+                if let Some((metric, factor)) = serve_inject {
+                    if let Err(e) = gate::inject_serve_regression(&mut current, &metric, factor) {
+                        return fail(&e);
+                    }
+                    eprintln!(
+                        "bench_gate: injected {factor}x loss into serve '{metric}' (self-test)"
+                    );
+                }
+                let report = gate::compare_serve(&baseline, &current, tolerance);
+                print!("{}", gate::render_serve(&report, tolerance));
+                passed &= report.passed();
+
+                if passed && update {
+                    if let Err(e) = std::fs::write(
+                        &serve_baseline_path,
+                        gate::serve_baseline_json(&current) + "\n",
+                    ) {
+                        return fail(&format!(
+                            "cannot update serve baseline {}: {e}",
+                            serve_baseline_path.display()
+                        ));
+                    }
+                    println!("serve baseline updated: {}", serve_baseline_path.display());
+                }
+            }
+        }
+    }
+
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

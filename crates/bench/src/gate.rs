@@ -240,6 +240,162 @@ pub fn render(report: &GateReport, tolerance: f64) -> String {
     out
 }
 
+/// Parsed serve load-harness summary (`BENCH_serve.json`): the gated
+/// metrics live under a top-level `"gate"` object mapping metric name
+/// → ratio (e.g. `batched_speedup` = batched rps / single rps).
+/// Ratios are machine-relative, exactly like kernel speedups, so a
+/// committed baseline transfers across hosts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeSummary {
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Parses a serve summary produced by `loadgen --compare` (or a
+/// committed `BENCH_serve_baseline.json`, which may carry only the
+/// `gate` object).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct: invalid
+/// JSON, a missing or empty `gate` object, or non-positive metrics.
+pub fn parse_serve_summary(text: &str) -> Result<ServeSummary, String> {
+    let root = parse(text)?;
+    let Some(Json::Obj(pairs)) = root.get("gate") else {
+        return Err("serve summary has no 'gate' object".to_string());
+    };
+    let mut metrics = BTreeMap::new();
+    for (name, value) in pairs {
+        let v = value
+            .as_f64()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("serve metric '{name}': missing or non-positive value"))?;
+        metrics.insert(name.clone(), v);
+    }
+    if metrics.is_empty() {
+        return Err("serve summary 'gate' object is empty".to_string());
+    }
+    Ok(ServeSummary { metrics })
+}
+
+/// Compares current serve metrics against the baseline: every metric
+/// is higher-is-better, and a metric regresses when it falls more
+/// than `tolerance` below its baseline value — the same band the
+/// kernel gate uses. Reuses [`GateReport`] (the `kernel` field holds
+/// the metric name).
+pub fn compare_serve(
+    baseline: &ServeSummary,
+    current: &ServeSummary,
+    tolerance: f64,
+) -> GateReport {
+    let as_kernels = |s: &ServeSummary| KernelSummary {
+        kernels: s
+            .metrics
+            .iter()
+            .map(|(name, &v)| {
+                (
+                    name.clone(),
+                    KernelRow {
+                        naive_ns: 1.0,
+                        blocked_ns: 1.0,
+                        speedup: v,
+                    },
+                )
+            })
+            .collect(),
+        threads: None,
+    };
+    compare(&as_kernels(baseline), &as_kernels(current), tolerance)
+}
+
+/// Divides the named serve metric by `factor` — the
+/// `bench_gate --inject-regression serve:<metric>` self-test hook.
+///
+/// # Errors
+///
+/// Returns an error naming the metric if it is absent or `factor` is
+/// not a finite positive number.
+pub fn inject_serve_regression(
+    summary: &mut ServeSummary,
+    metric: &str,
+    factor: f64,
+) -> Result<(), String> {
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(format!("injection factor {factor} must be positive"));
+    }
+    let value = summary
+        .metrics
+        .get_mut(metric)
+        .ok_or_else(|| format!("serve metric '{metric}' not in summary"))?;
+    *value /= factor;
+    Ok(())
+}
+
+/// Renders the serve gate outcome: same table as the kernel gate,
+/// with a serve-specific repro line on failure.
+pub fn render_serve(report: &GateReport, tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve gate: tolerance {:.1}% on load-harness ratios\n",
+        tolerance * 100.0
+    ));
+    let row = |r: &Regression| {
+        format!(
+            "  {:<28} baseline {:>8.3}x  current {:>8.3}x  ({:+.1}%)\n",
+            r.kernel,
+            r.baseline_speedup,
+            r.current_speedup,
+            (r.ratio - 1.0) * 100.0
+        )
+    };
+    if !report.regressions.is_empty() {
+        out.push_str("REGRESSED beyond tolerance:\n");
+        for r in &report.regressions {
+            out.push_str(&row(r));
+        }
+    }
+    if !report.improvements.is_empty() {
+        out.push_str("improved beyond tolerance (consider --update to ratchet):\n");
+        for r in &report.improvements {
+            out.push_str(&row(r));
+        }
+    }
+    for name in &report.missing {
+        out.push_str(&format!(
+            "  warning: baseline serve metric '{name}' not in current summary\n"
+        ));
+    }
+    for name in &report.new_kernels {
+        out.push_str(&format!(
+            "  note: new serve metric '{name}' (not in baseline)\n"
+        ));
+    }
+    if report.passed() {
+        out.push_str("serve gate: PASS\n");
+    } else {
+        out.push_str("serve gate: FAIL\n");
+        out.push_str(
+            "repro: GENIEX_THREADS=1 cargo run --release -p geniex-serve & \
+             wait for READY, then \
+             GENIEX_THREADS=1 cargo run --release -p geniex-bench --bin loadgen -- --compare && \
+             cargo run --release -p geniex-bench --bin bench_gate -- --serve\n",
+        );
+    }
+    out
+}
+
+/// Serializes a serve summary back to the committed-baseline form:
+/// just the `gate` object, which is all the gate reads.
+pub fn serve_baseline_json(summary: &ServeSummary) -> String {
+    let gate = Json::Obj(
+        summary
+            .metrics
+            .iter()
+            .map(|(name, &v)| (name.clone(), Json::from(v)))
+            .collect(),
+    );
+    Json::Obj(vec![("gate".to_string(), gate)]).to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +503,74 @@ mod tests {
         let baseline = parse_summary(&text).expect("baseline parses");
         assert!(baseline.kernels.contains_key("matmul/64"));
         assert!(compare(&baseline, &baseline, 0.0).passed());
+    }
+
+    const SERVE_SAMPLE: &str = r#"{"addr":"127.0.0.1:4917","phases":[],
+        "gate":{"batched_speedup":2.6,"p95_latency_gain":1.4}}"#;
+
+    #[test]
+    fn parses_serve_summary() {
+        let s = parse_serve_summary(SERVE_SAMPLE).expect("parse");
+        assert_eq!(s.metrics.len(), 2);
+        assert_eq!(s.metrics["batched_speedup"], 2.6);
+    }
+
+    #[test]
+    fn rejects_malformed_serve_summary() {
+        assert!(parse_serve_summary("{}").is_err());
+        assert!(parse_serve_summary("{\"gate\":{}}").is_err());
+        assert!(parse_serve_summary("{\"gate\":{\"x\":0}}").is_err());
+        assert!(parse_serve_summary("{\"gate\":{\"x\":\"fast\"}}").is_err());
+    }
+
+    #[test]
+    fn serve_regression_trips_and_tolerance_absorbs() {
+        let baseline = parse_serve_summary(SERVE_SAMPLE).unwrap();
+        let mut current = baseline.clone();
+        inject_serve_regression(&mut current, "batched_speedup", 2.0).unwrap();
+        let report = compare_serve(&baseline, &current, 0.10);
+        assert!(!report.passed());
+        assert_eq!(report.regressions[0].kernel, "batched_speedup");
+        assert!(render_serve(&report, 0.10).contains("serve gate: FAIL"));
+        // A factor-2 loss is beyond any sane tolerance…
+        assert!(!compare_serve(&baseline, &current, 0.45).passed());
+        // …but a mild dip sits inside the band.
+        let mut mild = baseline.clone();
+        inject_serve_regression(&mut mild, "batched_speedup", 1.05).unwrap();
+        assert!(compare_serve(&baseline, &mild, 0.10).passed());
+    }
+
+    #[test]
+    fn serve_inject_rejects_bad_inputs() {
+        let mut s = parse_serve_summary(SERVE_SAMPLE).unwrap();
+        assert!(inject_serve_regression(&mut s, "nope", 2.0).is_err());
+        assert!(inject_serve_regression(&mut s, "batched_speedup", 0.0).is_err());
+        assert!(inject_serve_regression(&mut s, "batched_speedup", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn serve_baseline_round_trips_through_json() {
+        let s = parse_serve_summary(SERVE_SAMPLE).unwrap();
+        let text = serve_baseline_json(&s);
+        let back = parse_serve_summary(&text).expect("round-trip parses");
+        assert_eq!(back, s);
+        assert!(compare_serve(&s, &back, 0.0).passed());
+    }
+
+    #[test]
+    fn committed_serve_baseline_parses_and_passes_against_itself() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_serve_baseline.json"
+        );
+        let text = std::fs::read_to_string(path).expect("committed serve baseline exists");
+        let baseline = parse_serve_summary(&text).expect("serve baseline parses");
+        assert!(baseline.metrics.contains_key("batched_speedup"));
+        assert!(
+            baseline.metrics["batched_speedup"] >= 2.0,
+            "committed baseline must witness the >=2x batching win, got {}",
+            baseline.metrics["batched_speedup"]
+        );
+        assert!(compare_serve(&baseline, &baseline, 0.0).passed());
     }
 }

@@ -120,14 +120,23 @@ impl GeniexTile {
 
     /// Batched version of [`f_r_from_levels`]: `v_levels` holds `n`
     /// consecutive level vectors (row-major `n × rows`); returns `n ×
-    /// cols` predictions. One matrix product instead of `n` GEMVs —
-    /// the functional simulator's hot path.
+    /// cols` predictions. For `n > 1` both layers run as register-
+    /// blocked GEMMs ([`kernels::gemm_nt`]) instead of `n` GEMV pairs,
+    /// so the layer weights are reused across the whole batch — the
+    /// functional simulator's hot path under batched serving.
+    ///
+    /// Every output element of `gemm_nt` is the [`kernels::dot_f32`]
+    /// reduction bit for bit, and the bias/ReLU/denormalize arithmetic
+    /// is applied in the same order as [`forward_into`], so batched
+    /// and single-vector results are bit-identical (the
+    /// `batch_invariance` conformance law).
     ///
     /// # Errors
     ///
     /// Returns [`GeniexError::Shape`] if `v_levels.len() != n * rows`.
     ///
     /// [`f_r_from_levels`]: GeniexTile::f_r_from_levels
+    /// [`forward_into`]: GeniexTile::f_r_from_levels
     pub fn f_r_batch(&self, v_levels: &[f32], n: usize) -> Result<Vec<f32>, GeniexError> {
         if v_levels.len() != n * self.rows {
             return Err(GeniexError::Shape(format!(
@@ -137,14 +146,37 @@ impl GeniexTile {
             )));
         }
         let mut out = vec![0.0f32; n * self.cols];
-        kernels::scratch::with_f32(self.hidden, |h| {
-            for (v, out_row) in v_levels
-                .chunks_exact(self.rows.max(1))
-                .zip(out.chunks_exact_mut(self.cols))
-                .take(n)
-            {
-                self.forward_into(v, h, out_row);
+        if n <= 1 {
+            if n == 1 {
+                kernels::scratch::with_f32(self.hidden, |h| {
+                    self.forward_into(v_levels, h, &mut out);
+                });
             }
+            return Ok(out);
+        }
+        let (hidden, cols) = (self.hidden, self.cols);
+        kernels::scratch::with_f32(hidden * n, |h_pre| {
+            kernels::scratch::with_f32(n * hidden, |h_t| {
+                kernels::scratch::with_f32(cols * n, |y| {
+                    // h_pre[p][i] = dot_f32(w_v row p, v_i): identical
+                    // reduction to the single-vector gemv.
+                    kernels::gemm_nt(&self.w_v, v_levels, h_pre, self.rows, n);
+                    for (row, &bias) in h_pre.chunks_exact_mut(n).zip(&self.h_g) {
+                        for h in row.iter_mut() {
+                            *h = (bias + *h).max(0.0);
+                        }
+                    }
+                    // Second layer consumes per-vector hidden rows.
+                    kernels::transpose_f32(h_pre, h_t, hidden, n);
+                    kernels::gemm_nt(&self.w2, h_t, y, hidden, n);
+                    for (c, (row, &bias)) in y.chunks_exact(n).zip(&self.b2).enumerate() {
+                        for (i, &yv) in row.iter().enumerate() {
+                            out[i * cols + c] = ((bias + yv) * self.norm_span + self.norm_min)
+                                .clamp(F_R_CLAMP.0, F_R_CLAMP.1);
+                        }
+                    }
+                });
+            });
         });
         Ok(out)
     }

@@ -86,38 +86,28 @@ fn gemv_batch(
     v_levels: &[f32],
     n: usize,
 ) -> Vec<f64> {
-    // Each batch item's GEMV is independent and its inner loop is
-    // unchanged, so splitting the batch across threads is bit-identical
-    // to the serial loop. Small batches stay serial: below this flop
-    // count the fan-out overhead dominates.
+    // Each batch item's GEMV is independent and bit-identical whether
+    // it runs in the panel-blocked batch kernel, a thread chunk, or
+    // the serial loop, so the split is purely a scheduling choice.
+    // Small batches stay serial: below this flop count the fan-out
+    // overhead dominates.
     const PAR_MIN_FLOPS: usize = 32 * 1024;
     let mut out = vec![0.0f64; n * cols];
-    let one = |v: &[f32], o: &mut [f64]| {
-        kernels::gemv_levels_scaled(matrix, v, scale, o);
-    };
     let pool = parallel::global();
     if n > 1 && pool.threads() > 1 && n * rows * cols >= PAR_MIN_FLOPS {
         let group = n.div_ceil(pool.threads() * 2).max(1);
-        let one = &one;
         pool.scope(|s| {
             for (vb, ob) in v_levels
                 .chunks(group * rows)
                 .zip(out.chunks_mut(group * cols))
             {
                 s.spawn(move || {
-                    for (v, o) in vb.chunks(rows).zip(ob.chunks_mut(cols)) {
-                        one(v, o);
-                    }
+                    kernels::gemv_levels_scaled_batch(matrix, vb, scale, ob, vb.len() / rows);
                 });
             }
         });
     } else {
-        for b in 0..n {
-            one(
-                &v_levels[b * rows..(b + 1) * rows],
-                &mut out[b * cols..(b + 1) * cols],
-            );
-        }
+        kernels::gemv_levels_scaled_batch(matrix, v_levels, scale, &mut out, n);
     }
     out
 }

@@ -1,6 +1,6 @@
 //! Register-blocked GEMM micro-kernels and a blocked transpose.
 
-use crate::{reduce_lanes_f32, scratch, LANES};
+use crate::{scratch, LANES};
 
 /// Rows per register tile in [`gemm_nn`].
 const MR: usize = 4;
@@ -113,8 +113,15 @@ fn tile_1x8(a: &[f32], panel: &[f32], out: &mut [f32], i: usize, j: usize, k: us
 /// reduction, computed with the 8-lane split and fixed tree of
 /// [`dot_f32`](crate::dot_f32) — the identical numeric spec, so
 /// `gemm_nt(a, b)[i][j] == dot_f32(a_row_i, b_row_j)` bit for bit.
-/// Four output columns are evaluated per pass to reuse the loaded
-/// `A` row.
+///
+/// `dot_f32` assigns element `p` to lane `p % 8` (the remainder loop
+/// continues the same pattern), so eight output columns are computed
+/// at once against a packed `k×8` transpose of their `B` rows: the
+/// inner loop broadcasts one `A` element across a whole panel row,
+/// and the final lane tree becomes seven elementwise vector adds.
+/// Nothing reduces horizontally per element — which is what makes
+/// small-`k` shapes fast — yet every accumulation happens in the
+/// exact `dot_f32` lane and order.
 ///
 /// # Panics
 ///
@@ -132,64 +139,68 @@ pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     if n == 0 {
         return;
     }
-    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+    scratch::with_f32(k * NR, |panel| {
         let mut j = 0;
-        while j + 4 <= n {
-            let quad = dot4_f32(
-                a_row,
-                &b[j * k..(j + 1) * k],
-                &b[(j + 1) * k..(j + 2) * k],
-                &b[(j + 2) * k..(j + 3) * k],
-                &b[(j + 3) * k..(j + 4) * k],
-            );
-            out_row[j..j + 4].copy_from_slice(&quad);
-            j += 4;
+        while j + NR <= n {
+            // Pack the transpose of rows j..j+8 of B: panel[p][c] =
+            // b[(j+c)][p], so a panel row holds element p of all
+            // eight columns contiguously.
+            for (c, b_row) in b[j * k..(j + NR) * k].chunks_exact(k).enumerate() {
+                for (p, &v) in b_row.iter().enumerate() {
+                    panel[p * NR + c] = v;
+                }
+            }
+            for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+                nt_tile_1x8(a_row, panel, &mut out_row[j..j + NR]);
+            }
+            j += NR;
         }
-        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
-            *o = crate::dot_f32(a_row, &b[jj * k..(jj + 1) * k]);
+        // Column tail (< 8 columns): plain dots, same spec.
+        if j < n {
+            for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+                for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+                    *o = crate::dot_f32(a_row, &b[jj * k..(jj + 1) * k]);
+                }
+            }
         }
-    }
+    });
 }
 
-/// Four simultaneous 8-lane dots sharing one LHS row. Each result uses
-/// the exact [`dot_f32`](crate::dot_f32) spec. Fixed-size `[f32; LANES]`
-/// block references keep the inner loop free of bounds checks so it
-/// vectorizes cleanly.
+/// One `A` row against a packed 8-column panel: `acc[l][c]`
+/// accumulates lane `l` of output column `c`; element `p` of the
+/// reduction lands in lane `p % 8` exactly as in
+/// [`dot_f32`](crate::dot_f32), and the closing tree combines lanes
+/// elementwise across all eight columns at once.
 #[inline]
-fn dot4_f32(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
-    let n = a.len();
-    let mut acc0 = [0.0f32; LANES];
-    let mut acc1 = [0.0f32; LANES];
-    let mut acc2 = [0.0f32; LANES];
-    let mut acc3 = [0.0f32; LANES];
-    let blocks = n / LANES;
-    for blk in 0..blocks {
-        let base = blk * LANES;
-        let xa: &[f32; LANES] = a[base..base + LANES].try_into().expect("block width");
-        let x0: &[f32; LANES] = b0[base..base + LANES].try_into().expect("block width");
-        let x1: &[f32; LANES] = b1[base..base + LANES].try_into().expect("block width");
-        let x2: &[f32; LANES] = b2[base..base + LANES].try_into().expect("block width");
-        let x3: &[f32; LANES] = b3[base..base + LANES].try_into().expect("block width");
-        for l in 0..LANES {
-            acc0[l] += xa[l] * x0[l];
-            acc1[l] += xa[l] * x1[l];
-            acc2[l] += xa[l] * x2[l];
-            acc3[l] += xa[l] * x3[l];
+fn nt_tile_1x8(a_row: &[f32], panel: &[f32], out: &mut [f32]) {
+    let mut acc = [[0.0f32; NR]; LANES];
+    let mut blocks_a = a_row.chunks_exact(LANES);
+    let mut base = 0;
+    for a_blk in blocks_a.by_ref() {
+        for (l, &av) in a_blk.iter().enumerate() {
+            let p: &[f32; NR] = panel[(base + l) * NR..(base + l + 1) * NR]
+                .try_into()
+                .expect("panel row width");
+            for (acc_c, &pv) in acc[l].iter_mut().zip(p) {
+                *acc_c += av * pv;
+            }
+        }
+        base += LANES;
+    }
+    for (l, &av) in blocks_a.remainder().iter().enumerate() {
+        let p: &[f32; NR] = panel[(base + l) * NR..(base + l + 1) * NR]
+            .try_into()
+            .expect("panel row width");
+        for (acc_c, &pv) in acc[l].iter_mut().zip(p) {
+            *acc_c += av * pv;
         }
     }
-    for i in blocks * LANES..n {
-        let l = i - blocks * LANES;
-        acc0[l] += a[i] * b0[i];
-        acc1[l] += a[i] * b1[i];
-        acc2[l] += a[i] * b2[i];
-        acc3[l] += a[i] * b3[i];
+    let mut tree = [0.0f32; NR];
+    for (c, t) in tree.iter_mut().enumerate() {
+        *t = ((acc[0][c] + acc[1][c]) + (acc[2][c] + acc[3][c]))
+            + ((acc[4][c] + acc[5][c]) + (acc[6][c] + acc[7][c]));
     }
-    [
-        reduce_lanes_f32(&acc0),
-        reduce_lanes_f32(&acc1),
-        reduce_lanes_f32(&acc2),
-        reduce_lanes_f32(&acc3),
-    ]
+    out.copy_from_slice(&tree);
 }
 
 /// Blocked 2-D transpose: `dst[j][i] = src[i][j]` for row-major `m×n`

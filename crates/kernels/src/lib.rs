@@ -68,7 +68,7 @@ mod spmv;
 
 pub use dot::{axpy_f64, dot_f32, dot_f64, dot_f64_f32, xpby_f64};
 pub use gemm::{gemm_nn, gemm_nt, transpose_f32};
-pub use gemv::{gemv_bias_relu_f32, gemv_into_f32, gemv_levels_scaled};
+pub use gemv::{gemv_bias_relu_f32, gemv_into_f32, gemv_levels_scaled, gemv_levels_scaled_batch};
 pub use spmv::spmv_csr;
 
 /// Number of independent accumulator lanes in every reduction kernel.

@@ -1,0 +1,498 @@
+//! Admission queue: coalesces single requests into compute batches.
+//!
+//! Connection threads [`submit`](Batcher::submit) work items and block
+//! on the returned [`Ticket`]; the dispatcher thread pulls maximal
+//! batches with [`next_batch`](Batcher::next_batch) and answers each
+//! item through its [`Responder`]. A batch closes when it reaches the
+//! max batch size (immediate flush), when the linger deadline expires
+//! (partial flush), or when the next queued item is incompatible with
+//! the batch head (e.g. an MVM behind an inference — order is never
+//! reordered around it, so FIFO holds across kinds as well as within).
+//!
+//! Backpressure: the queue is bounded. When it is full, `submit`
+//! fails immediately and the connection layer answers `Unavailable`
+//! instead of queueing unbounded work — latency under overload stays
+//! bounded and memory cannot grow with offered load.
+//!
+//! Both tuning knobs (max batch, linger) are atomics so a live server
+//! can be re-tuned through the `Configure` request without a restart;
+//! `loadgen --compare` uses exactly that to measure batch=1 vs
+//! batched throughput in one process.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use telemetry::{Counter, Gauge, Histogram};
+
+/// Why a batch was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// Reached the max batch size.
+    Full,
+    /// Linger deadline expired with a partial batch.
+    Linger,
+    /// The next queued item can't join this batch.
+    Incompatible,
+    /// The queue closed while this batch was forming.
+    Closed,
+}
+
+/// A batch handed to the dispatcher: FIFO items plus the reason the
+/// batch was cut.
+pub struct Batch<T, R> {
+    pub items: Vec<(T, Responder<R>)>,
+    pub reason: FlushReason,
+}
+
+/// Error returned by [`Batcher::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue has been closed (server draining).
+    Closed,
+    /// The queue is at capacity (backpressure).
+    Full,
+}
+
+/// One-shot result slot shared by a [`Ticket`] and its [`Responder`].
+struct Slot<R> {
+    state: Mutex<SlotState<R>>,
+    ready: Condvar,
+}
+
+enum SlotState<R> {
+    Pending,
+    Done(R),
+    /// The responder was dropped without answering (dispatcher died).
+    Abandoned,
+}
+
+/// The waiting half: blocks until the dispatcher answers.
+pub struct Ticket<R> {
+    slot: Arc<Slot<R>>,
+}
+
+impl<R> Ticket<R> {
+    /// Blocks until the batch containing this item was computed.
+    /// Returns `None` only if the responder was dropped unanswered.
+    pub fn wait(self) -> Option<R> {
+        let mut state = self.slot.state.lock().expect("slot lock");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Pending) {
+                SlotState::Done(r) => return Some(r),
+                SlotState::Abandoned => return None,
+                SlotState::Pending => {
+                    state = self.slot.ready.wait(state).expect("slot lock");
+                }
+            }
+        }
+    }
+}
+
+/// The answering half, owned by the dispatcher.
+pub struct Responder<R> {
+    slot: Arc<Slot<R>>,
+    answered: bool,
+}
+
+impl<R> Responder<R> {
+    /// Delivers the result and wakes the waiting connection thread.
+    pub fn send(mut self, value: R) {
+        let mut state = self.slot.state.lock().expect("slot lock");
+        *state = SlotState::Done(value);
+        self.answered = true;
+        drop(state);
+        self.slot.ready.notify_one();
+    }
+}
+
+impl<R> Drop for Responder<R> {
+    fn drop(&mut self) {
+        if !self.answered {
+            let mut state = self.slot.state.lock().expect("slot lock");
+            if matches!(*state, SlotState::Pending) {
+                *state = SlotState::Abandoned;
+            }
+            drop(state);
+            self.slot.ready.notify_one();
+        }
+    }
+}
+
+struct Entry<T, R> {
+    item: T,
+    responder: Responder<R>,
+    enqueued: Instant,
+}
+
+struct Queue<T, R> {
+    items: VecDeque<Entry<T, R>>,
+    closed: bool,
+}
+
+struct Shared<T, R> {
+    queue: Mutex<Queue<T, R>>,
+    nonempty: Condvar,
+    max_batch: AtomicUsize,
+    linger_us: AtomicU64,
+    capacity: usize,
+    metrics: BatcherMetrics,
+}
+
+struct BatcherMetrics {
+    queue_depth: Arc<Gauge>,
+    occupancy: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    flush_full: Arc<Counter>,
+    flush_linger: Arc<Counter>,
+    rejected_full: Arc<Counter>,
+}
+
+impl BatcherMetrics {
+    fn new() -> Self {
+        let occupancy_bounds: Vec<f64> = (1..=64).map(|v| v as f64).collect();
+        BatcherMetrics {
+            queue_depth: telemetry::gauge("serve.queue_depth"),
+            occupancy: telemetry::histogram("serve.batch_occupancy", &occupancy_bounds),
+            queue_wait_us: telemetry::histogram(
+                "serve.queue_wait_us",
+                &telemetry::exponential_buckets(1.0, 2.0, 24),
+            ),
+            flush_full: telemetry::counter("serve.batch_flush_full"),
+            flush_linger: telemetry::counter("serve.batch_flush_linger"),
+            rejected_full: telemetry::counter("serve.rejected_queue_full"),
+        }
+    }
+}
+
+/// The admission queue. `T` is the work item, `R` the per-item result.
+pub struct Batcher<T, R> {
+    shared: Arc<Shared<T, R>>,
+}
+
+impl<T, R> Clone for Batcher<T, R> {
+    fn clone(&self) -> Self {
+        Batcher {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T, R> Batcher<T, R> {
+    /// Creates a queue flushing at `max_batch` items or after
+    /// `linger` (whichever comes first), holding at most `capacity`
+    /// queued items before `submit` signals backpressure.
+    pub fn new(max_batch: usize, linger: Duration, capacity: usize) -> Self {
+        Batcher {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(Queue {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                nonempty: Condvar::new(),
+                max_batch: AtomicUsize::new(max_batch.max(1)),
+                linger_us: AtomicU64::new(linger.as_micros() as u64),
+                capacity: capacity.max(1),
+                metrics: BatcherMetrics::new(),
+            }),
+        }
+    }
+
+    /// Current max batch size.
+    pub fn max_batch(&self) -> usize {
+        self.shared.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Current linger window in microseconds.
+    pub fn linger_us(&self) -> u64 {
+        self.shared.linger_us.load(Ordering::Relaxed)
+    }
+
+    /// Re-tunes the max batch size (takes effect on the next batch).
+    pub fn set_max_batch(&self, n: usize) {
+        self.shared.max_batch.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Re-tunes the linger window (takes effect on the next batch).
+    pub fn set_linger_us(&self, us: u64) {
+        self.shared.linger_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Number of queued items right now.
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").items.len()
+    }
+
+    /// Enqueues an item; the returned ticket blocks until the
+    /// dispatcher answers.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] once [`close`](Batcher::close) was
+    /// called, [`SubmitError::Full`] while the queue is at capacity.
+    pub fn submit(&self, item: T) -> Result<Ticket<R>, SubmitError> {
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        });
+        let entry = Entry {
+            item,
+            responder: Responder {
+                slot: Arc::clone(&slot),
+                answered: false,
+            },
+            enqueued: Instant::now(),
+        };
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            if queue.closed {
+                return Err(SubmitError::Closed);
+            }
+            if queue.items.len() >= self.shared.capacity {
+                self.shared.metrics.rejected_full.inc();
+                return Err(SubmitError::Full);
+            }
+            queue.items.push_back(entry);
+            self.shared
+                .metrics
+                .queue_depth
+                .set(queue.items.len() as f64);
+        }
+        self.shared.nonempty.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Closes the queue: subsequent submits fail, and once the
+    /// remaining items drain, `next_batch` returns `None`.
+    pub fn close(&self) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.closed = true;
+        drop(queue);
+        self.shared.nonempty.notify_all();
+    }
+
+    /// Pulls the next batch: blocks for the first item, then keeps
+    /// admitting queued items that are `compatible` with the batch
+    /// head until the batch is full or the linger window (measured
+    /// from the first admission) expires. Returns `None` when the
+    /// queue is closed and empty — the dispatcher's exit signal.
+    pub fn next_batch(&self, compatible: impl Fn(&T, &T) -> bool) -> Option<Batch<T, R>> {
+        let shared = &self.shared;
+        let mut queue = shared.queue.lock().expect("queue lock");
+        let head = loop {
+            if let Some(entry) = queue.items.pop_front() {
+                break entry;
+            }
+            if queue.closed {
+                return None;
+            }
+            queue = shared.nonempty.wait(queue).expect("queue lock");
+        };
+
+        let max_batch = shared.max_batch.load(Ordering::Relaxed);
+        let linger = Duration::from_micros(shared.linger_us.load(Ordering::Relaxed));
+        let deadline = Instant::now() + linger;
+        let mut entries = vec![head];
+        let reason = loop {
+            if entries.len() >= max_batch {
+                break FlushReason::Full;
+            }
+            match queue.items.front() {
+                Some(next) if compatible(&entries[0].item, &next.item) => {
+                    let entry = queue.items.pop_front().expect("front exists");
+                    entries.push(entry);
+                }
+                Some(_) => break FlushReason::Incompatible,
+                None => {
+                    if queue.closed {
+                        break FlushReason::Closed;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break FlushReason::Linger;
+                    }
+                    let (q, timeout) = shared
+                        .nonempty
+                        .wait_timeout(queue, deadline - now)
+                        .expect("queue lock");
+                    queue = q;
+                    if timeout.timed_out() && queue.items.is_empty() {
+                        break FlushReason::Linger;
+                    }
+                }
+            }
+        };
+        let metrics = &shared.metrics;
+        metrics.queue_depth.set(queue.items.len() as f64);
+        drop(queue);
+
+        let now = Instant::now();
+        metrics.occupancy.observe(entries.len() as f64);
+        match reason {
+            FlushReason::Full => metrics.flush_full.inc(),
+            FlushReason::Linger => metrics.flush_linger.inc(),
+            _ => {}
+        }
+        let items = entries
+            .into_iter()
+            .map(|e| {
+                metrics
+                    .queue_wait_us
+                    .observe(now.saturating_duration_since(e.enqueued).as_micros() as f64);
+                (e.item, e.responder)
+            })
+            .collect();
+        Some(Batch { items, reason })
+    }
+
+    /// Point-in-time occupancy histogram (for `/stats`).
+    pub fn occupancy_snapshot(&self) -> telemetry::HistogramSnapshot {
+        self.shared.metrics.occupancy.snapshot()
+    }
+
+    /// Point-in-time queue-wait histogram in µs (for `/stats`).
+    pub fn queue_wait_snapshot(&self) -> telemetry::HistogramSnapshot {
+        self.shared.metrics.queue_wait_us.snapshot()
+    }
+
+    /// `(full flushes, linger flushes, backpressure rejections)`.
+    pub fn flush_counts(&self) -> (u64, u64, u64) {
+        (
+            self.shared.metrics.flush_full.get(),
+            self.shared.metrics.flush_linger.get(),
+            self.shared.metrics.rejected_full.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    fn always(_: &u32, _: &u32) -> bool {
+        true
+    }
+
+    #[test]
+    fn max_batch_flushes_immediately_in_fifo_order() {
+        let batcher: Batcher<u32, u32> = Batcher::new(4, Duration::from_secs(10), 64);
+        let tickets: Vec<_> = (0..4).map(|i| batcher.submit(i).expect("submit")).collect();
+        // The linger window is 10 s; a full batch must not wait it out.
+        let start = Instant::now();
+        let batch = batcher.next_batch(always).expect("batch");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(batch.reason, FlushReason::Full);
+        let order: Vec<u32> = batch.items.iter().map(|(item, _)| *item).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "FIFO within the batch");
+        for (item, responder) in batch.items {
+            responder.send(item * 10);
+        }
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.wait(), Some(i as u32 * 10));
+        }
+    }
+
+    #[test]
+    fn linger_expiry_flushes_partial_batch() {
+        let batcher: Batcher<u32, u32> = Batcher::new(64, Duration::from_millis(30), 64);
+        let _t1 = batcher.submit(1).expect("submit");
+        let _t2 = batcher.submit(2).expect("submit");
+        let start = Instant::now();
+        let batch = batcher.next_batch(always).expect("batch");
+        let waited = start.elapsed();
+        assert_eq!(batch.reason, FlushReason::Linger);
+        assert_eq!(batch.items.len(), 2);
+        assert!(
+            waited >= Duration::from_millis(25),
+            "flushed after only {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "linger did not expire ({waited:?})"
+        );
+    }
+
+    #[test]
+    fn incompatible_item_cuts_the_batch_without_reordering() {
+        // Compatibility = same parity. Queue: [2, 4, 1, 6] — the batch
+        // takes the even prefix and leaves [1, 6] untouched.
+        let batcher: Batcher<u32, u32> = Batcher::new(64, Duration::from_secs(10), 64);
+        let _ts: Vec<_> = [2u32, 4, 1, 6]
+            .iter()
+            .map(|&v| batcher.submit(v).expect("submit"))
+            .collect();
+        let same_parity = |a: &u32, b: &u32| a % 2 == b % 2;
+        let batch = batcher.next_batch(same_parity).expect("batch");
+        assert_eq!(batch.reason, FlushReason::Incompatible);
+        let got: Vec<u32> = batch.items.iter().map(|(v, _)| *v).collect();
+        assert_eq!(got, vec![2, 4]);
+        let batch = batcher.next_batch(same_parity).expect("batch");
+        let got: Vec<u32> = batch.items.iter().map(|(v, _)| *v).collect();
+        assert_eq!(got, vec![1], "odd head takes its own batch");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_then_recovers() {
+        let batcher: Batcher<u32, u32> = Batcher::new(8, Duration::from_secs(10), 2);
+        let _t1 = batcher.submit(1).expect("submit");
+        let _t2 = batcher.submit(2).expect("submit");
+        assert!(matches!(batcher.submit(3), Err(SubmitError::Full)));
+        // Draining the queue frees capacity again.
+        let batch = batcher.next_batch(always).expect("batch");
+        assert_eq!(batch.items.len(), 2);
+        assert!(batcher.submit(4).is_ok());
+        // (The serve.rejected_queue_full counter only records while
+        // telemetry is enabled, so the counter itself is not asserted
+        // here — the Err(Full)/recovery behavior above is the test.)
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let batcher: Batcher<u32, u32> = Batcher::new(8, Duration::from_millis(1), 64);
+        let ticket = batcher.submit(7).expect("submit");
+        batcher.close();
+        assert!(matches!(batcher.submit(8), Err(SubmitError::Closed)));
+        let batch = batcher.next_batch(always).expect("one last batch");
+        assert_eq!(batch.items.len(), 1);
+        for (v, r) in batch.items {
+            r.send(v);
+        }
+        assert_eq!(ticket.wait(), Some(7));
+        assert!(batcher.next_batch(always).is_none());
+    }
+
+    #[test]
+    fn dropped_responder_unblocks_the_ticket() {
+        let batcher: Batcher<u32, u32> = Batcher::new(8, Duration::from_millis(1), 64);
+        let ticket = batcher.submit(1).expect("submit");
+        let batch = batcher.next_batch(always).expect("batch");
+        drop(batch);
+        assert_eq!(ticket.wait(), None);
+    }
+
+    #[test]
+    fn waiting_dispatcher_wakes_on_submit() {
+        let batcher: Batcher<u32, u32> = Batcher::new(4, Duration::from_millis(20), 64);
+        let waker = batcher.clone();
+        let woke = Arc::new(AtomicBool::new(false));
+        let woke_flag = Arc::clone(&woke);
+        let dispatcher = thread::spawn(move || {
+            let batch = waker.next_batch(always).expect("batch");
+            woke_flag.store(true, Ordering::SeqCst);
+            for (v, r) in batch.items {
+                r.send(v + 1);
+            }
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert!(
+            !woke.load(Ordering::SeqCst),
+            "dispatcher must block while empty"
+        );
+        let ticket = batcher.submit(41).expect("submit");
+        assert_eq!(ticket.wait(), Some(42));
+        dispatcher.join().expect("dispatcher join");
+    }
+}

@@ -1,0 +1,188 @@
+//! Blocking client for the serve protocol — used by `loadgen`, the
+//! integration tests, and anyone scripting the server.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    self, FrameError, Incoming, OkBody, ProtoError, Request, Response, Status, MAX_FRAME,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    Frame(FrameError),
+    Proto(ProtoError),
+    /// The server answered a non-`Ok` status.
+    Server {
+        status: Status,
+        message: String,
+    },
+    /// The response id does not match the request id.
+    IdMismatch {
+        sent: u64,
+        got: u64,
+    },
+    /// The response body kind does not match the request kind.
+    Unexpected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "framing: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server error ({}): {message}", status.name())
+            }
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} for request id {sent}")
+            }
+            ClientError::Unexpected => write!(f, "response kind does not match request"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to the server. One request is outstanding at
+/// a time; ids are assigned sequentially and verified on response.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects (with a 5 s connect timeout per resolved address).
+    ///
+    /// # Errors
+    ///
+    /// The last connect error if no address is reachable.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no addresses resolved");
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, Duration::from_secs(5)) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(Client { stream, next_id: 1 });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = protocol::encode_request(id, request);
+        protocol::write_frame(&mut self.stream, &frame)?;
+        let payload = match protocol::read_frame(&mut self.stream, MAX_FRAME, &|| false) {
+            Ok(Incoming::Frame(payload)) => payload,
+            Ok(Incoming::Http) => {
+                return Err(ClientError::Frame(FrameError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected HTTP response",
+                ))))
+            }
+            Err(e) => return Err(ClientError::Frame(e)),
+        };
+        let ok_body = OkBody::for_request(request.opcode());
+        let (got_id, response) =
+            protocol::decode_response(&payload, ok_body).map_err(ClientError::Proto)?;
+        // Error frames for unparseable requests carry id 0 (the
+        // server could not recover the real id).
+        if got_id != id && got_id != 0 {
+            return Err(ClientError::IdMismatch {
+                sent: id,
+                got: got_id,
+            });
+        }
+        if let Response::Error { status, message } = response {
+            return Err(ClientError::Server { status, message });
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Single MVM: `codes` must be `k` input-format codes; returns
+    /// the `m` output codes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; shape mismatches come back as
+    /// [`ClientError::Server`] with [`Status::Shape`].
+    pub fn mvm(&mut self, codes: Vec<i64>) -> Result<Vec<i64>, ClientError> {
+        match self.call(&Request::Mvm { codes })? {
+            Response::Mvm { codes } => Ok(codes),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Full-network inference of one `[c, h, w]` image; returns the
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn infer(&mut self, shape: [u32; 3], pixels: Vec<f32>) -> Result<Vec<f32>, ClientError> {
+        match self.call(&Request::Infer { shape, pixels })? {
+            Response::Infer { logits } => Ok(logits),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the live stats JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Re-tunes the admission queue live.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn configure(&mut self, max_batch: u32, linger_us: u64) -> Result<(), ClientError> {
+        self.call(&Request::Configure {
+            max_batch,
+            linger_us,
+        })
+        .map(|_| ())
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn unexpected(_response: Response) -> ClientError {
+    ClientError::Unexpected
+}

@@ -1,0 +1,40 @@
+//! Batched crossbar-inference service (ROADMAP item 1).
+//!
+//! The functional simulator makes non-ideal crossbar inference cheap;
+//! this crate makes it *servable*: a zero-dependency, long-running
+//! TCP server that keeps a GENIEx-backed workload hot and coalesces
+//! concurrent single requests into batched compute calls, amortizing
+//! the per-call tile dispatch, allocation, and scheduling overheads
+//! the same way `results/BENCH_kernels.json` shows batched GEMV
+//! amortizing per-call kernel overheads.
+//!
+//! Pipeline (DESIGN.md §14):
+//!
+//! ```text
+//! accept ─▶ connection threads ─▶ admission queue ─▶ dispatcher
+//!             (decode, submit,      (bounded; batch     (one batched
+//!              wait on ticket)       by size/linger)     mvm_codes /
+//!                                                        forward on
+//!                                                        the pool)
+//! ```
+//!
+//! * [`protocol`] — length-prefixed wire format (+ HTTP `GET /stats`)
+//! * [`batcher`] — the admission queue (max batch, linger,
+//!   backpressure)
+//! * [`workload`] — hot state: programmed service matrix, trained
+//!   vision network, store-cached surrogates
+//! * [`server`] — accept loop, connection threads, dispatcher, drain
+//! * [`client`] — blocking client used by `loadgen` and tests
+//! * [`config`] — `GENIEX_SERVE_*` environment knobs
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod server;
+pub mod workload;
+
+pub use client::{Client, ClientError};
+pub use config::{EngineKind, ModelKind, ServeConfig};
+pub use server::{ServeTotals, Server, ServerHandle};
+pub use workload::ServeWorkload;

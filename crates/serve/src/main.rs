@@ -1,0 +1,119 @@
+//! `geniex-serve` — the long-running inference server.
+//!
+//! ```text
+//! geniex-serve [--addr HOST:PORT] [--batch N] [--linger-us N] [--engine KIND]
+//! ```
+//!
+//! Flags override the corresponding `GENIEX_SERVE_*` environment
+//! knobs (see `serve::ServeConfig::from_env` for the full set). The
+//! server prints `READY addr=<ip:port>` on stdout once it accepts
+//! connections — scripts wait for that line — and drains cleanly on
+//! SIGTERM/SIGINT or a `Shutdown` request, exiting 0.
+
+use serve::{ServeConfig, Server};
+use telemetry::Json;
+
+fn main() {
+    let mut cfg = ServeConfig::from_env();
+    if let Err(e) = apply_args(&mut cfg, std::env::args().skip(1)) {
+        eprintln!("geniex-serve: {e}");
+        eprintln!(
+            "usage: geniex-serve [--addr HOST:PORT] [--batch N] [--linger-us N] [--engine ideal|analytical|geniex]"
+        );
+        std::process::exit(2);
+    }
+
+    telemetry::set_enabled(true);
+    let logs = serve::config::results_dir().join("logs");
+    let manifest = telemetry::start_run(&logs, "serve", &cfg.manifest_fields())
+        .expect("run manifest creation");
+
+    eprintln!(
+        "[serve] building workload (engine={}, model={}, xbar={}, k={}, m={})",
+        cfg.engine.name(),
+        cfg.model.name(),
+        cfg.xbar,
+        cfg.k,
+        cfg.m
+    );
+    let build_start = std::time::Instant::now();
+    let workload = match serve::workload::build(&cfg) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("geniex-serve: workload build failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("[serve] workload hot in {:.1?}", build_start.elapsed());
+
+    let server = match Server::bind(&cfg, workload) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("geniex-serve: bind {} failed: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    #[cfg(unix)]
+    server.install_signal_handlers();
+
+    // The READY line is the startup contract: CI and run_final.sh
+    // wait for it before pointing loadgen at the port.
+    println!("READY addr={}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(totals) => {
+            eprintln!(
+                "[serve] drained: {} requests ({} errors) in {} batches over {} connections",
+                totals.requests, totals.errors, totals.batches, totals.connections
+            );
+            let _ = manifest.finish(&[
+                ("requests", Json::from(totals.requests)),
+                ("errors", Json::from(totals.errors)),
+                ("batches", Json::from(totals.batches)),
+                ("connections", Json::from(totals.connections)),
+                ("clean_drain", Json::Bool(true)),
+            ]);
+        }
+        Err(e) => {
+            eprintln!("geniex-serve: listener failed: {e}");
+            let _ = manifest.finish(&[("clean_drain", Json::Bool(false))]);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn apply_args(cfg: &mut ServeConfig, mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--batch" => {
+                cfg.max_batch = value("--batch")?
+                    .parse::<usize>()
+                    .map_err(|_| "--batch expects a positive integer".to_string())?
+                    .max(1)
+            }
+            "--linger-us" => {
+                cfg.linger_us = value("--linger-us")?
+                    .parse::<u64>()
+                    .map_err(|_| "--linger-us expects an integer".to_string())?
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                cfg.engine = match v.as_str() {
+                    "ideal" => serve::EngineKind::Ideal,
+                    "analytical" => serve::EngineKind::Analytical,
+                    "geniex" => serve::EngineKind::Geniex,
+                    other => return Err(format!("unknown engine '{other}'")),
+                };
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,798 @@
+//! Wire protocol of the inference service.
+//!
+//! Frames are length-prefixed: a little-endian `u32` byte count
+//! followed by that many payload bytes. Request payloads start with a
+//! one-byte opcode and a little-endian `u64` request id; response
+//! payloads start with a one-byte status and echo the id. All numbers
+//! are little-endian; activation codes travel as `i64` (the fixed-point
+//! code domain of `funcsim`), images and logits as `f32`.
+//!
+//! The same port also answers plain `GET /stats` HTTP requests: the
+//! ASCII bytes `"GET "` read as a `u32` length of ~542 MB, far above
+//! [`MAX_FRAME`], so the two framings cannot be confused. The reader
+//! reports the HTTP case separately instead of rejecting it.
+//!
+//! Every decoder here is total: malformed input produces a
+//! [`ProtoError`] (and, at the connection layer, an error-status
+//! response followed by a close) — never a panic.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload, requests and responses alike. Large
+/// enough for a few thousand-wide MVM batch, small enough that a
+/// garbage length prefix cannot make the server allocate gigabytes.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Request opcodes (first payload byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; empty body.
+    Ping = 1,
+    /// Single fixed-point MVM against the hot service matrix.
+    Mvm = 2,
+    /// Full-network inference of one image.
+    Infer = 3,
+    /// Live server statistics as a JSON document.
+    Stats = 4,
+    /// Re-tune the admission queue (max batch + linger) at runtime.
+    Configure = 5,
+    /// Ask the server to drain and exit.
+    Shutdown = 6,
+}
+
+impl Opcode {
+    fn from_u8(v: u8) -> Option<Opcode> {
+        match v {
+            1 => Some(Opcode::Ping),
+            2 => Some(Opcode::Mvm),
+            3 => Some(Opcode::Infer),
+            4 => Some(Opcode::Stats),
+            5 => Some(Opcode::Configure),
+            6 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Response status (first payload byte of a response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    Ok = 0,
+    /// Unparseable or unknown request; the connection closes after
+    /// this response.
+    BadRequest = 1,
+    /// Parseable request whose dimensions don't match the hot
+    /// workload (wrong `k`, wrong image shape).
+    Shape = 2,
+    /// Compute-side failure.
+    Internal = 3,
+    /// The server is shutting down or the admission queue is full;
+    /// retry later (backpressure signal).
+    Unavailable = 4,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::BadRequest),
+            2 => Some(Status::Shape),
+            3 => Some(Status::Internal),
+            4 => Some(Status::Unavailable),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name (used in error messages and stats).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::BadRequest => "bad_request",
+            Status::Shape => "shape",
+            Status::Internal => "internal",
+            Status::Unavailable => "unavailable",
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    /// `codes` is one input-activation vector of length `k` in the
+    /// service matrix's input format.
+    Mvm {
+        codes: Vec<i64>,
+    },
+    /// One image, `[c, h, w]` row-major pixels.
+    Infer {
+        shape: [u32; 3],
+        pixels: Vec<f32>,
+    },
+    Stats,
+    Configure {
+        max_batch: u32,
+        linger_us: u64,
+    },
+    Shutdown,
+}
+
+impl Request {
+    /// The opcode this request serializes under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::Mvm { .. } => Opcode::Mvm,
+            Request::Infer { .. } => Opcode::Infer,
+            Request::Stats => Opcode::Stats,
+            Request::Configure { .. } => Opcode::Configure,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+}
+
+/// Malformed payload bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// Payload ended before a declared field.
+    Short { want: usize, have: usize },
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown status byte.
+    BadStatus(u8),
+    /// Declared element count does not fit in the frame cap.
+    Oversized { elements: usize },
+    /// Bytes left over after the last declared field.
+    Trailing(usize),
+    /// Response payload was not valid UTF-8 where text was expected.
+    BadText,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Short { want, have } => {
+                write!(f, "payload too short: wanted {want} bytes, had {have}")
+            }
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::BadStatus(s) => write!(f, "unknown status {s}"),
+            ProtoError::Oversized { elements } => {
+                write!(f, "declared {elements} elements exceeds frame cap")
+            }
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            ProtoError::BadText => write!(f, "text field is not valid UTF-8"),
+        }
+    }
+}
+
+/// Cursor over a payload with bounds-checked little-endian reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(ProtoError::Short { want: n, have });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64s(&mut self, n: usize) -> Result<Vec<i64>, ProtoError> {
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or(ProtoError::Oversized { elements: n })?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, ProtoError> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or(ProtoError::Oversized { elements: n })?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing(left))
+        }
+    }
+
+    /// Guards a declared element count against the frame cap before
+    /// any allocation happens.
+    fn guard(&self, elements: usize, elem_bytes: usize) -> Result<(), ProtoError> {
+        if elements.saturating_mul(elem_bytes) > MAX_FRAME {
+            Err(ProtoError::Oversized { elements })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Encodes a request into a complete frame (length prefix included).
+pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    body.push(request.opcode() as u8);
+    body.extend_from_slice(&id.to_le_bytes());
+    match request {
+        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Mvm { codes } => {
+            body.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+            for c in codes {
+                body.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Request::Infer { shape, pixels } => {
+            for d in shape {
+                body.extend_from_slice(&d.to_le_bytes());
+            }
+            for p in pixels {
+                body.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        Request::Configure {
+            max_batch,
+            linger_us,
+        } => {
+            body.extend_from_slice(&max_batch.to_le_bytes());
+            body.extend_from_slice(&linger_us.to_le_bytes());
+        }
+    }
+    frame(body)
+}
+
+/// Decodes a request payload (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// [`ProtoError`] on any malformed construct; never panics.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
+    let mut r = Reader::new(payload);
+    let op = r.u8()?;
+    let op = Opcode::from_u8(op).ok_or(ProtoError::BadOpcode(op))?;
+    let id = r.u64()?;
+    let request = match op {
+        Opcode::Ping => Request::Ping,
+        Opcode::Stats => Request::Stats,
+        Opcode::Shutdown => Request::Shutdown,
+        Opcode::Mvm => {
+            let k = r.u32()? as usize;
+            r.guard(k, 8)?;
+            Request::Mvm { codes: r.i64s(k)? }
+        }
+        Opcode::Infer => {
+            let shape = [r.u32()?, r.u32()?, r.u32()?];
+            let n = shape.iter().try_fold(1usize, |acc, &d| {
+                acc.checked_mul(d as usize).ok_or(ProtoError::Oversized {
+                    elements: usize::MAX,
+                })
+            })?;
+            r.guard(n, 4)?;
+            Request::Infer {
+                shape,
+                pixels: r.f32s(n)?,
+            }
+        }
+        Opcode::Configure => Request::Configure {
+            max_batch: r.u32()?,
+            linger_us: r.u64()?,
+        },
+    };
+    r.finish()?;
+    Ok((id, request))
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `Ping`, `Configure`, and `Shutdown` acknowledge with an empty
+    /// `Ok` body.
+    Ack,
+    /// Output-activation codes of an MVM (length `m`).
+    Mvm { codes: Vec<i64> },
+    /// Logits of a full-network inference (length `classes`).
+    Infer { logits: Vec<f32> },
+    /// Stats JSON document.
+    Stats { json: String },
+    /// Any non-`Ok` status with a human-readable message.
+    Error { status: Status, message: String },
+}
+
+/// Which `Ok` body layout to expect — responses don't echo the
+/// opcode, so the client decodes against the request it sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OkBody {
+    Empty,
+    Codes,
+    Logits,
+    Text,
+}
+
+impl OkBody {
+    /// The body layout a given request's `Ok` response uses.
+    pub fn for_request(op: Opcode) -> OkBody {
+        match op {
+            Opcode::Ping | Opcode::Configure | Opcode::Shutdown => OkBody::Empty,
+            Opcode::Mvm => OkBody::Codes,
+            Opcode::Infer => OkBody::Logits,
+            Opcode::Stats => OkBody::Text,
+        }
+    }
+}
+
+/// Encodes a response into a complete frame (length prefix included).
+pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
+    let status = match response {
+        Response::Error { status, .. } => *status,
+        _ => Status::Ok,
+    };
+    let mut body = Vec::with_capacity(16);
+    body.push(status as u8);
+    body.extend_from_slice(&id.to_le_bytes());
+    match response {
+        Response::Ack => {}
+        Response::Mvm { codes } => {
+            body.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+            for c in codes {
+                body.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Response::Infer { logits } => {
+            body.extend_from_slice(&(logits.len() as u32).to_le_bytes());
+            for v in logits {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Stats { json } => body.extend_from_slice(json.as_bytes()),
+        Response::Error { message, .. } => body.extend_from_slice(message.as_bytes()),
+    }
+    frame(body)
+}
+
+/// Decodes a response payload given the expected `Ok` body layout.
+///
+/// # Errors
+///
+/// [`ProtoError`] on any malformed construct; never panics.
+pub fn decode_response(payload: &[u8], ok_body: OkBody) -> Result<(u64, Response), ProtoError> {
+    let mut r = Reader::new(payload);
+    let status = r.u8()?;
+    let status = Status::from_u8(status).ok_or(ProtoError::BadStatus(status))?;
+    let id = r.u64()?;
+    if status != Status::Ok {
+        let message = String::from_utf8(r.take(payload.len() - 9)?.to_vec())
+            .map_err(|_| ProtoError::BadText)?;
+        return Ok((id, Response::Error { status, message }));
+    }
+    let response = match ok_body {
+        OkBody::Empty => Response::Ack,
+        OkBody::Codes => {
+            let m = r.u32()? as usize;
+            r.guard(m, 8)?;
+            Response::Mvm { codes: r.i64s(m)? }
+        }
+        OkBody::Logits => {
+            let m = r.u32()? as usize;
+            r.guard(m, 4)?;
+            Response::Infer { logits: r.f32s(m)? }
+        }
+        OkBody::Text => {
+            let json = String::from_utf8(r.take(payload.len() - 9)?.to_vec())
+                .map_err(|_| ProtoError::BadText)?;
+            Response::Stats { json }
+        }
+    };
+    r.finish()?;
+    Ok((id, response))
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Errors at the framing layer (below payload decoding).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Peer closed cleanly between frames — the normal end of a
+    /// connection.
+    Closed,
+    /// Peer closed mid-frame.
+    Truncated { got: usize, want: usize },
+    /// Declared length exceeds the cap; the connection must close
+    /// (the stream can't be resynchronized).
+    TooLarge { len: usize, max: usize },
+    /// `should_stop` fired while waiting between frames.
+    Stopped,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { got, want } => {
+                write!(f, "connection closed mid-frame ({got}/{want} bytes)")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds cap of {max}")
+            }
+            FrameError::Stopped => write!(f, "reader stopped"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// What [`read_frame`] found on the wire.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A length-prefixed payload.
+    Frame(Vec<u8>),
+    /// The first bytes spell `"GET "` — an HTTP request follows. The
+    /// four consumed bytes are implied; the caller reads the rest of
+    /// the request line itself.
+    Http,
+}
+
+/// Reads one frame, treating read timeouts (`WouldBlock`/`TimedOut`)
+/// as poll points: between frames they check `should_stop`; inside a
+/// frame they simply retry, so a slow peer's frame still completes.
+///
+/// # Errors
+///
+/// See [`FrameError`]. A [`FrameError::TooLarge`] or
+/// [`FrameError::Truncated`] means the stream is unrecoverable and
+/// the connection should close.
+pub fn read_frame(
+    stream: &mut impl Read,
+    max: usize,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<Incoming, FrameError> {
+    let mut header = [0u8; 4];
+    read_fully(stream, &mut header, true, should_stop)?;
+    if &header == b"GET " {
+        return Ok(Incoming::Http);
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    read_fully(stream, &mut payload, false, should_stop)?;
+    Ok(Incoming::Frame(payload))
+}
+
+/// Writes one already-encoded frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+fn read_fully(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    between_frames: bool,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<(), FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && between_frames {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated {
+                        got,
+                        want: buf.len(),
+                    }
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // A timeout between frames is an idle connection —
+                // the shutdown poll point. Mid-frame it just means a
+                // slow writer; keep collecting bytes.
+                if between_frames && got == 0 && should_stop() {
+                    return Err(FrameError::Stopped);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(id: u64, req: Request) {
+        let frame = encode_request(id, &req);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let (got_id, got) = decode_request(&frame[4..]).expect("decodes");
+        assert_eq!(got_id, id);
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_request(0, Request::Ping);
+        round_trip_request(7, Request::Stats);
+        round_trip_request(u64::MAX, Request::Shutdown);
+        round_trip_request(
+            1,
+            Request::Mvm {
+                codes: vec![i64::MIN, -1, 0, 1, i64::MAX],
+            },
+        );
+        round_trip_request(
+            2,
+            Request::Infer {
+                shape: [1, 2, 3],
+                pixels: vec![0.0, -1.5, 3.25, f32::MIN, f32::MAX, 0.125],
+            },
+        );
+        round_trip_request(
+            3,
+            Request::Configure {
+                max_batch: 16,
+                linger_us: 250,
+            },
+        );
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases: Vec<(Response, OkBody)> = vec![
+            (Response::Ack, OkBody::Empty),
+            (
+                Response::Mvm {
+                    codes: vec![-5, 0, 123456789],
+                },
+                OkBody::Codes,
+            ),
+            (
+                Response::Infer {
+                    logits: vec![0.5, -0.25],
+                },
+                OkBody::Logits,
+            ),
+            (
+                Response::Stats {
+                    json: "{\"ok\":true}".to_string(),
+                },
+                OkBody::Text,
+            ),
+        ];
+        for (resp, body) in cases {
+            let frame = encode_response(9, &resp);
+            let (id, got) = decode_response(&frame[4..], body).expect("decodes");
+            assert_eq!(id, 9);
+            assert_eq!(got, resp);
+        }
+        // Errors decode regardless of the expected Ok body.
+        let err = Response::Error {
+            status: Status::Shape,
+            message: "wrong k".to_string(),
+        };
+        let frame = encode_response(3, &err);
+        for body in [OkBody::Empty, OkBody::Codes, OkBody::Logits, OkBody::Text] {
+            let (id, got) = decode_response(&frame[4..], body).expect("decodes");
+            assert_eq!(id, 3);
+            assert_eq!(got, err);
+        }
+    }
+
+    #[test]
+    fn empty_and_short_payloads_rejected() {
+        assert!(matches!(decode_request(&[]), Err(ProtoError::Short { .. })));
+        // Opcode present but id truncated.
+        assert!(matches!(
+            decode_request(&[1, 0, 0]),
+            Err(ProtoError::Short { .. })
+        ));
+        assert!(matches!(
+            decode_response(&[], OkBody::Empty),
+            Err(ProtoError::Short { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_and_status_rejected() {
+        let mut bad = vec![99u8];
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode_request(&bad), Err(ProtoError::BadOpcode(99)));
+        let mut bad = vec![200u8];
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            decode_response(&bad, OkBody::Empty),
+            Err(ProtoError::BadStatus(200))
+        );
+    }
+
+    #[test]
+    fn declared_count_beyond_cap_rejected_without_allocating() {
+        // An Mvm request declaring u32::MAX codes: the guard must trip
+        // on the declared count before any buffer is allocated.
+        let mut body = vec![Opcode::Mvm as u8];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&body),
+            Err(ProtoError::Oversized { .. })
+        ));
+        // Same for an Infer shape whose product overflows.
+        let mut body = vec![Opcode::Infer as u8];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        for d in [u32::MAX, u32::MAX, u32::MAX] {
+            body.extend_from_slice(&d.to_le_bytes());
+        }
+        assert!(matches!(
+            decode_request(&body),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode_request(1, &Request::Ping);
+        frame.push(0xAB);
+        let body_len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&body_len.to_le_bytes());
+        assert!(matches!(
+            decode_request(&frame[4..]),
+            Err(ProtoError::Trailing(1))
+        ));
+    }
+
+    #[test]
+    fn mvm_declared_count_must_match_bytes() {
+        let mut body = vec![Opcode::Mvm as u8];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&4u32.to_le_bytes()); // declares 4 codes
+        body.extend_from_slice(&1i64.to_le_bytes()); // provides 1
+        assert!(matches!(
+            decode_request(&body),
+            Err(ProtoError::Short { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_handles_split_close_oversize_and_http() {
+        let never = || false;
+        // A well-formed frame delivered in dribbles still reads whole.
+        struct Dribble(Vec<u8>, usize);
+        impl Read for Dribble {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let frame = encode_request(5, &Request::Mvm { codes: vec![1, 2] });
+        let mut r = Dribble(frame, 0);
+        let Incoming::Frame(payload) = read_frame(&mut r, MAX_FRAME, &never).expect("reads") else {
+            panic!("expected frame");
+        };
+        assert_eq!(
+            decode_request(&payload).unwrap().1,
+            Request::Mvm { codes: vec![1, 2] }
+        );
+
+        // Clean close between frames.
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut empty, MAX_FRAME, &never),
+            Err(FrameError::Closed)
+        ));
+
+        // Close mid-frame: header promises 100 bytes, stream ends.
+        let mut trunc: &[u8] = &[100, 0, 0, 0, 1, 2, 3];
+        assert!(matches!(
+            read_frame(&mut trunc, MAX_FRAME, &never),
+            Err(FrameError::Truncated { got: 3, want: 100 })
+        ));
+
+        // Oversized declared length.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut over: &[u8] = &huge;
+        assert!(matches!(
+            read_frame(&mut over, MAX_FRAME, &never),
+            Err(FrameError::TooLarge { .. })
+        ));
+
+        // HTTP detection.
+        let mut http: &[u8] = b"GET /stats HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            read_frame(&mut http, MAX_FRAME, &never),
+            Ok(Incoming::Http)
+        ));
+    }
+
+    #[test]
+    fn frame_reader_polls_stop_between_frames_only() {
+        // A reader that always times out: between frames the stop
+        // predicate fires; mid-frame the retry keeps polling until
+        // bytes arrive.
+        struct TimeoutThen(Vec<u8>, usize, usize);
+        impl Read for TimeoutThen {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.2 > 0 {
+                    self.2 -= 1;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "poll"));
+                }
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                let n = (self.0.len() - self.1).min(buf.len());
+                buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                self.2 = 1; // time out again before the next chunk
+                Ok(n)
+            }
+        }
+        let mut idle = TimeoutThen(Vec::new(), 0, 1_000_000);
+        assert!(matches!(
+            read_frame(&mut idle, MAX_FRAME, &|| true),
+            Err(FrameError::Stopped)
+        ));
+        let frame = encode_request(1, &Request::Ping);
+        let mut slow = TimeoutThen(frame, 0, 0);
+        // Stop requested, but a frame is already arriving: the
+        // mid-frame timeout retries and the frame completes anyway.
+        let got = read_frame(&mut slow, MAX_FRAME, &|| true).expect("frame completes");
+        assert!(matches!(got, Incoming::Frame(_)));
+    }
+}

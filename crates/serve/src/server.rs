@@ -1,0 +1,655 @@
+//! The serving pipeline: admission → batching → sharded compute →
+//! response.
+//!
+//! One accept loop hands each connection to its own thread (requests
+//! on a connection are answered in order, so a client may pipeline).
+//! Connection threads decode frames, submit work into the
+//! [`Batcher`], and block on their tickets; a single dispatcher
+//! thread pulls coalesced batches and evaluates them on the hot
+//! workload — `ProgrammedMatrix::mvm_codes` / `CrossbarNetwork::
+//! forward` internally shard tile work across the shared `parallel`
+//! pool (`GENIEX_THREADS`), so a batch of requests becomes one wide,
+//! lane-blocked compute call instead of N narrow ones.
+//!
+//! Shutdown (SIGTERM, SIGINT, or the `Shutdown` request) is a drain,
+//! not an abort: the accept loop stops, connection threads finish
+//! their in-flight requests and close, the queue drains through the
+//! dispatcher, and only then does [`Server::run`] return — so a
+//! loadgen run killed with SIGTERM still gets every outstanding
+//! answer before the process exits 0.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use telemetry::{Counter, Gauge, Histogram, Json};
+
+use crate::batcher::{Batcher, SubmitError};
+use crate::config::ServeConfig;
+use crate::protocol::{self, FrameError, Incoming, Request, Response, Status, MAX_FRAME};
+use crate::workload::ServeWorkload;
+
+/// How often idle loops poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Work items flowing through the admission queue. Only items of the
+/// same kind batch together (an MVM batch is one `mvm_codes` call, an
+/// inference batch one `forward` call).
+enum Work {
+    Mvm(Vec<i64>),
+    Infer(Vec<f32>),
+}
+
+impl Work {
+    fn same_kind(a: &Work, b: &Work) -> bool {
+        matches!(
+            (a, b),
+            (Work::Mvm(_), Work::Mvm(_)) | (Work::Infer(_), Work::Infer(_))
+        )
+    }
+}
+
+/// Per-item result delivered through the ticket.
+type WorkResult = Result<Payload, String>;
+
+enum Payload {
+    Codes(Vec<i64>),
+    Logits(Vec<f32>),
+}
+
+/// A counter kept twice: a per-server atomic (the source of truth for
+/// drain totals and `/stats`, correct even with telemetry disabled or
+/// several servers in one process) and a global telemetry counter so
+/// the values also land in run logs.
+struct Tally {
+    local: AtomicU64,
+    global: Arc<Counter>,
+}
+
+impl Tally {
+    fn new(name: &str) -> Tally {
+        Tally {
+            local: AtomicU64::new(0),
+            global: telemetry::counter(name),
+        }
+    }
+
+    fn inc(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+        self.global.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+struct Metrics {
+    requests: Tally,
+    errors: Tally,
+    batches: Tally,
+    connections_open: AtomicI64,
+    open_gauge: Arc<Gauge>,
+    connections_total: Tally,
+    latency_us: Arc<Histogram>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            requests: Tally::new("serve.requests"),
+            errors: Tally::new("serve.errors"),
+            batches: Tally::new("serve.batches"),
+            connections_open: AtomicI64::new(0),
+            open_gauge: telemetry::gauge("serve.connections_open"),
+            connections_total: Tally::new("serve.connections_total"),
+            latency_us: telemetry::histogram(
+                "serve.latency_us",
+                &telemetry::exponential_buckets(1.0, 2.0, 26),
+            ),
+        }
+    }
+
+    fn connection_opened(&self) {
+        self.connections_total.inc();
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+        self.open_gauge.add(1.0);
+    }
+
+    fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+        self.open_gauge.add(-1.0);
+    }
+}
+
+struct Shared {
+    workload: ServeWorkload,
+    batcher: Batcher<Work, WorkResult>,
+    shutdown: AtomicBool,
+    started: Instant,
+    metrics: Metrics,
+    addr: SocketAddr,
+}
+
+/// Totals reported when the server drains.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeTotals {
+    pub requests: u64,
+    pub errors: u64,
+    pub batches: u64,
+    pub connections: u64,
+}
+
+/// A bound (but not yet serving) inference server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Cloneable handle for observing and stopping a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests a drain; `Server::run` returns once it completes.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds the listen socket. The workload must already be hot —
+    /// binding is the "ready to serve" moment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(cfg: &ServeConfig, workload: ServeWorkload) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let batcher = Batcher::new(
+            cfg.max_batch,
+            Duration::from_micros(cfg.linger_us),
+            cfg.queue_capacity,
+        );
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                workload,
+                batcher,
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                metrics: Metrics::new(),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Installs a process-wide SIGTERM/SIGINT hook that triggers this
+    /// server's drain. Only the serve binary calls this; tests stop
+    /// servers through their [`ServerHandle`] instead.
+    #[cfg(unix)]
+    pub fn install_signal_handlers(&self) {
+        signal::install(self.handle());
+    }
+
+    /// Serves until shutdown is requested, then drains and returns
+    /// the totals. Consumes the server; the listener closes on return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors are
+    /// counted and answered, not fatal).
+    pub fn run(self) -> io::Result<ServeTotals> {
+        let shared = Arc::clone(&self.shared);
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-dispatch".to_string())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("spawn dispatcher")
+        };
+
+        self.listener.set_nonblocking(true)?;
+        let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    shared.metrics.connection_opened();
+                    let handle = std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || {
+                            serve_connection(stream, &shared);
+                            shared.metrics.connection_closed();
+                        })
+                        .expect("spawn connection thread");
+                    conn_threads.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                    conn_threads.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: stop accepting (listener drops below), let every
+        // connection finish its in-flight requests, then close the
+        // queue so the dispatcher exits once it runs dry.
+        drop(self.listener);
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+        shared.batcher.close();
+        let _ = dispatcher.join();
+
+        Ok(ServeTotals {
+            requests: shared.metrics.requests.get(),
+            errors: shared.metrics.errors.get(),
+            batches: shared.metrics.batches.get(),
+            connections: shared.metrics.connections_total.get(),
+        })
+    }
+}
+
+/// The dispatcher: pulls batches until the queue closes, evaluates
+/// each as one batched compute call, and answers every ticket.
+fn dispatch_loop(shared: &Shared) {
+    while let Some(batch) = shared.batcher.next_batch(Work::same_kind) {
+        shared.metrics.batches.inc();
+        let n = batch.items.len();
+        let _ = batch.reason; // occupancy/flush metrics live in the batcher
+        match &batch.items[0].0 {
+            Work::Mvm(_) => {
+                let k = shared.workload.k;
+                let mut codes = Vec::with_capacity(n * k);
+                for (work, _) in &batch.items {
+                    if let Work::Mvm(c) = work {
+                        codes.extend_from_slice(c);
+                    }
+                }
+                match shared.workload.matrix.mvm_codes(&codes, n) {
+                    Ok(out) => {
+                        let m = shared.workload.m;
+                        for (i, (_, responder)) in batch.items.into_iter().enumerate() {
+                            responder.send(Ok(Payload::Codes(out[i * m..(i + 1) * m].to_vec())));
+                        }
+                    }
+                    Err(e) => {
+                        let msg = format!("mvm failed: {e}");
+                        for (_, responder) in batch.items {
+                            responder.send(Err(msg.clone()));
+                        }
+                    }
+                }
+            }
+            Work::Infer(_) => {
+                let network = shared
+                    .workload
+                    .network
+                    .as_ref()
+                    .expect("infer admitted only with a model");
+                let [c, h, w] = shared.workload.input_shape;
+                let mut pixels = Vec::with_capacity(n * c * h * w);
+                for (work, _) in &batch.items {
+                    if let Work::Infer(p) = work {
+                        pixels.extend_from_slice(p);
+                    }
+                }
+                let images = nn::Tensor::from_vec(pixels, &[n, c, h, w]).expect("batch shape");
+                match network.forward(&images) {
+                    Ok(logits) => {
+                        let classes = shared.workload.classes;
+                        let data = logits.data();
+                        for (i, (_, responder)) in batch.items.into_iter().enumerate() {
+                            responder.send(Ok(Payload::Logits(
+                                data[i * classes..(i + 1) * classes].to_vec(),
+                            )));
+                        }
+                    }
+                    Err(e) => {
+                        let msg = format!("inference failed: {e}");
+                        for (_, responder) in batch.items {
+                            responder.send(Err(msg.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors unrecoverably, or
+/// the server drains.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let mut stream = stream;
+    // Short read timeouts turn blocking reads into shutdown polls.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        let payload = match protocol::read_frame(&mut stream, MAX_FRAME, &stop) {
+            Ok(Incoming::Frame(payload)) => payload,
+            Ok(Incoming::Http) => {
+                serve_http(&mut stream, shared);
+                return;
+            }
+            Err(FrameError::Closed) | Err(FrameError::Stopped) => return,
+            Err(FrameError::TooLarge { len, max }) => {
+                shared.metrics.errors.inc();
+                // The length prefix is garbage, so the stream cannot
+                // be resynchronized: answer once, then close.
+                let resp = Response::Error {
+                    status: Status::BadRequest,
+                    message: format!("frame of {len} bytes exceeds cap of {max}"),
+                };
+                let _ = protocol::write_frame(&mut stream, &protocol::encode_response(0, &resp));
+                return;
+            }
+            Err(FrameError::Truncated { .. }) | Err(FrameError::Io(_)) => {
+                shared.metrics.errors.inc();
+                return;
+            }
+        };
+        let arrived = Instant::now();
+        let (id, request) = match protocol::decode_request(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                shared.metrics.errors.inc();
+                let resp = Response::Error {
+                    status: Status::BadRequest,
+                    message: format!("malformed request: {e}"),
+                };
+                let _ = protocol::write_frame(&mut stream, &protocol::encode_response(0, &resp));
+                return;
+            }
+        };
+        shared.metrics.requests.inc();
+        let response = answer(shared, request);
+        shared
+            .metrics
+            .latency_us
+            .observe(arrived.elapsed().as_micros() as f64);
+        if matches!(response, Response::Error { .. }) {
+            shared.metrics.errors.inc();
+        }
+        if protocol::write_frame(&mut stream, &protocol::encode_response(id, &response)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Computes the response for one decoded request (blocking on the
+/// batcher for compute requests).
+fn answer(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Ack,
+        Request::Stats => Response::Stats {
+            json: stats_json(shared).to_string(),
+        },
+        Request::Configure {
+            max_batch,
+            linger_us,
+        } => {
+            shared.batcher.set_max_batch(max_batch as usize);
+            shared.batcher.set_linger_us(linger_us);
+            Response::Ack
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::Ack
+        }
+        Request::Mvm { codes } => {
+            if codes.len() != shared.workload.k {
+                return Response::Error {
+                    status: Status::Shape,
+                    message: format!(
+                        "mvm expects k={} codes, got {}",
+                        shared.workload.k,
+                        codes.len()
+                    ),
+                };
+            }
+            match submit_and_wait(shared, Work::Mvm(codes)) {
+                Ok(Payload::Codes(codes)) => Response::Mvm { codes },
+                Ok(Payload::Logits(_)) => unreachable!("mvm work yields codes"),
+                Err(resp) => resp,
+            }
+        }
+        Request::Infer { shape, pixels } => {
+            if shared.workload.network.is_none() {
+                return Response::Error {
+                    status: Status::Unavailable,
+                    message: "no model loaded (GENIEX_SERVE_MODEL=none)".to_string(),
+                };
+            }
+            let want = shared.workload.input_shape;
+            let got = [shape[0] as usize, shape[1] as usize, shape[2] as usize];
+            if got != want || pixels.len() != want.iter().product::<usize>() {
+                return Response::Error {
+                    status: Status::Shape,
+                    message: format!("infer expects shape {want:?}, got {got:?}"),
+                };
+            }
+            match submit_and_wait(shared, Work::Infer(pixels)) {
+                Ok(Payload::Logits(logits)) => Response::Infer { logits },
+                Ok(Payload::Codes(_)) => unreachable!("infer work yields logits"),
+                Err(resp) => resp,
+            }
+        }
+    }
+}
+
+fn submit_and_wait(shared: &Shared, work: Work) -> Result<Payload, Response> {
+    let ticket = shared.batcher.submit(work).map_err(|e| Response::Error {
+        status: Status::Unavailable,
+        message: match e {
+            SubmitError::Closed => "server is draining".to_string(),
+            SubmitError::Full => "admission queue full, retry later".to_string(),
+        },
+    })?;
+    match ticket.wait() {
+        Some(Ok(payload)) => Ok(payload),
+        Some(Err(message)) => Err(Response::Error {
+            status: Status::Internal,
+            message,
+        }),
+        None => Err(Response::Error {
+            status: Status::Internal,
+            message: "dispatcher dropped the request".to_string(),
+        }),
+    }
+}
+
+fn histogram_json(snapshot: &telemetry::HistogramSnapshot) -> Json {
+    let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+    Json::Obj(vec![
+        ("count".to_string(), Json::from(snapshot.count)),
+        ("mean".to_string(), Json::from(finite(snapshot.mean()))),
+        ("p50".to_string(), Json::from(finite(snapshot.p50()))),
+        ("p95".to_string(), Json::from(finite(snapshot.p95()))),
+        ("p99".to_string(), Json::from(finite(snapshot.p99()))),
+        ("max".to_string(), Json::from(finite(snapshot.max))),
+        (
+            "bounds".to_string(),
+            Json::Arr(snapshot.bounds.iter().map(|&b| Json::from(b)).collect()),
+        ),
+        (
+            "buckets".to_string(),
+            Json::Arr(snapshot.buckets.iter().map(|&c| Json::from(c)).collect()),
+        ),
+    ])
+}
+
+/// Builds the live stats document served on `/stats` and the `Stats`
+/// opcode: uptime, request/error/batch totals, queue depth, the
+/// batching configuration, and the occupancy / queue-wait / latency
+/// histograms with p50/p95/p99.
+fn stats_json(shared: &Shared) -> Json {
+    let m = &shared.metrics;
+    let (flush_full, flush_linger, rejected) = shared.batcher.flush_counts();
+    Json::Obj(vec![
+        (
+            "uptime_s".to_string(),
+            Json::from(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("addr".to_string(), Json::from(shared.addr.to_string())),
+        (
+            "threads".to_string(),
+            Json::from(parallel::default_threads()),
+        ),
+        ("requests".to_string(), Json::from(m.requests.get())),
+        ("errors".to_string(), Json::from(m.errors.get())),
+        ("batches".to_string(), Json::from(m.batches.get())),
+        (
+            "connections".to_string(),
+            Json::Obj(vec![
+                (
+                    "open".to_string(),
+                    Json::from(m.connections_open.load(Ordering::Relaxed).max(0) as u64),
+                ),
+                ("total".to_string(), Json::from(m.connections_total.get())),
+            ]),
+        ),
+        (
+            "queue".to_string(),
+            Json::Obj(vec![
+                ("depth".to_string(), Json::from(shared.batcher.depth())),
+                (
+                    "max_batch".to_string(),
+                    Json::from(shared.batcher.max_batch()),
+                ),
+                (
+                    "linger_us".to_string(),
+                    Json::from(shared.batcher.linger_us()),
+                ),
+                ("flush_full".to_string(), Json::from(flush_full)),
+                ("flush_linger".to_string(), Json::from(flush_linger)),
+                ("rejected_full".to_string(), Json::from(rejected)),
+                (
+                    "wait_us".to_string(),
+                    histogram_json(&shared.batcher.queue_wait_snapshot()),
+                ),
+            ]),
+        ),
+        (
+            "batch_occupancy".to_string(),
+            histogram_json(&shared.batcher.occupancy_snapshot()),
+        ),
+        (
+            "latency_us".to_string(),
+            histogram_json(&m.latency_us.snapshot()),
+        ),
+    ])
+}
+
+/// Minimal HTTP/1.1 for `GET /stats`: the protocol reader already
+/// consumed the `"GET "` bytes; read the rest of the request head
+/// (bounded), answer, close.
+fn serve_http(stream: &mut TcpStream, shared: &Shared) {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 && Instant::now() < deadline {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let path = std::str::from_utf8(&head)
+        .ok()
+        .and_then(|h| h.lines().next())
+        .and_then(|line| line.split_whitespace().next())
+        .unwrap_or("");
+    let (status, body) = if path.starts_with("/stats") {
+        ("200 OK", stats_json(shared).to_string())
+    } else {
+        ("404 Not Found", "{\"error\":\"not found\"}".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// SIGTERM/SIGINT handling for the serve binary. The handler only
+/// flips an `AtomicBool` (async-signal-safe); the accept loop and the
+/// connection read timeouts poll it. This is the crate's only unsafe
+/// code, confined to the libc `signal(2)` registration.
+#[cfg(unix)]
+mod signal {
+    use super::ServerHandle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    static HANDLES: Mutex<Vec<ServerHandle>> = Mutex::new(Vec::new());
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install(handle: ServerHandle) {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        {
+            let mut handles = HANDLES.lock().expect("signal handle registry");
+            handles.push(handle);
+            if handles.len() > 1 {
+                return; // handlers already installed; watcher already running
+            }
+        }
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+        // A signal handler may only touch the atomic; a watcher
+        // thread translates it into the ordinary drain path.
+        std::thread::Builder::new()
+            .name("serve-signal".to_string())
+            .spawn(|| loop {
+                if SIGNALLED.load(Ordering::SeqCst) {
+                    for handle in HANDLES.lock().expect("signal handle registry").iter() {
+                        handle.shutdown();
+                    }
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            })
+            .expect("spawn signal watcher");
+    }
+}

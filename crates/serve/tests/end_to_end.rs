@@ -1,0 +1,341 @@
+//! End-to-end tests: a real server on an ephemeral port, exercised
+//! through real sockets, with every compute answer checked
+//! bit-for-bit against a locally built funcsim oracle.
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use serve::protocol::{self, Incoming, OkBody, Response, Status, MAX_FRAME};
+use serve::{Client, ClientError, EngineKind, ModelKind, ServeConfig, Server};
+
+fn tiny_cfg() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineKind::Ideal,
+        model: ModelKind::None,
+        // Deliberately not a multiple of the tile size, so tile-edge
+        // padding is on the served path.
+        xbar: 8,
+        k: 12,
+        m: 10,
+        max_batch: 4,
+        linger_us: 500,
+        ..ServeConfig::default()
+    }
+}
+
+/// Builds the workload, binds an ephemeral port, and runs the server
+/// on a background thread. Returns the address, a shutdown handle,
+/// and the join handle yielding the drain totals.
+fn start_server(
+    cfg: &ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    serve::ServerHandle,
+    thread::JoinHandle<serve::ServeTotals>,
+) {
+    let workload = serve::workload::build(cfg).expect("workload builds");
+    let server = Server::bind(cfg, workload).expect("bind ephemeral port");
+    let addr = server.addr();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, join)
+}
+
+#[test]
+fn concurrent_mvms_match_the_funcsim_oracle_bit_exactly() {
+    let cfg = tiny_cfg();
+    let oracle = serve::workload::build(&cfg).expect("oracle builds");
+    let (addr, _handle, join) = start_server(&cfg);
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let cfg = cfg.clone();
+            let format = oracle.input_format;
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut answers = Vec::new();
+                for i in 0..10u64 {
+                    let index = w * 100 + i;
+                    let codes = serve::workload::request_codes(format, cfg.k, cfg.seed, index);
+                    let out = client.mvm(codes).expect("mvm answered");
+                    answers.push((index, out));
+                }
+                answers
+            })
+        })
+        .collect();
+    for worker in workers {
+        for (index, served) in worker.join().expect("worker") {
+            let codes = serve::workload::request_codes(oracle.input_format, cfg.k, cfg.seed, index);
+            let expected = oracle.matrix.mvm_codes(&codes, 1).expect("oracle mvm");
+            assert_eq!(served, expected, "request {index} diverged from the oracle");
+        }
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown_server().expect("shutdown accepted");
+    let totals = join.join().expect("clean drain");
+    assert!(totals.requests >= 41, "{} requests", totals.requests);
+    assert_eq!(totals.errors, 0);
+    assert!(totals.batches >= 1);
+}
+
+#[test]
+fn infer_matches_the_oracle_network_bit_exactly() {
+    let cfg = ServeConfig {
+        model: ModelKind::SynthS,
+        train_per_class: 2,
+        train_epochs: 1,
+        ..tiny_cfg()
+    };
+    let oracle = serve::workload::build(&cfg).expect("oracle builds");
+    let network = oracle.network.as_ref().expect("oracle network");
+    let shape = oracle.input_shape;
+    let (addr, _handle, join) = start_server(&cfg);
+
+    let mut client = Client::connect(addr).expect("connect");
+    for index in 0..6u64 {
+        let pixels = serve::workload::request_image(shape, cfg.seed, index);
+        let logits = client
+            .infer(
+                [shape[0] as u32, shape[1] as u32, shape[2] as u32],
+                pixels.clone(),
+            )
+            .expect("infer answered");
+        let images =
+            nn::Tensor::from_vec(pixels, &[1, shape[0], shape[1], shape[2]]).expect("image tensor");
+        let expected = network.forward(&images).expect("oracle forward");
+        assert_eq!(
+            logits,
+            expected.data().to_vec(),
+            "inference {index} diverged from the oracle"
+        );
+        assert_eq!(logits.len(), oracle.classes);
+    }
+
+    client.shutdown_server().expect("shutdown accepted");
+    let totals = join.join().expect("clean drain");
+    assert_eq!(totals.errors, 0);
+}
+
+#[test]
+fn malformed_frames_get_an_error_status_and_a_closed_connection() {
+    let cfg = tiny_cfg();
+    let (addr, handle, join) = start_server(&cfg);
+
+    // Unknown opcode: error response, then the server closes.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        let mut body = vec![0xFFu8];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        let mut frame = ((body.len() as u32).to_le_bytes()).to_vec();
+        frame.extend_from_slice(&body);
+        protocol::write_frame(&mut raw, &frame).expect("send");
+        let Incoming::Frame(payload) =
+            protocol::read_frame(&mut raw, MAX_FRAME, &|| false).expect("error frame")
+        else {
+            panic!("expected frame");
+        };
+        let (_, response) = protocol::decode_response(&payload, OkBody::Empty).expect("decodes");
+        let Response::Error { status, .. } = response else {
+            panic!("expected error response, got {response:?}");
+        };
+        assert_eq!(status, Status::BadRequest);
+        assert!(matches!(
+            protocol::read_frame(&mut raw, MAX_FRAME, &|| false),
+            Err(protocol::FrameError::Closed)
+        ));
+    }
+
+    // Oversized declared length: error response, then close.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        protocol::write_frame(&mut raw, &((MAX_FRAME as u32 + 1).to_le_bytes()))
+            .expect("send header");
+        let Incoming::Frame(payload) =
+            protocol::read_frame(&mut raw, MAX_FRAME, &|| false).expect("error frame")
+        else {
+            panic!("expected frame");
+        };
+        let (_, response) = protocol::decode_response(&payload, OkBody::Empty).expect("decodes");
+        assert!(
+            matches!(
+                response,
+                Response::Error {
+                    status: Status::BadRequest,
+                    ..
+                }
+            ),
+            "got {response:?}"
+        );
+    }
+
+    // Truncated frame (header promises more than is sent, then the
+    // client disconnects): the server must just drop the connection.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        use std::io::Write;
+        raw.write_all(&100u32.to_le_bytes()).expect("header");
+        raw.write_all(&[1, 2, 3]).expect("partial body");
+        drop(raw);
+    }
+
+    // A shape error is a *recoverable* request error: the connection
+    // stays open and the next request still works.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let err = client.mvm(vec![0i64; cfg.k + 3]).expect_err("wrong k");
+        assert!(
+            matches!(
+                err,
+                ClientError::Server {
+                    status: Status::Shape,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        let codes =
+            serve::workload::request_codes(funcsim::FxpFormat::paper_default(), cfg.k, cfg.seed, 0);
+        client.mvm(codes).expect("connection still serves");
+
+        // No model loaded: Infer answers Unavailable, connection
+        // stays up.
+        let err = client
+            .infer([1, 2, 2], vec![0.0; 4])
+            .expect_err("no model loaded");
+        assert!(
+            matches!(
+                err,
+                ClientError::Server {
+                    status: Status::Unavailable,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        client.ping().expect("still alive");
+    }
+
+    // After all that abuse the server still drains cleanly.
+    handle.shutdown();
+    let totals = join.join().expect("clean drain");
+    assert!(totals.errors >= 3, "{} errors counted", totals.errors);
+}
+
+#[test]
+fn http_get_stats_answers_json_on_the_same_port() {
+    let cfg = tiny_cfg();
+    let (addr, handle, join) = start_server(&cfg);
+
+    // Generate a little traffic first so the stats have content.
+    let mut client = Client::connect(addr).expect("connect");
+    let codes =
+        serve::workload::request_codes(funcsim::FxpFormat::paper_default(), cfg.k, cfg.seed, 1);
+    client.mvm(codes).expect("mvm");
+
+    let fetch = |path: &str| -> String {
+        use std::io::{Read, Write};
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut response = String::new();
+        raw.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let ok = fetch("/stats");
+    assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+    assert!(ok.contains("application/json"));
+    for field in ["batch_occupancy", "latency_us", "queue", "requests"] {
+        assert!(ok.contains(field), "stats missing {field}: {ok}");
+    }
+
+    let missing = fetch("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    // The binary Stats opcode serves the same document.
+    let json = client.stats().expect("stats op");
+    assert!(json.contains("batch_occupancy"));
+
+    handle.shutdown();
+    join.join().expect("clean drain");
+}
+
+#[test]
+fn configure_retunes_the_admission_queue_live() {
+    let cfg = tiny_cfg();
+    let (addr, handle, join) = start_server(&cfg);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.configure(1, 0).expect("configure");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"max_batch\":1") && stats.contains("\"linger_us\":0"),
+        "{stats}"
+    );
+    client.configure(32, 750).expect("configure back");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"max_batch\":32") && stats.contains("\"linger_us\":750"),
+        "{stats}"
+    );
+
+    handle.shutdown();
+    join.join().expect("clean drain");
+}
+
+#[test]
+fn shutdown_drains_inflight_requests_before_returning() {
+    // Submit work from several clients, immediately request shutdown,
+    // and require every already-accepted request to still be answered.
+    let cfg = tiny_cfg();
+    let oracle = serve::workload::build(&cfg).expect("oracle builds");
+    let (addr, handle, join) = start_server(&cfg);
+
+    let progress = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let cfg = cfg.clone();
+            let format = oracle.input_format;
+            let progress = std::sync::Arc::clone(&progress);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut answered = 0usize;
+                for i in 0..200u64 {
+                    let codes =
+                        serve::workload::request_codes(format, cfg.k, cfg.seed, w * 1000 + i);
+                    match client.mvm(codes) {
+                        Ok(_) => {
+                            answered += 1;
+                            progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        // Once the drain begins, new submissions may
+                        // be refused — but never dropped silently.
+                        Err(ClientError::Server {
+                            status: Status::Unavailable,
+                            ..
+                        }) => break,
+                        Err(ClientError::Frame(_)) | Err(ClientError::Io(_)) => break,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+    // Only pull the plug once traffic is demonstrably flowing, so the
+    // drain has genuine in-flight work to finish.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while progress.load(std::sync::atomic::Ordering::Relaxed) < 6 {
+        assert!(std::time::Instant::now() < deadline, "no traffic answered");
+        thread::sleep(Duration::from_millis(1));
+    }
+    handle.shutdown();
+    let answered: usize = workers.into_iter().map(|w| w.join().expect("worker")).sum();
+    let totals = join.join().expect("clean drain");
+    assert!(answered >= 6, "at least the in-flight work was answered");
+    assert!(totals.requests as usize >= answered);
+}

@@ -23,4 +23,35 @@ run_phase() {
 }
 run_phase tests /root/repo/test_output.txt cargo test --workspace
 run_phase bench /root/repo/bench_output.txt cargo bench --workspace
+
+# Optional serve benchmark: start the inference server with one
+# compute thread, wait for the READY line, run the canonical paired
+# single/batched comparison (DESIGN.md §14), and drain on SIGTERM.
+# Writes results/BENCH_serve.json.
+if [ "${GENIEX_SERVE_BENCH:-0}" = "1" ]; then
+  cargo build --release -p geniex-serve -p geniex-bench --bin geniex-serve --bin loadgen \
+    >> results/logs/progress.txt 2>&1
+  GENIEX_THREADS=1 ./target/release/geniex-serve > results/logs/serve_bench.log 2>&1 &
+  SERVE_PID=$!
+  serve_ready=0
+  for _ in $(seq 1 90); do
+    if GENIEX_THREADS=1 ./target/release/loadgen --ping 2>/dev/null; then
+      serve_ready=1
+      break
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 2
+  done
+  if [ "$serve_ready" = "1" ]; then
+    run_phase serve_bench /root/repo/serve_bench_output.txt \
+      env GENIEX_THREADS=1 ./target/release/loadgen --compare --reps 3 \
+        --requests 600 --concurrency 96 --batch 64 --linger-us 1000
+    kill -TERM "$SERVE_PID" 2>/dev/null
+    wait "$SERVE_PID"
+    echo "=== serve_bench drained exit $? ===" >> results/logs/progress.txt
+  else
+    echo "=== serve_bench SKIPPED: server never became ready ===" >> results/logs/progress.txt
+    kill "$SERVE_PID" 2>/dev/null
+  fi
+fi
 echo FINAL_DONE >> results/logs/progress.txt
