@@ -1,5 +1,5 @@
-//! Perf-regression gate over kernel benchmark summaries and the serve
-//! load harness.
+//! Perf-regression gate over kernel benchmark summaries, the serve
+//! load harness, and the amortized-solver benchmark.
 //!
 //! Compares a current `BENCH_kernels.json`-style summary against the
 //! committed baseline (`results/BENCH_baseline.json`) on speedup
@@ -7,8 +7,10 @@
 //! and exits non-zero with a one-line repro when any kernel regresses
 //! past the tolerance. With `--serve`, also gates the serve load
 //! harness (`results/BENCH_serve.json` from `loadgen --compare`)
-//! against `results/BENCH_serve_baseline.json` on the same
-//! machine-relative terms (e.g. `batched_speedup`).
+//! against `results/BENCH_serve_baseline.json`; with `--solve`, the
+//! amortized-solver leg (`results/BENCH_solve.json` from `solve_bench`)
+//! against `results/BENCH_solve_baseline.json` — both on the same
+//! machine-relative terms (e.g. `batched_speedup`, `amortized_speedup`).
 //!
 //! Usage:
 //!
@@ -18,6 +20,8 @@
 //!            [--update] [--inject-regression <kernel>[:factor]]
 //!            [--serve] [--serve-only] [--require-serve]
 //!            [--serve-current <path>] [--serve-baseline <path>]
+//!            [--solve] [--solve-only] [--require-solve]
+//!            [--solve-current <path>] [--solve-baseline <path>]
 //! ```
 //!
 //! Defaults: current `results/BENCH_kernels.json`, baseline
@@ -25,11 +29,13 @@
 //! (0.10). `--update` rewrites the baselines from the current
 //! summaries after a passing run — the explicit opt-in for ratcheting.
 //! `--inject-regression` worsens one metric before comparing so CI can
-//! prove the gate trips; prefix the name with `serve:` to target a
-//! serve metric (`--inject-regression serve:batched_speedup:3.0`).
-//! `--require-serve` fails when the current serve summary is missing;
-//! plain `--serve` warns and skips the section instead, so local runs
-//! without a server don't break.
+//! prove the gate trips; prefix the name with `serve:` or `solve:` to
+//! target that leg's metric
+//! (`--inject-regression solve:amortized_speedup:3.0`).
+//! `--require-serve` / `--require-solve` fail when the leg's current
+//! summary is missing; plain `--serve` / `--solve` warn and skip the
+//! section instead, so local runs without a fresh benchmark don't
+//! break.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -42,16 +48,108 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// One ratio-gated leg (serve or solve): both read `gate`-object JSON
+/// summaries and differ only in paths, labels, and the failure repro
+/// line baked into `render`.
+struct RatioLeg {
+    label: &'static str,
+    current_path: PathBuf,
+    baseline_path: PathBuf,
+    require: bool,
+    inject: Option<(String, f64)>,
+    render: fn(&gate::GateReport, f64) -> String,
+}
+
+/// Runs one ratio leg. Returns `Ok(passed)`; a missing current summary
+/// on a non-required leg warns and counts as passed.
+fn run_ratio_leg(leg: RatioLeg, tolerance: f64, update: bool) -> Result<bool, String> {
+    let baseline_text = std::fs::read_to_string(&leg.baseline_path).map_err(|e| {
+        format!(
+            "cannot read {} baseline {}: {e}",
+            leg.label,
+            leg.baseline_path.display()
+        )
+    })?;
+    let baseline = gate::parse_serve_summary(&baseline_text).map_err(|e| {
+        format!(
+            "bad {} baseline {}: {e}",
+            leg.label,
+            leg.baseline_path.display()
+        )
+    })?;
+
+    let text = match std::fs::read_to_string(&leg.current_path) {
+        Ok(t) => t,
+        Err(e) if !leg.require => {
+            // No fresh run on this machine: warn and skip, so a local
+            // kernel-only bench_gate still works.
+            eprintln!(
+                "bench_gate: {} gate skipped, no current summary at {} ({e})",
+                leg.label,
+                leg.current_path.display()
+            );
+            return Ok(true);
+        }
+        Err(e) => {
+            return Err(format!(
+                "cannot read current {} summary {}: {e}",
+                leg.label,
+                leg.current_path.display()
+            ));
+        }
+    };
+    let mut current = gate::parse_serve_summary(&text).map_err(|e| {
+        format!(
+            "bad current {} summary {}: {e}",
+            leg.label,
+            leg.current_path.display()
+        )
+    })?;
+    if let Some((metric, factor)) = &leg.inject {
+        gate::inject_serve_regression(&mut current, metric, *factor)?;
+        eprintln!(
+            "bench_gate: injected {factor}x loss into {} '{metric}' (self-test)",
+            leg.label
+        );
+    }
+    let report = gate::compare_serve(&baseline, &current, tolerance);
+    print!("{}", (leg.render)(&report, tolerance));
+
+    if report.passed() && update {
+        std::fs::write(
+            &leg.baseline_path,
+            gate::serve_baseline_json(&current) + "\n",
+        )
+        .map_err(|e| {
+            format!(
+                "cannot update {} baseline {}: {e}",
+                leg.label,
+                leg.baseline_path.display()
+            )
+        })?;
+        println!(
+            "{} baseline updated: {}",
+            leg.label,
+            leg.baseline_path.display()
+        );
+    }
+    Ok(report.passed())
+}
+
 fn main() -> ExitCode {
     let mut current_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut serve_current_path: Option<PathBuf> = None;
     let mut serve_baseline_path: Option<PathBuf> = None;
+    let mut solve_current_path: Option<PathBuf> = None;
+    let mut solve_baseline_path: Option<PathBuf> = None;
     let mut tolerance: Option<f64> = None;
     let mut update = false;
     let mut serve = false;
-    let mut serve_only = false;
+    let mut solve = false;
+    let mut kernels_skipped = false;
     let mut require_serve = false;
+    let mut require_solve = false;
     let mut inject: Option<(String, f64)> = None;
 
     let mut argv = std::env::args().skip(1);
@@ -69,6 +167,14 @@ fn main() -> ExitCode {
                 Some(p) => serve_baseline_path = Some(PathBuf::from(p)),
                 None => return fail("--serve-baseline needs a path"),
             },
+            "--solve-current" => match argv.next() {
+                Some(p) => solve_current_path = Some(PathBuf::from(p)),
+                None => return fail("--solve-current needs a path"),
+            },
+            "--solve-baseline" => match argv.next() {
+                Some(p) => solve_baseline_path = Some(PathBuf::from(p)),
+                None => return fail("--solve-baseline needs a path"),
+            },
             "--tolerance" => {
                 let parsed = argv.next().and_then(|t| t.parse::<f64>().ok());
                 match parsed.filter(|t| t.is_finite() && *t >= 0.0) {
@@ -80,11 +186,20 @@ fn main() -> ExitCode {
             "--serve" => serve = true,
             "--serve-only" => {
                 serve = true;
-                serve_only = true;
+                kernels_skipped = true;
             }
             "--require-serve" => {
                 serve = true;
                 require_serve = true;
+            }
+            "--solve" => solve = true,
+            "--solve-only" => {
+                solve = true;
+                kernels_skipped = true;
+            }
+            "--require-solve" => {
+                solve = true;
+                require_solve = true;
             }
             "--inject-regression" => {
                 let Some(spec) = argv.next() else {
@@ -107,7 +222,9 @@ fn main() -> ExitCode {
                      [--tolerance <fraction>] [--update] \
                      [--inject-regression <kernel>[:factor]] \
                      [--serve] [--serve-only] [--require-serve] \
-                     [--serve-current <path>] [--serve-baseline <path>]"
+                     [--serve-current <path>] [--serve-baseline <path>] \
+                     [--solve] [--solve-only] [--require-solve] \
+                     [--solve-current <path>] [--solve-baseline <path>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -119,7 +236,7 @@ fn main() -> ExitCode {
     }
 
     let tolerance = tolerance.unwrap_or_else(gate::gate_tolerance);
-    // A serve-namespaced injection implies the serve section.
+    // A namespaced injection implies its section.
     let serve_inject = match &inject {
         Some((name, factor)) => match name.strip_prefix("serve:") {
             Some(metric) => {
@@ -130,11 +247,22 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let kernel_inject = inject.filter(|(name, _)| !name.starts_with("serve:"));
+    let solve_inject = match &inject {
+        Some((name, factor)) => match name.strip_prefix("solve:") {
+            Some(metric) => {
+                solve = true;
+                Some((metric.to_string(), *factor))
+            }
+            None => None,
+        },
+        None => None,
+    };
+    let kernel_inject =
+        inject.filter(|(name, _)| !name.starts_with("serve:") && !name.starts_with("solve:"));
 
     let mut passed = true;
 
-    if !serve_only {
+    if !kernels_skipped {
         let current_path = current_path.unwrap_or_else(|| results_dir().join("BENCH_kernels.json"));
         let baseline_path =
             baseline_path.unwrap_or_else(|| results_dir().join("BENCH_baseline.json"));
@@ -175,80 +303,36 @@ fn main() -> ExitCode {
     }
 
     if serve {
-        let serve_current_path =
-            serve_current_path.unwrap_or_else(|| results_dir().join("BENCH_serve.json"));
-        let serve_baseline_path =
-            serve_baseline_path.unwrap_or_else(|| results_dir().join("BENCH_serve_baseline.json"));
-
-        let baseline_text = match std::fs::read_to_string(&serve_baseline_path) {
-            Ok(t) => t,
-            Err(e) => {
-                return fail(&format!(
-                    "cannot read serve baseline {}: {e}",
-                    serve_baseline_path.display()
-                ))
-            }
+        let leg = RatioLeg {
+            label: "serve",
+            current_path: serve_current_path
+                .unwrap_or_else(|| results_dir().join("BENCH_serve.json")),
+            baseline_path: serve_baseline_path
+                .unwrap_or_else(|| results_dir().join("BENCH_serve_baseline.json")),
+            require: require_serve,
+            inject: serve_inject,
+            render: gate::render_serve,
         };
-        let baseline = match gate::parse_serve_summary(&baseline_text) {
-            Ok(s) => s,
-            Err(e) => {
-                return fail(&format!(
-                    "bad serve baseline {}: {e}",
-                    serve_baseline_path.display()
-                ))
-            }
+        match run_ratio_leg(leg, tolerance, update) {
+            Ok(ok) => passed &= ok,
+            Err(e) => return fail(&e),
+        }
+    }
+
+    if solve {
+        let leg = RatioLeg {
+            label: "solve",
+            current_path: solve_current_path
+                .unwrap_or_else(|| results_dir().join("BENCH_solve.json")),
+            baseline_path: solve_baseline_path
+                .unwrap_or_else(|| results_dir().join("BENCH_solve_baseline.json")),
+            require: require_solve,
+            inject: solve_inject,
+            render: gate::render_solve,
         };
-
-        match std::fs::read_to_string(&serve_current_path) {
-            Err(e) if !require_serve => {
-                // No fresh load-harness run on this machine: warn and
-                // skip, so a local kernel-only bench_gate still works.
-                eprintln!(
-                    "bench_gate: serve gate skipped, no current summary at {} ({e})",
-                    serve_current_path.display()
-                );
-            }
-            Err(e) => {
-                return fail(&format!(
-                    "cannot read current serve summary {}: {e}",
-                    serve_current_path.display()
-                ));
-            }
-            Ok(text) => {
-                let mut current = match gate::parse_serve_summary(&text) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        return fail(&format!(
-                            "bad current serve summary {}: {e}",
-                            serve_current_path.display()
-                        ))
-                    }
-                };
-                if let Some((metric, factor)) = serve_inject {
-                    if let Err(e) = gate::inject_serve_regression(&mut current, &metric, factor) {
-                        return fail(&e);
-                    }
-                    eprintln!(
-                        "bench_gate: injected {factor}x loss into serve '{metric}' (self-test)"
-                    );
-                }
-                let report = gate::compare_serve(&baseline, &current, tolerance);
-                print!("{}", gate::render_serve(&report, tolerance));
-                passed &= report.passed();
-
-                if passed && update {
-                    if let Err(e) = std::fs::write(
-                        &serve_baseline_path,
-                        gate::serve_baseline_json(&current) + "\n",
-                    ) {
-                        return fail(&format!(
-                            "cannot update serve baseline {}: {e}",
-                            serve_baseline_path.display()
-                        ));
-                    }
-                    println!("serve baseline updated: {}", serve_baseline_path.display());
-                }
-            }
+        match run_ratio_leg(leg, tolerance, update) {
+            Ok(ok) => passed &= ok,
+            Err(e) => return fail(&e),
         }
     }
 

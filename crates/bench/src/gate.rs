@@ -383,6 +383,59 @@ pub fn render_serve(report: &GateReport, tolerance: f64) -> String {
     out
 }
 
+/// Renders the solve gate outcome: the amortized-solver leg
+/// (`BENCH_solve.json` vs `BENCH_solve_baseline.json`, DESIGN.md §15)
+/// reuses the serve-summary machinery — both are `gate`-object ratio
+/// files — but fails with a solve-specific repro line.
+pub fn render_solve(report: &GateReport, tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "solve gate: tolerance {:.1}% on amortized-solver ratios\n",
+        tolerance * 100.0
+    ));
+    let row = |r: &Regression| {
+        format!(
+            "  {:<28} baseline {:>8.3}x  current {:>8.3}x  ({:+.1}%)\n",
+            r.kernel,
+            r.baseline_speedup,
+            r.current_speedup,
+            (r.ratio - 1.0) * 100.0
+        )
+    };
+    if !report.regressions.is_empty() {
+        out.push_str("REGRESSED beyond tolerance:\n");
+        for r in &report.regressions {
+            out.push_str(&row(r));
+        }
+    }
+    if !report.improvements.is_empty() {
+        out.push_str("improved beyond tolerance (consider --update to ratchet):\n");
+        for r in &report.improvements {
+            out.push_str(&row(r));
+        }
+    }
+    for name in &report.missing {
+        out.push_str(&format!(
+            "  warning: baseline solve metric '{name}' not in current summary\n"
+        ));
+    }
+    for name in &report.new_kernels {
+        out.push_str(&format!(
+            "  note: new solve metric '{name}' (not in baseline)\n"
+        ));
+    }
+    if report.passed() {
+        out.push_str("solve gate: PASS\n");
+    } else {
+        out.push_str("solve gate: FAIL\n");
+        out.push_str(
+            "repro: GENIEX_THREADS=1 cargo run --release -p geniex-bench --bin solve_bench && \
+             cargo run --release -p geniex-bench --bin bench_gate -- --solve\n",
+        );
+    }
+    out
+}
+
 /// Serializes a serve summary back to the committed-baseline form:
 /// just the `gate` object, which is all the gate reads.
 pub fn serve_baseline_json(summary: &ServeSummary) -> String {
@@ -555,6 +608,38 @@ mod tests {
         let back = parse_serve_summary(&text).expect("round-trip parses");
         assert_eq!(back, s);
         assert!(compare_serve(&s, &back, 0.0).passed());
+    }
+
+    #[test]
+    fn solve_regression_trips_with_solve_render() {
+        let baseline = parse_serve_summary(r#"{"gate":{"amortized_speedup":2.5}}"#).unwrap();
+        let mut current = baseline.clone();
+        inject_serve_regression(&mut current, "amortized_speedup", 3.0).unwrap();
+        let report = compare_serve(&baseline, &current, 0.10);
+        assert!(!report.passed());
+        let rendered = render_solve(&report, 0.10);
+        assert!(rendered.contains("solve gate: FAIL"));
+        assert!(rendered.contains("solve_bench"));
+        assert!(
+            render_solve(&compare_serve(&baseline, &baseline, 0.10), 0.10)
+                .contains("solve gate: PASS")
+        );
+    }
+
+    #[test]
+    fn committed_solve_baseline_parses_and_passes_against_itself() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_solve_baseline.json"
+        );
+        let text = std::fs::read_to_string(path).expect("committed solve baseline exists");
+        let baseline = parse_serve_summary(&text).expect("solve baseline parses");
+        assert!(
+            baseline.metrics["amortized_speedup"] >= 2.0,
+            "committed baseline must witness the >=2x amortized-solve win, got {}",
+            baseline.metrics["amortized_speedup"]
+        );
+        assert!(compare_serve(&baseline, &baseline, 0.0).passed());
     }
 
     #[test]

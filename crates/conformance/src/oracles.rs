@@ -8,7 +8,10 @@ use geniex::GeniexTile;
 use kernels::naive;
 use proptest::TestRng;
 use std::path::PathBuf;
-use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, LinearSolverKind, NewtonOptions};
+use xbar::{
+    ConductanceMatrix, CrossbarCircuit, CrossbarParams, LinearSolverKind, NewtonOptions,
+    SolverCache,
+};
 
 pub(crate) fn laws() -> Vec<Box<dyn Law>> {
     vec![
@@ -16,9 +19,12 @@ pub(crate) fn laws() -> Vec<Box<dyn Law>> {
         Box::new(GemmVsNaive),
         Box::new(GemvVsNaive),
         Box::new(SpmvVsNaive),
+        Box::new(SpmvPlanVsNaive),
         Box::new(ParallelVsSerial),
         Box::new(StoreWarmVsCold),
         Box::new(SolverBgsVsCg),
+        Box::new(AmortizedVsColdSolve),
+        Box::new(WarmStartFixedPoint),
         Box::new(FastTileVsFullSurrogate),
     ]
 }
@@ -226,6 +232,79 @@ impl Law for SpmvVsNaive {
     }
 }
 
+/// The strategy-dispatching [`kernels::SpmvPlan`] (naive / SELL-8 /
+/// lane-CSR hybrid, chosen from the sparsity pattern) vs the plain
+/// naive CSR loop. Sized so the draw actually crosses the dispatch
+/// thresholds: small patterns plan as `Naive`, denser ones as `Sell`
+/// or `LaneCsr`.
+struct SpmvPlanVsNaive;
+
+impl Law for SpmvPlanVsNaive {
+    fn name(&self) -> &'static str {
+        "oracle/spmv_plan_vs_naive"
+    }
+    fn category(&self) -> Category {
+        Category::Oracle
+    }
+    fn tolerance(&self) -> &'static str {
+        "rows with <= 8 entries bit-identical; longer rows within eps * nnz * sum|v x| (floor 1e-15)"
+    }
+    fn cases(&self) -> u64 {
+        8
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let rows = gen::usize_in(rng, 0, 64);
+        let cols = gen::usize_in(rng, 1, 32);
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..rows {
+            let nnz = gen::usize_in(rng, 0, cols.min(16));
+            let mut picked = gen::permutation(rng, cols);
+            picked.truncate(nnz);
+            picked.sort_unstable();
+            for c in picked {
+                col_idx.push(c);
+                values.push(gen::f64_in(rng, -1.0, 1.0));
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        let x = gen::vec_f64(rng, cols, -1.0, 1.0);
+        let plan = kernels::SpmvPlan::new(&row_ptr, &col_idx, &values, cols);
+        let mut planned = vec![0.0f64; rows];
+        let mut reference = vec![0.0f64; rows];
+        plan.apply(&x, &mut planned);
+        naive::spmv_csr(&row_ptr, &col_idx, &values, &x, &mut reference);
+        for i in 0..rows {
+            let nnz = row_ptr[i + 1] - row_ptr[i];
+            if nnz <= kernels::LANES {
+                if planned[i].to_bits() != reference[i].to_bits() {
+                    return Err(format!(
+                        "spmv plan ({:?}) row {i} ({nnz} entries): {} vs {} (must be bit-identical)",
+                        plan.strategy(),
+                        planned[i],
+                        reference[i]
+                    ));
+                }
+            } else {
+                let magnitude: f64 = (row_ptr[i]..row_ptr[i + 1])
+                    .map(|p| (values[p] * x[col_idx[p]]).abs())
+                    .sum();
+                let bound = (f64::EPSILON * magnitude * nnz as f64).max(1e-15);
+                if (planned[i] - reference[i]).abs() > bound {
+                    return Err(format!(
+                        "spmv plan ({:?}) row {i} ({nnz} entries): {} vs {} (bound {bound})",
+                        plan.strategy(),
+                        planned[i],
+                        reference[i]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One worker thread vs eight: the work-stealing pool's contract is
 /// bit-identical results at any `GENIEX_THREADS`.
 struct ParallelVsSerial;
@@ -415,6 +494,123 @@ impl Law for SolverBgsVsCg {
             if (a - b).abs() > bound {
                 return Err(format!(
                     "column {j}: BGS {a} vs CG {b} (bound {bound}, {rows}x{cols})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The amortized batch path (cached factorization + warm-started
+/// Newton, DESIGN.md §15) vs one cold exact solve per sample. The two
+/// paths stop at different equally-converged iterates, so agreement
+/// is bounded by the solver tolerance rather than machine epsilon.
+struct AmortizedVsColdSolve;
+
+impl Law for AmortizedVsColdSolve {
+    fn name(&self) -> &'static str {
+        "oracle/amortized_vs_cold_solve"
+    }
+    fn category(&self) -> Category {
+        Category::Oracle
+    }
+    fn tolerance(&self) -> &'static str {
+        "per column |I_amortized - I_cold| <= 1e-6 * |I| + 1e-10 A (solver tolerance)"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let rows = gen::usize_in(rng, 2, 6);
+        let cols = gen::usize_in(rng, 2, 6);
+        let samples = gen::usize_in(rng, 2, 4);
+        let params = CrossbarParams::builder(rows, cols)
+            .r_wire(gen::f64_in(rng, 1.0, 5.0))
+            .build()
+            .map_err(|e| e.to_string())?;
+        let levels = gen::vec_f64(rng, rows * cols, 0.0, 1.0);
+        let g = ConductanceMatrix::from_levels(&params, &levels).map_err(|e| e.to_string())?;
+        let circuit = CrossbarCircuit::new(&params, &g).map_err(|e| e.to_string())?;
+
+        // Correlated panel — the regime warm-starting targets.
+        let mut volts = gen::vec_f64(rng, rows, 0.0, params.v_supply);
+        for s in 1..samples {
+            for i in 0..rows {
+                let jitter = gen::f64_in(rng, -0.2, 0.2) * params.v_supply;
+                let prev = volts[(s - 1) * rows + i];
+                volts.push((prev + jitter).clamp(0.0, params.v_supply));
+            }
+        }
+
+        let mut cache = SolverCache::for_circuit(&circuit);
+        let amortized = circuit
+            .solve_batch(&volts, samples, &mut cache)
+            .map_err(|e| e.to_string())?;
+        for (s, report) in amortized.iter().enumerate() {
+            let cold = circuit
+                .solve(&volts[s * rows..(s + 1) * rows])
+                .map_err(|e| e.to_string())?;
+            for (j, (a, b)) in report.currents.iter().zip(&cold.currents).enumerate() {
+                let bound = 1e-6 * b.abs() + 1e-10;
+                if (a - b).abs() > bound {
+                    return Err(format!(
+                        "sample {s} column {j}: amortized {a} vs cold {b} \
+                         (bound {bound}, {rows}x{cols})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Re-solving the input a warm cache just converged on is a fixed
+/// point: the stored residual already satisfies the tolerance, so the
+/// solver must take zero Newton iterations and reproduce the previous
+/// currents bit-for-bit.
+struct WarmStartFixedPoint;
+
+impl Law for WarmStartFixedPoint {
+    fn name(&self) -> &'static str {
+        "oracle/warm_start_fixed_point"
+    }
+    fn category(&self) -> Category {
+        Category::Oracle
+    }
+    fn tolerance(&self) -> &'static str {
+        "warm re-solve of the same input: 0 Newton iterations, bit-identical currents (exact)"
+    }
+    fn cases(&self) -> u64 {
+        6
+    }
+    fn check(&self, rng: &mut TestRng) -> Result<(), String> {
+        let rows = gen::usize_in(rng, 2, 6);
+        let cols = gen::usize_in(rng, 2, 6);
+        let params = CrossbarParams::builder(rows, cols)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let levels = gen::vec_f64(rng, rows * cols, 0.0, 1.0);
+        let g = ConductanceMatrix::from_levels(&params, &levels).map_err(|e| e.to_string())?;
+        let circuit = CrossbarCircuit::new(&params, &g).map_err(|e| e.to_string())?;
+        let v = gen::vec_f64(rng, rows, 0.0, params.v_supply);
+
+        let mut cache = SolverCache::for_circuit(&circuit);
+        let first = circuit
+            .solve_amortized(&v, &mut cache)
+            .map_err(|e| e.to_string())?;
+        let second = circuit
+            .solve_amortized(&v, &mut cache)
+            .map_err(|e| e.to_string())?;
+        if second.newton_iterations != 0 {
+            return Err(format!(
+                "warm re-solve took {} Newton iterations, expected 0 ({rows}x{cols})",
+                second.newton_iterations
+            ));
+        }
+        for (j, (a, b)) in second.currents.iter().zip(&first.currents).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "column {j}: warm re-solve {a} vs first solve {b} (must be bit-identical)"
                 ));
             }
         }

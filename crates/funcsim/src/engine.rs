@@ -359,34 +359,30 @@ struct CircuitTile {
     circuit: CrossbarCircuit,
     rows: usize,
     v_supply: f64,
-    /// Node voltages of the most recent solve: consecutive stimuli on
-    /// the same tile are similar, so warm-starting Newton from the
-    /// previous operating point cuts iterations substantially.
-    warm_start: std::sync::Mutex<Option<Vec<f64>>>,
+    /// Amortized-solve state (DESIGN.md §15): the content-keyed frozen
+    /// Jacobian factorization plus the previous sample's node voltages.
+    /// Consecutive stimuli on the same tile are similar, so warm-starting
+    /// Newton from the last operating point cuts iterations substantially,
+    /// and the factorization is shared with every tile programmed with the
+    /// same conductances.
+    cache: std::sync::Mutex<xbar::SolverCache>,
 }
 
 impl ProgrammedXbar for CircuitTile {
     fn currents_batch(&self, v_levels: &[f32], n: usize) -> Result<Vec<f64>, FuncsimError> {
         check_batch(self.rows, v_levels, n)?;
-        let mut out = Vec::with_capacity(n * self.circuit.params().cols);
-        let mut volts = vec![0.0f64; self.rows];
-        let mut guess = self
-            .warm_start
-            .lock()
-            .expect("warm-start cache poisoned")
-            .take();
-        for b in 0..n {
-            for (v, &l) in volts
-                .iter_mut()
-                .zip(&v_levels[b * self.rows..(b + 1) * self.rows])
-            {
-                *v = l as f64 * self.v_supply;
-            }
-            let report = self.circuit.solve_with_guess(&volts, guess.as_deref())?;
-            out.extend_from_slice(&report.currents);
-            guess = Some(report.node_voltages);
+        // Assemble the whole row-major panel up front so one factorization
+        // serves all `n` right-hand sides in `solve_batch`.
+        let mut volts = vec![0.0f64; n * self.rows];
+        for (v, &l) in volts.iter_mut().zip(v_levels) {
+            *v = l as f64 * self.v_supply;
         }
-        *self.warm_start.lock().expect("warm-start cache poisoned") = guess;
+        let mut cache = self.cache.lock().expect("solver cache poisoned");
+        let reports = self.circuit.solve_batch(&volts, n, &mut cache)?;
+        let mut out = Vec::with_capacity(n * self.circuit.params().cols);
+        for report in &reports {
+            out.extend_from_slice(&report.currents);
+        }
         Ok(out)
     }
 }
@@ -402,11 +398,13 @@ impl CrossbarEngine for CircuitEngine {
         g_levels: &[f32],
     ) -> Result<Box<dyn ProgrammedXbar>, FuncsimError> {
         let g = check_levels(params, g_levels)?;
+        let circuit = CrossbarCircuit::new(params, &g)?;
+        let cache = std::sync::Mutex::new(xbar::SolverCache::for_circuit(&circuit));
         Ok(Box::new(CircuitTile {
-            circuit: CrossbarCircuit::new(params, &g)?,
+            circuit,
             rows: params.rows,
             v_supply: params.v_supply,
-            warm_start: std::sync::Mutex::new(None),
+            cache,
         }))
     }
 }
@@ -488,7 +486,11 @@ mod tests {
             .unwrap()
             .currents;
         for (a, b) in out.iter().zip(&direct) {
-            assert!((a - b).abs() < 1e-15);
+            // The engine runs the amortized frozen-Jacobian path, which
+            // stops at a different (equally converged) iterate than the
+            // cold exact-Newton solve; agreement is bounded by the solver
+            // tolerance, not by machine epsilon (DESIGN.md §15).
+            assert!((a - b).abs() < 1e-6 * b.abs() + 1e-10);
         }
     }
 
@@ -548,9 +550,15 @@ mod tests {
             let batch = tile.currents_batch(&flat, 2).unwrap();
             let s1 = tile.currents_batch(&v1, 1).unwrap();
             let s2 = tile.currents_batch(&v2, 1).unwrap();
+            // Ideal/analytical are pure arithmetic and must be bit-stable
+            // across batching. The circuit engine warm-starts Newton from
+            // whatever the cache last held, so batched and single solves
+            // stop at different (equally converged) iterates; agreement is
+            // bounded by the solver tolerance instead (DESIGN.md §15).
+            let tol = if e.name() == "circuit" { 1e-12 } else { 1e-15 };
             for j in 0..4 {
-                assert!((batch[j] - s1[j]).abs() < 1e-15, "{}", e.name());
-                assert!((batch[4 + j] - s2[j]).abs() < 1e-15, "{}", e.name());
+                assert!((batch[j] - s1[j]).abs() < tol, "{}", e.name());
+                assert!((batch[4 + j] - s2[j]).abs() < tol, "{}", e.name());
             }
         }
     }

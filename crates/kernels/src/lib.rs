@@ -39,6 +39,12 @@
 //!   sequential for rows with ≤ 8 entries (the crossbar-Jacobian norm,
 //!   where lane padding would only add flops), the lane split by
 //!   position within the row beyond that.
+//! * [`SpmvPlan`] moves that decision to build time: it inspects the
+//!   sparsity structure once and re-packs short-row matrices into
+//!   SELL-8 slices (8 independent accumulator chains, no per-row
+//!   branching), keeping the naive order for tiny matrices and the
+//!   per-row dispatch for ragged ones. Iterative solvers build the
+//!   plan once per pattern and amortize it across every product.
 //!
 //! Element-wise kernels ([`axpy_f64`], [`xpby_f64`]) have no reduction
 //! and therefore no ordering freedom; they are provided so solvers have
@@ -69,7 +75,7 @@ mod spmv;
 pub use dot::{axpy_f64, dot_f32, dot_f64, dot_f64_f32, xpby_f64};
 pub use gemm::{gemm_nn, gemm_nt, transpose_f32};
 pub use gemv::{gemv_bias_relu_f32, gemv_into_f32, gemv_levels_scaled, gemv_levels_scaled_batch};
-pub use spmv::spmv_csr;
+pub use spmv::{spmv_csr, SpmvPlan, SpmvStrategy};
 
 /// Number of independent accumulator lanes in every reduction kernel.
 ///

@@ -124,8 +124,13 @@ pub fn conjugate_gradient(
         })
         .collect();
 
+    // One structure inspection, then every product in the iteration
+    // below runs the prepared layout (SELL-8 for the short-row circuit
+    // Jacobians — bit-identical to `matvec_into` there).
+    let plan = a.spmv_plan();
+
     let mut r = vec![0.0; n];
-    a.matvec_into(&x, &mut r);
+    plan.apply(&x, &mut r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
@@ -139,7 +144,7 @@ pub fn conjugate_gradient(
         if norm2(&r) <= threshold {
             break;
         }
-        a.matvec_into(&p, &mut ap);
+        plan.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Not SPD (or numerically broken down).
@@ -164,7 +169,7 @@ pub fn conjugate_gradient(
 
     // Recompute the true residual: accumulated recurrences can drift.
     let mut true_r = vec![0.0; n];
-    a.matvec_into(&x, &mut true_r);
+    plan.apply(&x, &mut true_r);
     for i in 0..n {
         true_r[i] = b[i] - true_r[i];
     }

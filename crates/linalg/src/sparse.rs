@@ -228,6 +228,20 @@ impl CsrMatrix {
         kernels::spmv_csr(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
+    /// Builds a prepared [`kernels::SpmvPlan`] for this matrix.
+    ///
+    /// The plan inspects the sparsity structure once (choosing SELL-8
+    /// packing, the per-row lane dispatch, or the naive loop — see the
+    /// kernel crate's docs) and is then amortized across every product,
+    /// which is how [`conjugate_gradient`](crate::conjugate_gradient)
+    /// uses it: one plan per solve, one apply per iteration. For finite
+    /// inputs `plan.apply` is bit-identical to [`Self::matvec_into`]
+    /// whenever all rows hold ≤ 8 entries (always true for the
+    /// pentadiagonal-ish circuit Jacobians).
+    pub fn spmv_plan(&self) -> kernels::SpmvPlan {
+        kernels::SpmvPlan::new(&self.row_ptr, &self.col_idx, &self.values, self.cols)
+    }
+
     /// Returns the diagonal as a vector (structural zeros become 0.0).
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);

@@ -27,6 +27,7 @@
 //! assembled sparse Jacobian (kept as a cross-validation path and
 //! exposed for benchmarking).
 
+use crate::cache::{thomas_apply, JacobianFactorization, SolverCache, WarmContext, WarmState};
 use crate::conductance::ConductanceMatrix;
 use crate::device::{
     AccessDevice, DeviceModel, FilamentaryRram, LinearMemristor, SeriesCell, SeriesLinearCell,
@@ -45,7 +46,7 @@ static NEXT_TILE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Telemetry handles resolved once so the per-solve cost is a handful
 /// of relaxed atomic ops (and just the enabled-flag load when off).
-struct CircuitMetrics {
+pub(crate) struct CircuitMetrics {
     solves: Arc<telemetry::Counter>,
     solve_time: Arc<telemetry::Timer>,
     newton_iterations: Arc<telemetry::Histogram>,
@@ -55,9 +56,14 @@ struct CircuitMetrics {
     cg_solves: Arc<telemetry::Counter>,
     cg_inner_iterations: Arc<telemetry::Histogram>,
     cg_final_residual: Arc<telemetry::Histogram>,
+    amortized_solves: Arc<telemetry::Counter>,
+    amortized_fallbacks: Arc<telemetry::Counter>,
+    pub(crate) cache_hits: Arc<telemetry::Counter>,
+    pub(crate) cache_misses: Arc<telemetry::Counter>,
+    pub(crate) cache_rekeys: Arc<telemetry::Counter>,
 }
 
-fn metrics() -> &'static CircuitMetrics {
+pub(crate) fn metrics() -> &'static CircuitMetrics {
     static METRICS: OnceLock<CircuitMetrics> = OnceLock::new();
     METRICS.get_or_init(|| CircuitMetrics {
         solves: telemetry::counter("xbar.solves"),
@@ -81,10 +87,21 @@ fn metrics() -> &'static CircuitMetrics {
             "xbar.cg.final_residual",
             &telemetry::exponential_buckets(1e-18, 10.0, 12),
         ),
+        amortized_solves: telemetry::counter("xbar.amortized.solves"),
+        amortized_fallbacks: telemetry::counter("xbar.amortized.fallbacks"),
+        cache_hits: telemetry::counter("xbar.cache.hits"),
+        cache_misses: telemetry::counter("xbar.cache.misses"),
+        cache_rekeys: telemetry::counter("xbar.cache.rekeys"),
     })
 }
 
 /// Which linear solver the Newton loop uses for its correction systems.
+///
+/// Both solve the same correction `J(x)·dx = F(x)` and both are
+/// *inexact* inner solvers: the outer Newton loop accepts a step only
+/// after re-evaluating the true KCL residual, so the choice affects
+/// speed, never the converged answer (the conformance law
+/// `oracle/solver_bgs_vs_cg` holds the two within `1e-9` relative).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LinearSolverKind {
     /// Block Gauss–Seidel with exact tridiagonal (Thomas) sweeps.
@@ -98,9 +115,16 @@ pub enum LinearSolverKind {
 }
 
 /// Options controlling the Newton solve.
+///
+/// These are part of a circuit's *content* for amortization purposes:
+/// [`CrossbarCircuit::solver_key`] folds them in, so circuits that
+/// differ only in options never share cached solver state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NewtonOptions {
     /// Absolute KCL residual tolerance in amperes (infinity norm).
+    /// The enforced tolerance is this value floored by the f64
+    /// cancellation noise of the circuit at hand — see
+    /// [`CrossbarCircuit::effective_tolerance`].
     pub abs_tolerance: f64,
     /// Maximum Newton iterations.
     pub max_iterations: usize,
@@ -118,6 +142,21 @@ impl Default for NewtonOptions {
             max_dampings: 30,
             linear_solver: LinearSolverKind::default(),
         }
+    }
+}
+
+impl store::Canonical for NewtonOptions {
+    fn canonicalize(&self, key: &mut store::KeyBuilder) {
+        key.f64("abs_tolerance", self.abs_tolerance)
+            .usize("max_iterations", self.max_iterations)
+            .usize("max_dampings", self.max_dampings)
+            .str(
+                "linear_solver",
+                match self.linear_solver {
+                    LinearSolverKind::BlockGaussSeidel => "bgs",
+                    LinearSolverKind::ConjugateGradient => "cg",
+                },
+            );
     }
 }
 
@@ -183,6 +222,19 @@ impl Cell {
             Cell::LinearWithAccess(d) => d.di_dv(v),
         }
     }
+
+    /// Current and differential conductance with an internal-node warm
+    /// start (series cells only — two-terminal cells have no internal
+    /// node and ignore `u`). See `device::SeriesPair::current_and_didv_warm`.
+    #[inline]
+    fn current_and_didv_warm(&self, v: f64, u: &mut f64) -> (f64, f64) {
+        match self {
+            Cell::Linear(d) => d.current_and_didv(v),
+            Cell::Rram(d) => d.current_and_didv(v),
+            Cell::RramWithAccess(d) => d.current_and_didv_warm(v, u),
+            Cell::LinearWithAccess(d) => d.current_and_didv_warm(v, u),
+        }
+    }
 }
 
 /// A programmed, non-ideal crossbar ready to solve MVM operating points.
@@ -197,6 +249,10 @@ impl Cell {
 pub struct CrossbarCircuit {
     params: CrossbarParams,
     cells: Vec<Cell>,
+    /// The programmed conductances, retained verbatim for content
+    /// keying ([`Self::solver_key`]) — `cells` holds the compensated
+    /// device state, not the programmed values.
+    g_values: Vec<f64>,
     options: NewtonOptions,
     /// Process-unique tile id keying this circuit's trace events.
     tile_id: u64,
@@ -273,9 +329,29 @@ impl CrossbarCircuit {
         Ok(CrossbarCircuit {
             params: params.clone(),
             cells,
+            g_values: g.as_slice().to_vec(),
             options,
             tile_id: NEXT_TILE_ID.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// Content key identifying everything the solver's cached state
+    /// depends on: the design parameters (including device model and
+    /// non-ideality configuration), the programmed conductance matrix,
+    /// and the Newton options.
+    ///
+    /// Two circuits with equal keys are interchangeable for solving —
+    /// [`SolverCache`]s key their factorizations and warm starts by
+    /// this value, and the process-wide factorization registry shares
+    /// entries across instances with matching keys. The `tile_id` is
+    /// deliberately excluded: it identifies the *instance* for tracing,
+    /// not the content.
+    pub fn solver_key(&self) -> store::Key {
+        let mut key = store::KeyBuilder::new(*b"solv");
+        key.nested("params", &self.params)
+            .f64_slice("g", &self.g_values)
+            .nested("newton", &self.options);
+        key.finish()
     }
 
     /// The design parameters this circuit was built with.
@@ -619,6 +695,72 @@ impl CrossbarCircuit {
         }
     }
 
+    /// [`Self::kcl_residual`] with per-cell internal-node warm starts
+    /// and a free Jacobian refresh:
+    ///
+    /// * `u[i * cols + j]` carries the series cell's internal voltage
+    ///   from the previous evaluation into the next one (NaN = no
+    ///   guess), so the per-cell scalar Newton converges in 1–2
+    ///   iterations across the amortized loop's repeated evaluations
+    ///   and across consecutive batch samples.
+    /// * `gd[i * cols + j]` receives each cell's differential
+    ///   conductance at this operating point — a byproduct of the same
+    ///   internal solve that produced the current, so the amortized
+    ///   Newton loop gets a fresh Jacobian without the second
+    ///   per-cell device solve the cold path pays.
+    ///
+    /// The residual values themselves match `kcl_residual` to the
+    /// device solver's tolerance.
+    pub(crate) fn kcl_residual_warm(
+        &self,
+        v: &[f64],
+        x: &[f64],
+        out: &mut [f64],
+        u: &mut [f64],
+        gd: &mut [f64],
+    ) {
+        let (rows, cols) = (self.rows(), self.cols());
+        let g_src = 1.0 / self.params.r_source;
+        let g_snk = 1.0 / self.params.r_sink;
+        let g_w = 1.0 / self.params.r_wire;
+        out.fill(0.0);
+
+        for i in 0..rows {
+            let w0 = self.w_idx(i, 0);
+            out[w0] += g_src * (x[w0] - v[i]);
+            for j in 0..cols.saturating_sub(1) {
+                let a = self.w_idx(i, j);
+                let b = self.w_idx(i, j + 1);
+                let iw = g_w * (x[a] - x[b]);
+                out[a] += iw;
+                out[b] -= iw;
+            }
+        }
+        for j in 0..cols {
+            for i in 0..rows.saturating_sub(1) {
+                let a = self.b_idx(i, j);
+                let b = self.b_idx(i + 1, j);
+                let iw = g_w * (x[a] - x[b]);
+                out[a] += iw;
+                out[b] -= iw;
+            }
+            let bl = self.b_idx(rows - 1, j);
+            out[bl] += g_snk * x[bl];
+        }
+        for i in 0..rows {
+            for j in 0..cols {
+                let wn = self.w_idx(i, j);
+                let bn = self.b_idx(i, j);
+                let (idev, g) = self
+                    .cell(i, j)
+                    .current_and_didv_warm(x[wn] - x[bn], &mut u[i * cols + j]);
+                out[wn] += idev;
+                out[bn] -= idev;
+                gd[i * cols + j] = g;
+            }
+        }
+    }
+
     /// Solves the Newton correction system `J(x) dx = F`, folding
     /// inner-solver statistics into `cg_stats` on the CG path.
     fn solve_correction(
@@ -713,9 +855,6 @@ impl CrossbarCircuit {
     fn block_gauss_seidel(&self, x: &[f64], f: &[f64]) -> Result<Vec<f64>, XbarError> {
         let (rows, cols) = (self.rows(), self.cols());
         let half = rows * cols;
-        let g_src = 1.0 / self.params.r_source;
-        let g_snk = 1.0 / self.params.r_sink;
-        let g_w = 1.0 / self.params.r_wire;
 
         // Cell differential conductances at the linearization point.
         let mut gd = vec![0.0; half];
@@ -726,6 +865,20 @@ impl CrossbarCircuit {
                     .di_dv(x[self.w_idx(i, j)] - x[self.b_idx(i, j)]);
             }
         }
+        self.block_gauss_seidel_with_gd(&gd, f)
+    }
+
+    /// [`Self::block_gauss_seidel`] with the per-cell differential
+    /// conductances supplied by the caller — the amortized path feeds
+    /// in the `gd` byproduct of its last residual evaluation
+    /// ([`Self::kcl_residual_warm`]), getting an exact-Jacobian
+    /// correction without a second device solve per cell.
+    fn block_gauss_seidel_with_gd(&self, gd: &[f64], f: &[f64]) -> Result<Vec<f64>, XbarError> {
+        let (rows, cols) = (self.rows(), self.cols());
+        let half = rows * cols;
+        let g_src = 1.0 / self.params.r_source;
+        let g_snk = 1.0 / self.params.r_sink;
+        let g_w = 1.0 / self.params.r_wire;
 
         // Tridiagonal diagonals for each word-line chain (off-diagonals
         // are all -g_w) and each bit-line chain.
@@ -828,6 +981,515 @@ impl CrossbarCircuit {
         dx[..half].copy_from_slice(&dw);
         dx[half..].copy_from_slice(&db);
         Ok(dx)
+    }
+
+    /// Builds the frozen Block-Gauss–Seidel operator at zero bias: the
+    /// per-cell small-signal conductances plus the Thomas factors of
+    /// every word-line and bit-line chain (see
+    /// [`JacobianFactorization`]). Called through
+    /// [`SolverCache::for_circuit`] and the process-wide registry; not
+    /// per solve.
+    pub(crate) fn factorize(&self) -> JacobianFactorization {
+        let (rows, cols) = (self.rows(), self.cols());
+        let half = rows * cols;
+        let g_src = 1.0 / self.params.r_source;
+        let g_snk = 1.0 / self.params.r_sink;
+        let g_w = 1.0 / self.params.r_wire;
+        let off = -g_w;
+
+        // Zero-bias linearization: dI/dV(0) of a calibrated cell is its
+        // programmed small-signal conductance, independent of inputs.
+        let mut gd = vec![0.0; half];
+        for (cell, g) in self.cells.iter().zip(gd.iter_mut()) {
+            *g = cell.di_dv(0.0);
+        }
+
+        let w_diag = |i: usize, j: usize| -> f64 {
+            let mut d = gd[i * cols + j];
+            if j == 0 {
+                d += g_src;
+            }
+            if j > 0 {
+                d += g_w;
+            }
+            if j + 1 < cols {
+                d += g_w;
+            }
+            d
+        };
+        let b_diag = |i: usize, j: usize| -> f64 {
+            let mut d = gd[i * cols + j];
+            if i == rows - 1 {
+                d += g_snk;
+            }
+            if i > 0 {
+                d += g_w;
+            }
+            if i + 1 < rows {
+                d += g_w;
+            }
+            d
+        };
+
+        // Forward elimination per chain, storing reciprocal pivots so
+        // the apply path is multiply-only (same recurrence as
+        // `thomas_solve`, divisions hoisted to build time).
+        let mut w_inv_denom = vec![0.0; half];
+        let mut w_c_prime = vec![0.0; half];
+        for i in 0..rows {
+            let base = i * cols;
+            let mut denom = w_diag(i, 0);
+            w_inv_denom[base] = 1.0 / denom;
+            w_c_prime[base] = off / denom;
+            for j in 1..cols {
+                denom = w_diag(i, j) - off * w_c_prime[base + j - 1];
+                w_inv_denom[base + j] = 1.0 / denom;
+                w_c_prime[base + j] = off / denom;
+            }
+        }
+        // Bit-line chains run down a column, so their factors are
+        // stored chain-major (`j * rows + i`) for contiguous access.
+        let mut b_inv_denom = vec![0.0; half];
+        let mut b_c_prime = vec![0.0; half];
+        for j in 0..cols {
+            let base = j * rows;
+            let mut denom = b_diag(0, j);
+            b_inv_denom[base] = 1.0 / denom;
+            b_c_prime[base] = off / denom;
+            for i in 1..rows {
+                denom = b_diag(i, j) - off * b_c_prime[base + i - 1];
+                b_inv_denom[base + i] = 1.0 / denom;
+                b_c_prime[base + i] = off / denom;
+            }
+        }
+
+        JacobianFactorization {
+            rows,
+            cols,
+            gd,
+            w_inv_denom,
+            w_c_prime,
+            b_inv_denom,
+            b_c_prime,
+        }
+    }
+
+    /// [`Self::block_gauss_seidel`] against a prefactorized operator:
+    /// the same sweep structure and the same inexact-Newton stopping
+    /// rule, but no device-model evaluations (the linearization is
+    /// frozen in `fact`) and no divisions (the Thomas pivots are
+    /// cached as reciprocals).
+    fn block_gauss_seidel_frozen(
+        &self,
+        fact: &JacobianFactorization,
+        f: &[f64],
+    ) -> Result<Vec<f64>, XbarError> {
+        let (rows, cols) = (self.rows(), self.cols());
+        let half = rows * cols;
+        let off = -1.0 / self.params.r_wire;
+        let gd = &fact.gd;
+
+        let mut dw = vec![0.0; half];
+        let mut db = vec![0.0; half];
+        let mut rhs = vec![0.0; cols.max(rows)];
+        let mut sol = vec![0.0; cols.max(rows)];
+
+        let max_sweeps = 500;
+        let mut first_delta = 0.0f64;
+        for sweep in 0..max_sweeps {
+            let mut delta: f64 = 0.0;
+            // w-half: one prefactorized tridiagonal apply per word line.
+            for i in 0..rows {
+                let base = i * cols;
+                for j in 0..cols {
+                    rhs[j] = f[self.w_idx(i, j)] + gd[base + j] * db[base + j];
+                }
+                thomas_apply(
+                    &fact.w_inv_denom[base..base + cols],
+                    &fact.w_c_prime[base..base + cols],
+                    off,
+                    &rhs[..cols],
+                    &mut sol[..cols],
+                );
+                for j in 0..cols {
+                    let idx = base + j;
+                    delta = delta.max((sol[j] - dw[idx]).abs());
+                    dw[idx] = sol[j];
+                }
+            }
+            // b-half: one prefactorized tridiagonal apply per bit line.
+            for j in 0..cols {
+                let base = j * rows;
+                for i in 0..rows {
+                    rhs[i] = f[self.b_idx(i, j)] + gd[i * cols + j] * dw[i * cols + j];
+                }
+                thomas_apply(
+                    &fact.b_inv_denom[base..base + rows],
+                    &fact.b_c_prime[base..base + rows],
+                    off,
+                    &rhs[..rows],
+                    &mut sol[..rows],
+                );
+                for i in 0..rows {
+                    let idx = i * cols + j;
+                    delta = delta.max((sol[i] - db[idx]).abs());
+                    db[idx] = sol[i];
+                }
+            }
+            if sweep == 0 {
+                first_delta = delta;
+            }
+            if delta < 1e-15 + 1e-8 * first_delta {
+                break;
+            }
+            if sweep == max_sweeps - 1 {
+                return Err(XbarError::Numerical(
+                    "frozen block gauss-seidel failed to contract".into(),
+                ));
+            }
+        }
+
+        let mut dx = vec![0.0; 2 * half];
+        dx[..half].copy_from_slice(&dw);
+        dx[half..].copy_from_slice(&db);
+        Ok(dx)
+    }
+
+    /// Like [`solve`](Self::solve), amortizing the per-solve setup
+    /// through `cache`: the Newton corrections reuse the cached frozen
+    /// factorization (no per-iteration device linearization or
+    /// refactorization) and the iteration warm-starts from the previous
+    /// converged sample's node voltages.
+    ///
+    /// # Correctness contract
+    ///
+    /// The frozen operator only *proposes* correction directions; every
+    /// step is damped and accepted against the **true** KCL residual,
+    /// and convergence is declared by the same
+    /// [`effective_tolerance`](Self::effective_tolerance) test as the
+    /// cold path — so an accepted solve is exactly as converged as a
+    /// cold one (the `oracle/solver_amortized_vs_cold` conformance law
+    /// holds the two within solver tolerance; a warm start from an
+    /// already-converged point returns bit-identically — see
+    /// `oracle/solver_warm_start_fixed_point`). If the chord iteration
+    /// stalls — possible in principle far from zero bias, where the
+    /// frozen linearization is a poor chord — the solve transparently
+    /// falls back to the exact cold path (counted by the telemetry
+    /// counter `xbar.amortized.fallbacks`, observed never to fire on
+    /// the paper's workloads).
+    ///
+    /// The cache re-keys itself if `self`'s content changed since it
+    /// was built (see [`SolverCache`]); on any error the warm start is
+    /// dropped so a failed sample cannot seed the next.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_amortized(
+        &self,
+        v: &[f64],
+        cache: &mut SolverCache,
+    ) -> Result<SolveReport, XbarError> {
+        let (rows, cols) = (self.rows(), self.cols());
+        if v.len() != rows {
+            return Err(XbarError::Shape(format!(
+                "{} input voltages for {rows} word lines",
+                v.len()
+            )));
+        }
+        if !v.iter().all(|x| x.is_finite()) {
+            return Err(XbarError::OutOfRange("input voltage is non-finite".into()));
+        }
+        cache.ensure(self);
+
+        let t_start = telemetry::enabled().then(Instant::now);
+        let tracing = telemetry::trace_active();
+        let warm = cache.take_warm();
+        let _trace = tracing.then(|| {
+            telemetry::trace_scope(
+                "xbar.solve_amortized",
+                vec![
+                    ("tile".to_string(), telemetry::Json::from(self.tile_id)),
+                    ("rows".to_string(), telemetry::Json::from(rows)),
+                    ("cols".to_string(), telemetry::Json::from(cols)),
+                    ("warm".to_string(), telemetry::Json::Bool(warm.is_some())),
+                ],
+            )
+        });
+
+        if !self.params.nonideality.parasitics {
+            let report = self.solve_without_parasitics(v);
+            if let Some(t) = t_start {
+                let m = metrics();
+                m.solves.inc();
+                m.amortized_solves.inc();
+                m.solve_time.record(t.elapsed());
+                m.newton_iterations.observe(0.0);
+            }
+            return Ok(report);
+        }
+
+        let n = 2 * rows * cols;
+        let fact = cache.factorization().clone();
+        // Per-cell internal-node voltages, carried across evaluations
+        // and across samples: warm-starts each series cell's scalar
+        // Newton (the dominant per-evaluation cost on 1T1R cells).
+        let mut u = cache.take_internal(rows * cols);
+        let mut x = vec![0.0; n];
+        let warm_started = match &warm {
+            Some(w) if w.x.len() == n => {
+                x.copy_from_slice(&w.x);
+                true
+            }
+            _ => {
+                for i in 0..rows {
+                    for j in 0..cols {
+                        x[self.w_idx(i, j)] = v[i];
+                    }
+                }
+                false
+            }
+        };
+
+        let half = rows * cols;
+        let mut residual = vec![0.0; n];
+        // `gd` tracks the per-cell differential conductances at the
+        // accepted iterate `x` — refreshed for free by every residual
+        // evaluation (`trial_gd` holds the candidate's until accepted).
+        let mut gd = vec![0.0; half];
+        let mut trial_gd = vec![0.0; half];
+        // With a full warm context the initial residual needs no device
+        // evaluation at all: the inputs enter `F` only through the
+        // driver source terms `g_src (x - v_i)`, so the previous
+        // residual transfers to the new inputs in O(rows). The
+        // adjustment cap bounds accumulated driver-node rounding (each
+        // pass adds ~1 ulp; 32 of them stay ~1e-17 A, five orders
+        // below the solve tolerance).
+        let mut adjustments = 0u32;
+        let mut reused_residual = false;
+        if warm_started {
+            if let Some(ctx) = warm.and_then(|w| w.context) {
+                if ctx.v.len() == rows
+                    && ctx.residual.len() == n
+                    && ctx.gd.len() == half
+                    && ctx.adjustments < 32
+                {
+                    residual = ctx.residual;
+                    gd = ctx.gd;
+                    let g_src = 1.0 / self.params.r_source;
+                    for (i, (&v_old, &v_new)) in ctx.v.iter().zip(v).enumerate() {
+                        residual[self.w_idx(i, 0)] += g_src * (v_old - v_new);
+                    }
+                    adjustments = ctx.adjustments + 1;
+                    reused_residual = true;
+                }
+            }
+        }
+        if !reused_residual {
+            self.kcl_residual_warm(v, &x, &mut residual, &mut u, &mut gd);
+        }
+        let mut res_norm = linalg::vec_ops::norm_inf(&residual);
+        let tolerance = self.effective_tolerance(v);
+
+        let mut iterations = 0;
+        let mut dampings_total = 0usize;
+        while res_norm > tolerance && iterations < self.options.max_iterations {
+            // First correction on a cold start: the cached
+            // input-independent frozen factorization (multiply-only,
+            // shared across tiles). Every other correction: the exact
+            // Jacobian refreshed from the last residual evaluation's
+            // free `gd` byproduct — when the residual was transferred
+            // from the previous sample, `gd` is already exact at `x`,
+            // so even the first step is a true Newton step rather than
+            // a chord step (worth a whole outer iteration per sample).
+            let correction = if iterations == 0 && !reused_residual {
+                self.block_gauss_seidel_frozen(&fact, &residual)
+            } else {
+                self.block_gauss_seidel_with_gd(&gd, &residual)
+            };
+            let dx = match correction {
+                Ok(dx) => dx,
+                Err(_) => {
+                    cache.set_internal(u);
+                    return self.amortized_fallback(v, &x, cache);
+                }
+            };
+            let mut scale = 1.0;
+            let mut accepted = false;
+            let mut trial = vec![0.0; n];
+            let mut trial_res = vec![0.0; n];
+            for _ in 0..=self.options.max_dampings {
+                for k in 0..n {
+                    trial[k] = x[k] - scale * dx[k];
+                }
+                self.kcl_residual_warm(v, &trial, &mut trial_res, &mut u, &mut trial_gd);
+                let trial_norm = linalg::vec_ops::norm_inf(&trial_res);
+                if trial_norm < res_norm || trial_norm <= tolerance {
+                    x.copy_from_slice(&trial);
+                    residual.copy_from_slice(&trial_res);
+                    std::mem::swap(&mut gd, &mut trial_gd);
+                    res_norm = trial_norm;
+                    accepted = true;
+                    break;
+                }
+                scale *= 0.5;
+                dampings_total += 1;
+            }
+            if !accepted {
+                cache.set_internal(u);
+                return self.amortized_fallback(v, &x, cache);
+            }
+            iterations += 1;
+            if tracing {
+                telemetry::trace_instant(
+                    "xbar.newton_iter",
+                    vec![
+                        ("tile".to_string(), telemetry::Json::from(self.tile_id)),
+                        ("iter".to_string(), telemetry::Json::from(iterations)),
+                        ("residual".to_string(), telemetry::Json::Num(res_norm)),
+                    ],
+                );
+            }
+        }
+
+        if res_norm > tolerance {
+            cache.set_internal(u);
+            return self.amortized_fallback(v, &x, cache);
+        }
+
+        let g_sink = 1.0 / self.params.r_sink;
+        let currents = (0..cols)
+            .map(|j| g_sink * x[self.b_idx(rows - 1, j)])
+            .collect();
+        if let Some(t) = t_start {
+            let m = metrics();
+            m.solves.inc();
+            m.amortized_solves.inc();
+            m.solve_time.record(t.elapsed());
+            m.newton_iterations.observe(iterations as f64);
+            m.dampings.observe(dampings_total as f64);
+            if warm_started {
+                m.warm_starts.inc();
+            } else {
+                m.cold_starts.inc();
+            }
+        }
+        cache.set_internal(u);
+        // A solve that iterated re-evaluated its residual from scratch,
+        // so the adjustment chain restarts.
+        if iterations > 0 {
+            adjustments = 0;
+        }
+        cache.set_warm(WarmState {
+            x: x.clone(),
+            context: Some(WarmContext {
+                v: v.to_vec(),
+                residual: residual.clone(),
+                gd: gd.clone(),
+                adjustments,
+            }),
+        });
+        Ok(SolveReport {
+            currents,
+            node_voltages: x,
+            newton_iterations: iterations,
+            residual_norm: res_norm,
+            dampings: dampings_total,
+            warm_start: warm_started,
+            cg: None,
+        })
+    }
+
+    /// Correctness net for the amortized path: exact damped Newton
+    /// seeded from the best iterate the chord reached. `x` only ever
+    /// improves the residual (damped acceptance), so the seed is never
+    /// worse than the amortized solve's own starting point.
+    fn amortized_fallback(
+        &self,
+        v: &[f64],
+        x: &[f64],
+        cache: &mut SolverCache,
+    ) -> Result<SolveReport, XbarError> {
+        if telemetry::enabled() {
+            metrics().amortized_fallbacks.inc();
+        }
+        let report = self.solve_with_guess(v, Some(x))?;
+        // The exact path reports voltages only, so the next warm solve
+        // re-evaluates its initial residual (context: None).
+        cache.set_warm(WarmState {
+            x: report.node_voltages.clone(),
+            context: None,
+        });
+        Ok(report)
+    }
+
+    /// Solves a panel of input samples through one cached
+    /// factorization, chaining warm starts sample to sample.
+    ///
+    /// `volts` is row-major `samples × rows`: sample `s` occupies
+    /// `volts[s * rows .. (s + 1) * rows]` — the layout funcsim's
+    /// batched GEMV path already carries, so a stream batch drives the
+    /// solver without reshaping. Each sample runs
+    /// [`solve_amortized`](Self::solve_amortized); the first inherits
+    /// `cache`'s warm start (cold on a fresh cache), each subsequent
+    /// one starts from its predecessor's converged node voltages.
+    ///
+    /// # Errors
+    ///
+    /// [`XbarError::Shape`] if `volts.len() != samples * rows`;
+    /// otherwise as [`solve`](Self::solve), failing on the first
+    /// diverging sample.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), xbar::XbarError> {
+    /// use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, SolverCache};
+    ///
+    /// let params = CrossbarParams::builder(4, 4).build()?;
+    /// let g = ConductanceMatrix::uniform(4, 4, params.g_on());
+    /// let circuit = CrossbarCircuit::new(&params, &g)?;
+    /// let mut cache = SolverCache::for_circuit(&circuit);
+    ///
+    /// // Three 4-input samples, row-major.
+    /// let volts = vec![
+    ///     0.25, 0.0, 0.25, 0.0, //
+    ///     0.0, 0.25, 0.0, 0.25, //
+    ///     0.25, 0.25, 0.25, 0.25,
+    /// ];
+    /// let reports = circuit.solve_batch(&volts, 3, &mut cache)?;
+    /// assert_eq!(reports.len(), 3);
+    /// assert!(!reports[0].warm_start && reports[1].warm_start);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn solve_batch(
+        &self,
+        volts: &[f64],
+        samples: usize,
+        cache: &mut SolverCache,
+    ) -> Result<Vec<SolveReport>, XbarError> {
+        let rows = self.rows();
+        if volts.len() != samples * rows {
+            return Err(XbarError::Shape(format!(
+                "{} panel voltages for {samples} samples of {rows} word lines",
+                volts.len()
+            )));
+        }
+        let _trace = telemetry::trace_active().then(|| {
+            telemetry::trace_scope(
+                "xbar.solve_batch",
+                vec![
+                    ("tile".to_string(), telemetry::Json::from(self.tile_id)),
+                    ("samples".to_string(), telemetry::Json::from(samples)),
+                ],
+            )
+        });
+        let mut reports = Vec::with_capacity(samples);
+        for sample in volts.chunks_exact(rows) {
+            reports.push(self.solve_amortized(sample, cache)?);
+        }
+        Ok(reports)
     }
 }
 
@@ -1136,6 +1798,115 @@ mod tests {
             let report = circuit.solve(&v).unwrap();
             assert_eq!(report.currents.len(), c);
             assert!(report.currents.iter().all(|&i| i > 0.0 && i.is_finite()));
+        }
+    }
+
+    #[test]
+    fn amortized_matches_cold_solve() {
+        let p = params(6, 5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = ConductanceMatrix::random_sparse(&p, 0.5, &mut rng);
+        let circuit = CrossbarCircuit::new(&p, &g).unwrap();
+        let mut cache = crate::SolverCache::for_circuit(&circuit);
+        let inputs = [
+            vec![0.25, 0.0, 0.125, 0.25, 0.0625, 0.1875],
+            vec![0.0, 0.25, 0.25, 0.0, 0.125, 0.0625],
+            vec![0.25; 6],
+        ];
+        for v in &inputs {
+            let cold = circuit.solve(v).unwrap();
+            let amortized = circuit.solve_amortized(v, &mut cache).unwrap();
+            // Both converged the same KCL system to the same tolerance.
+            for (a, b) in amortized.currents.iter().zip(&cold.currents) {
+                assert!(
+                    (a - b).abs() <= 1e-6 * b.abs() + 1e-10,
+                    "amortized {a} vs cold {b}"
+                );
+            }
+            let res = circuit.verify_kcl(v, &amortized.node_voltages).unwrap();
+            assert!(res <= circuit.effective_tolerance(v));
+        }
+    }
+
+    #[test]
+    fn amortized_warm_start_is_fixed_point() {
+        let p = params(5, 5);
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = ConductanceMatrix::random_sparse(&p, 0.6, &mut rng);
+        let circuit = CrossbarCircuit::new(&p, &g).unwrap();
+        let mut cache = crate::SolverCache::for_circuit(&circuit);
+        let v = vec![0.25, 0.125, 0.0625, 0.1875, 0.25];
+        let first = circuit.solve_amortized(&v, &mut cache).unwrap();
+        assert!(!first.warm_start);
+        // Re-solving the same input from the converged warm start is a
+        // fixed point: zero iterations, bit-identical output.
+        let second = circuit.solve_amortized(&v, &mut cache).unwrap();
+        assert!(second.warm_start);
+        assert_eq!(second.newton_iterations, 0);
+        assert_eq!(second.currents, first.currents);
+        assert_eq!(second.node_voltages, first.node_voltages);
+    }
+
+    #[test]
+    fn solve_batch_matches_per_sample_solves() {
+        let p = params(4, 6);
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = ConductanceMatrix::random_sparse(&p, 0.5, &mut rng);
+        let circuit = CrossbarCircuit::new(&p, &g).unwrap();
+        let mut cache = crate::SolverCache::for_circuit(&circuit);
+        let volts = vec![
+            0.25, 0.0, 0.125, 0.0625, //
+            0.0, 0.25, 0.0, 0.1875, //
+            0.125, 0.125, 0.25, 0.0,
+        ];
+        let reports = circuit.solve_batch(&volts, 3, &mut cache).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(!reports[0].warm_start);
+        assert!(reports[1].warm_start && reports[2].warm_start);
+        for (s, report) in reports.iter().enumerate() {
+            let cold = circuit.solve(&volts[s * 4..(s + 1) * 4]).unwrap();
+            for (a, b) in report.currents.iter().zip(&cold.currents) {
+                assert!((a - b).abs() <= 1e-6 * b.abs() + 1e-10);
+            }
+        }
+        // Shape validation.
+        assert!(circuit.solve_batch(&volts[..10], 3, &mut cache).is_err());
+    }
+
+    #[test]
+    fn amortized_handles_no_parasitics() {
+        let mut p = params(4, 4);
+        p.nonideality = NonIdealityConfig::none();
+        let g = ConductanceMatrix::uniform(4, 4, p.g_on());
+        let circuit = CrossbarCircuit::new(&p, &g).unwrap();
+        let mut cache = crate::SolverCache::for_circuit(&circuit);
+        let v = vec![0.25; 4];
+        let amortized = circuit.solve_amortized(&v, &mut cache).unwrap();
+        let cold = circuit.solve(&v).unwrap();
+        assert_eq!(amortized.currents, cold.currents);
+    }
+
+    #[test]
+    fn frozen_factorization_matches_fresh_bgs_direction() {
+        // At the zero-bias linearization point the frozen operator and
+        // the freshly-built one must produce (numerically) the same
+        // correction.
+        let p = params(5, 4);
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = ConductanceMatrix::random_sparse(&p, 0.5, &mut rng);
+        let circuit = CrossbarCircuit::new(&p, &g).unwrap();
+        let fact = circuit.factorize();
+        let x0 = vec![0.0; p.node_count()];
+        let f: Vec<f64> = (0..p.node_count())
+            .map(|k| 1e-6 * ((k % 7) as f64 - 3.0))
+            .collect();
+        let fresh = circuit.block_gauss_seidel(&x0, &f).unwrap();
+        let frozen = circuit.block_gauss_seidel_frozen(&fact, &f).unwrap();
+        // Both stop by the same inexact-Newton rule (1e-8 of the first
+        // sweep's step), so the directions agree to that accuracy.
+        let scale = fresh.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        for (a, b) in frozen.iter().zip(&fresh) {
+            assert!((a - b).abs() <= 1e-7 * scale, "{a} vs {b}");
         }
     }
 

@@ -224,16 +224,35 @@ impl<M: DeviceModel> SeriesPair<M> {
     /// current errors around `G · 1e-9 ≈ 1e-14 A` — far below both the
     /// circuit solver's residual tolerance and any ADC resolution.
     fn solve_internal(&self, v: f64) -> (f64, f64, f64) {
+        // Start from the linear divider estimate.
+        let ga0 = self.access.small_signal_g();
+        let gr0 = self.inner.small_signal_g();
+        self.solve_internal_from(v, v * ga0 / (ga0 + gr0))
+    }
+
+    /// Like [`solve_internal`](Self::solve_internal) but starting the
+    /// scalar Newton from `u0` — the amortized solve path's hook for
+    /// warm-starting from the cell's previous internal-node voltage
+    /// (out-of-range guesses are clamped back into `(0, v)`). `f(u)` is
+    /// strictly decreasing, so the converged `u` does not depend on the
+    /// start; only the iteration count does.
+    fn solve_internal_from(&self, v: f64, u0: f64) -> (f64, f64, f64) {
         if v == 0.0 {
             let ga = self.access.small_signal_g();
             let gr = self.inner.small_signal_g();
             return (0.0, 0.0, ga * gr / (ga + gr));
         }
-        // f(u) = I_acc(v - u) - I_inner(u), strictly decreasing in u.
-        // Start from the linear divider estimate.
         let ga0 = self.access.small_signal_g();
         let gr0 = self.inner.small_signal_g();
-        let mut u = v * ga0 / (ga0 + gr0);
+        let mut u = if u0.is_finite() {
+            if v > 0.0 {
+                u0.clamp(0.0, v)
+            } else {
+                u0.clamp(v, 0.0)
+            }
+        } else {
+            v * ga0 / (ga0 + gr0)
+        };
         let tol = 1e-12 + 1e-9 * v.abs();
         let mut g_series = ga0 * gr0 / (ga0 + gr0);
         for _ in 0..30 {
@@ -255,6 +274,26 @@ impl<M: DeviceModel> SeriesPair<M> {
             }
         }
         (u, self.inner.current(u), g_series)
+    }
+
+    /// Device current *and* differential conductance with a caller-held
+    /// internal-node warm start: the scalar Newton starts from `*u`
+    /// (NaN means "no guess yet") and writes the converged internal
+    /// voltage back for the next call.
+    ///
+    /// Consecutive evaluations of the same cell at nearby biases — the
+    /// amortized solve loop, and consecutive samples of a batch — then
+    /// converge in 1–2 inner iterations instead of walking in from the
+    /// linear-divider estimate every time. The converged value is the
+    /// same either way (the series constraint is strictly monotone), so
+    /// this changes cost, not results. The conductance is the same
+    /// byproduct `current_and_didv` returns — handing it out here lets
+    /// the amortized solver refresh its Jacobian without a second
+    /// internal solve per cell.
+    pub(crate) fn current_and_didv_warm(&self, v: f64, u: &mut f64) -> (f64, f64) {
+        let (u_new, i, g) = self.solve_internal_from(v, *u);
+        *u = u_new;
+        (i, g)
     }
 }
 

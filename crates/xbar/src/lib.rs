@@ -22,6 +22,10 @@
 //!   (size, Ron, ON/OFF ratio, parasitic resistances, supply voltage).
 //! * [`CrossbarCircuit`] — the nonlinear DC solver (modified nodal
 //!   analysis, damped Newton–Raphson, Jacobi-preconditioned CG).
+//! * [`SolverCache`] / [`JacobianFactorization`] — amortized solving:
+//!   content-keyed frozen-Jacobian factorizations and warm-started
+//!   Newton for batches of inputs against one programmed tile
+//!   (DESIGN.md §15).
 //! * [`AnalyticalModel`] — the linear baseline (parasitics only; devices
 //!   replaced by their programmed conductance), including the CxDNN-style
 //!   effective-matrix extraction.
@@ -53,6 +57,7 @@
 //! ```
 
 mod analytical;
+mod cache;
 mod circuit;
 mod conductance;
 pub mod device;
@@ -64,6 +69,7 @@ pub mod sweep;
 mod variation;
 
 pub use analytical::AnalyticalModel;
+pub use cache::{JacobianFactorization, SolverCache};
 pub use circuit::{CgStats, CrossbarCircuit, LinearSolverKind, NewtonOptions, SolveReport};
 pub use conductance::ConductanceMatrix;
 pub use error::XbarError;

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Check that relative links in tracked markdown files resolve.
+
+Scans every git-tracked ``*.md`` file for inline markdown links
+``[text](target)`` and fails (exit 1) listing each link whose target
+does not exist on disk. External links (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped;
+``path#fragment`` links are checked for the path part only.
+
+Run from anywhere inside the repository:
+
+    python3 tools/check_md_links.py
+
+CI runs this in the lint job so intra-doc references (README ->
+DESIGN.md sections, ROADMAP -> EXPERIMENTS.md, ...) cannot silently
+rot when files move.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style definitions are rare in this repo
+# and images share the same syntax with a leading '!', which still
+# yields a checkable (text)(target) pair.
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def main() -> int:
+    root = Path(
+        subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    )
+    broken = []
+    files = tracked_markdown(root)
+    checked = 0
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        in_code_block = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                checked += 1
+                if not resolved.exists():
+                    rel = md.relative_to(root)
+                    broken.append(f"{rel}:{lineno}: broken link '{target}'")
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken link(s) across {len(files)} files")
+        return 1
+    print(f"ok: {checked} relative links resolve across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
