@@ -1,0 +1,195 @@
+//! Non-ideality zoo sweep: strength ladders for every zoo model on a
+//! single tile, plus an RxNN-scale end-to-end leg driving the full
+//! netlist → SolverCache → funcsim path.
+//!
+//! The sweep quantifies how each pluggable model degrades MVM currents
+//! relative to the clean ideal backend — drift over decades of
+//! retention time, lognormal spread and stuck-at faults over strength,
+//! and read noise over sigma — on a `GENIEX_ZOO_SIZE` tile (default
+//! 64; CI's zoo-smoke step runs 256, the RxNN array size).
+//!
+//! The end-to-end leg then programs one drifted tile at the same size
+//! through the circuit backend: the stack transforms the target
+//! conductances, `xbar::netlist::to_spice` materializes the SPICE deck
+//! the external-simulator path would consume, and a funcsim
+//! `ZooEngine<CircuitEngine>` tile solves a small stimulus panel
+//! through `SolverCache::solve_batch` — the amortized path benchmarked
+//! by `solve_bench`.
+//!
+//! ```text
+//! cargo run --release -p geniex-bench --bin zoo_sweep
+//! GENIEX_ZOO_SIZE=256 cargo run --release -p geniex-bench --bin zoo_sweep
+//! ```
+//!
+//! `GENIEX_ZOO_E2E_SAMPLES` bounds the end-to-end panel (default 4),
+//! keeping the 256×256 leg time-boxed to a few seconds.
+
+use std::time::Instant;
+
+use funcsim::{CircuitEngine, CrossbarEngine, IdealEngine, ZooEngine};
+use geniex_bench::setup::results_dir;
+use geniex_bench::table::{fix, Table};
+use telemetry::Json;
+use xbar::zoo::{ConductanceDrift, LognormalSpread, NonIdealityStack, ReadNoise, StuckAtFaults};
+use xbar::{netlist, ConductanceMatrix, CrossbarParams};
+
+fn env_count(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Deterministic xorshift64* stream in [0, 1).
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Mean |I_zoo - I_clean| / mean |I_clean| over a stimulus panel.
+fn mean_rel_deviation(
+    size: usize,
+    stack: NonIdealityStack,
+    g_levels: &[f32],
+    panel: &[f32],
+    n: usize,
+) -> f64 {
+    let params = CrossbarParams::builder(size, size)
+        .build()
+        .expect("design point");
+    let clean = IdealEngine
+        .program(&params, g_levels)
+        .expect("clean tile")
+        .currents_batch(panel, n)
+        .expect("clean MVMs");
+    let zoo = ZooEngine::new(IdealEngine, stack)
+        .program(&params, g_levels)
+        .expect("zoo tile")
+        .currents_batch(panel, n)
+        .expect("zoo MVMs");
+    let denom: f64 = clean
+        .iter()
+        .map(|c| c.abs())
+        .sum::<f64>()
+        .max(f64::MIN_POSITIVE);
+    zoo.iter()
+        .zip(&clean)
+        .map(|(z, c)| (z - c).abs())
+        .sum::<f64>()
+        / denom
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = env_count("GENIEX_ZOO_SIZE", 64);
+    let e2e_samples = env_count("GENIEX_ZOO_E2E_SAMPLES", 4);
+    let seed = 42u64;
+    let run = geniex_bench::manifest::start(
+        "zoo_sweep",
+        &[
+            ("size", Json::from(size)),
+            ("e2e_samples", Json::from(e2e_samples)),
+            ("seed", Json::from(seed)),
+        ],
+    );
+
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ seed);
+    let g_levels: Vec<f32> = (0..size * size)
+        .map(|_| 0.05 + 0.9 * rng.next_f64() as f32)
+        .collect();
+    let n = 4usize;
+    let panel: Vec<f32> = (0..n * size).map(|_| rng.next_f64() as f32).collect();
+
+    let mut table = Table::new(&["model", "strength", "mean_rel_deviation"]);
+    let mut sweep = |model: &str, strength: f64, stack: NonIdealityStack| {
+        let dev = mean_rel_deviation(size, stack, &g_levels, &panel, n);
+        println!("{model:<12} strength {strength:<8.3} deviation {dev:.5}");
+        table.row(&[model.to_string(), fix(strength, 3), fix(dev, 5)]);
+    };
+
+    for nu in [0.0, 0.02, 0.05, 0.1] {
+        let stack = NonIdealityStack::new(seed).with_model(Box::new(ConductanceDrift {
+            t: 1e3,
+            t0: 1.0,
+            nu,
+        }))?;
+        sweep("drift", nu, stack);
+    }
+    for sigma in [0.0, 0.1, 0.2, 0.4] {
+        let stack = NonIdealityStack::new(seed).with_model(Box::new(LognormalSpread { sigma }))?;
+        sweep("lognormal", sigma, stack);
+    }
+    for rate in [0.0, 0.01, 0.05] {
+        let stack = NonIdealityStack::new(seed).with_model(Box::new(StuckAtFaults {
+            stuck_off_rate: rate / 2.0,
+            stuck_on_rate: rate / 2.0,
+        }))?;
+        sweep("stuck_at", rate, stack);
+    }
+    for sigma in [0.0, 0.02, 0.05] {
+        let stack = NonIdealityStack::new(seed).with_model(Box::new(ReadNoise { sigma }))?;
+        sweep("read_noise", sigma, stack);
+    }
+
+    println!("\n{}", table.render());
+    table.write_csv(results_dir().join("zoo_sweep.csv"))?;
+    println!("expected: deviation grows monotonically with every model's strength");
+
+    // End-to-end leg: one drifted tile through the ground-truth
+    // circuit path at full array size.
+    let params = CrossbarParams::builder(size, size).build()?;
+    let stack = NonIdealityStack::new(seed)
+        .with_model(Box::new(LognormalSpread { sigma: 0.1 }))?
+        .with_model(Box::new(ConductanceDrift {
+            t: 1e3,
+            t0: 1.0,
+            nu: 0.05,
+        }))?
+        .with_model(Box::new(ReadNoise { sigma: 0.02 }))?;
+
+    // The stack-transformed conductances materialized as the SPICE
+    // deck an external simulator would consume.
+    let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
+    let target = ConductanceMatrix::from_levels(&params, &levels)?;
+    let programmed = stack.program(&params, &target, 0)?;
+    let v_bias: Vec<f64> = (0..size)
+        .map(|i| params.v_supply * (i % 2) as f64)
+        .collect();
+    let deck = netlist::to_spice(&params, &programmed, &v_bias)?;
+    let netlist_bytes = deck.len();
+    println!("\ne2e: {size}x{size} SPICE deck is {netlist_bytes} bytes");
+
+    // The same stack driving the funcsim circuit backend: programming
+    // and drift transform the tile before `CrossbarCircuit` assembly,
+    // read noise perturbs each solved sample, and the solves run
+    // through `SolverCache::solve_batch`.
+    let start = Instant::now();
+    let engine = ZooEngine::new(CircuitEngine, stack);
+    let tile = engine.program(&params, &g_levels)?;
+    let e2e_panel: Vec<f32> = (0..e2e_samples * size)
+        .map(|_| rng.next_f64() as f32)
+        .collect();
+    let currents = tile.currents_batch(&e2e_panel, e2e_samples)?;
+    let wall_s = start.elapsed().as_secs_f64();
+    let mean_current = currents.iter().sum::<f64>() / currents.len() as f64;
+    println!(
+        "e2e: {e2e_samples} samples solved through SolverCache in {wall_s:.2}s \
+         (mean bit-line current {mean_current:.3e} A)"
+    );
+
+    geniex_bench::manifest::finish(
+        run,
+        &[
+            ("netlist_bytes", Json::from(netlist_bytes)),
+            ("e2e_wall_s", Json::from(wall_s)),
+            ("e2e_mean_current", Json::from(mean_current)),
+        ],
+    );
+    Ok(())
+}

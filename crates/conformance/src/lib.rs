@@ -23,6 +23,13 @@
 //!   integer GEMV, row/column permutation equivariance, linear-regime
 //!   voltage scaling `I(αV) ≈ αI(V)`, and batch/single bit-identity.
 //!
+//! The non-ideality zoo (`xbar::zoo`) contributes laws to all three
+//! families: a differential oracle proving the migrated variation
+//! models bit-identical to the frozen pre-zoo fused pass, invariants
+//! for zero-strength identity, seed determinism across thread counts,
+//! per-model RNG stream independence and monotone degradation in
+//! strength, and a metamorphic batch/single read-noise relation.
+//!
 //! Every law draws its cases from the in-tree `proptest` strategies
 //! through a per-law seeded [`TestRng`], so a failing run reproduces
 //! from a single number: set [`SEED_ENV`] (`GENIEX_CONFORMANCE_SEED`)
@@ -39,6 +46,7 @@ use std::time::Instant;
 mod metamorphic;
 mod oracles;
 mod physics;
+mod zoo;
 
 pub use proptest::fnv1a64;
 
@@ -253,6 +261,7 @@ pub fn registry() -> Vec<Box<dyn Law>> {
     let mut laws = oracles::laws();
     laws.extend(physics::laws());
     laws.extend(metamorphic::laws());
+    laws.extend(zoo::laws());
     laws
 }
 
@@ -348,7 +357,7 @@ mod tests {
     fn registry_meets_coverage_floor() {
         let laws = registry();
         let count = |c: Category| laws.iter().filter(|l| l.category() == c).count();
-        assert!(laws.len() >= 12, "only {} laws registered", laws.len());
+        assert!(laws.len() >= 26, "only {} laws registered", laws.len());
         assert!(count(Category::Oracle) >= 4);
         assert!(count(Category::Invariant) >= 4);
         assert!(count(Category::Metamorphic) >= 4);

@@ -50,6 +50,22 @@ pub trait ProgrammedXbar: Send + Sync {
     fn currents_batch(&self, v_levels: &[f32], n: usize) -> Result<Vec<f64>, FuncsimError>;
 }
 
+/// Boxed engines forward, so decorators like `ZooEngine` can wrap a
+/// runtime-selected backend without knowing its concrete type.
+impl CrossbarEngine for Box<dyn CrossbarEngine> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn program(
+        &self,
+        params: &CrossbarParams,
+        g_levels: &[f32],
+    ) -> Result<Box<dyn ProgrammedXbar>, FuncsimError> {
+        self.as_ref().program(params, g_levels)
+    }
+}
+
 fn check_levels(
     params: &CrossbarParams,
     g_levels: &[f32],

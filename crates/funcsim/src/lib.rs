@@ -50,6 +50,7 @@ mod matrix;
 mod network;
 mod record;
 mod variation;
+mod zoo;
 
 pub use arch::{ArchConfig, WeightMapping};
 pub use engine::{
@@ -61,3 +62,4 @@ pub use matrix::ProgrammedMatrix;
 pub use network::{evaluate_spec, CrossbarNetwork};
 pub use record::{harvest_stimuli, RecordingEngine, StimulusLog, WorkloadStimulus};
 pub use variation::VariationEngine;
+pub use zoo::ZooEngine;

@@ -1,24 +1,27 @@
 //! Engine decorator injecting programming imperfections.
 //!
 //! Wraps any [`CrossbarEngine`] so that each tile's target conductance
-//! levels pass through [`xbar::apply_variations`] before programming —
-//! modelling lognormal programming spread and stuck-at faults on top of
-//! whichever non-ideality backend is active.
+//! levels pass through the migrated [`xbar::apply_variations`] model
+//! before programming — modelling lognormal programming spread and
+//! stuck-at faults on top of whichever non-ideality backend is active.
 //!
-//! Each programmed tile draws a distinct defect map (the wrapper
-//! advances a per-tile seed), mirroring a chip where each physical
-//! array has its own faults.
+//! Since the zoo refactor this is a thin compatibility shell over
+//! [`ZooEngine`] carrying a single `LegacyVariation` model
+//! ([`xbar::zoo::NonIdealityStack::from_variation`]), and its outputs
+//! are bit-identical to the pre-zoo implementation: each programmed
+//! tile draws a distinct defect map from `config.seed` plus a per-tile
+//! counter, mirroring a chip where each physical array has its own
+//! faults.
 
 use crate::engine::{CrossbarEngine, ProgrammedXbar};
+use crate::zoo::ZooEngine;
 use crate::FuncsimError;
-use std::sync::atomic::{AtomicU64, Ordering};
-use xbar::{apply_variations, ConductanceMatrix, CrossbarParams, VariationConfig};
+use xbar::zoo::NonIdealityStack;
+use xbar::{CrossbarParams, VariationConfig};
 
 /// A [`CrossbarEngine`] whose tiles are programmed imperfectly.
 pub struct VariationEngine<E> {
-    inner: E,
-    config: VariationConfig,
-    tile_counter: AtomicU64,
+    zoo: ZooEngine<E>,
 }
 
 impl<E: CrossbarEngine> VariationEngine<E> {
@@ -29,11 +32,9 @@ impl<E: CrossbarEngine> VariationEngine<E> {
     ///
     /// Propagates [`VariationConfig::validate`] failures.
     pub fn new(inner: E, config: VariationConfig) -> Result<Self, FuncsimError> {
-        config.validate()?;
+        let stack = NonIdealityStack::from_variation(&config)?;
         Ok(VariationEngine {
-            inner,
-            config,
-            tile_counter: AtomicU64::new(0),
+            zoo: ZooEngine::new(inner, stack),
         })
     }
 }
@@ -48,26 +49,7 @@ impl<E: CrossbarEngine> CrossbarEngine for VariationEngine<E> {
         params: &CrossbarParams,
         g_levels: &[f32],
     ) -> Result<Box<dyn ProgrammedXbar>, FuncsimError> {
-        let levels: Vec<f64> = g_levels.iter().map(|&l| l as f64).collect();
-        let target = ConductanceMatrix::from_levels(params, &levels)?;
-        let tile_seed = self
-            .config
-            .seed
-            .wrapping_add(self.tile_counter.fetch_add(1, Ordering::Relaxed));
-        let varied = apply_variations(
-            params,
-            &target,
-            &VariationConfig {
-                seed: tile_seed,
-                ..self.config
-            },
-        )?;
-        let varied_levels: Vec<f32> = varied
-            .to_levels(params)
-            .into_iter()
-            .map(|x| x as f32)
-            .collect();
-        self.inner.program(params, &varied_levels)
+        self.zoo.program(params, g_levels)
     }
 }
 
@@ -170,5 +152,47 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn migration_is_bit_identical_to_fused_pass() {
+        // The zoo-backed engine must reproduce the pre-refactor path:
+        // apply_variations at seed + tile, then the levels round trip.
+        let p = params();
+        let config = VariationConfig {
+            conductance_sigma: 0.2,
+            stuck_off_rate: 0.05,
+            stuck_on_rate: 0.05,
+            seed: 11,
+        };
+        let engine = VariationEngine::new(IdealEngine, config).unwrap();
+        let g = [0.5f32; 64];
+        let v = [1.0f32; 8];
+        for tile in 0u64..3 {
+            let got = engine
+                .program(&p, &g)
+                .unwrap()
+                .currents_batch(&v, 1)
+                .unwrap();
+            let levels: Vec<f64> = g.iter().map(|&l| l as f64).collect();
+            let target = xbar::ConductanceMatrix::from_levels(&p, &levels).unwrap();
+            let varied = xbar::apply_variations(
+                &p,
+                &target,
+                &VariationConfig {
+                    seed: config.seed.wrapping_add(tile),
+                    ..config
+                },
+            )
+            .unwrap();
+            let varied_levels: Vec<f32> =
+                varied.to_levels(&p).into_iter().map(|x| x as f32).collect();
+            let expect = IdealEngine
+                .program(&p, &varied_levels)
+                .unwrap()
+                .currents_batch(&v, 1)
+                .unwrap();
+            assert_eq!(got, expect, "tile {tile} diverged from the fused pass");
+        }
     }
 }

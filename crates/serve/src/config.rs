@@ -107,6 +107,12 @@ pub struct ServeConfig {
     /// `GENIEX_SERVE_TRAIN_EPOCHS`), defaults 8 / 6.
     pub train_per_class: usize,
     pub train_epochs: usize,
+    /// Conductance drift time (`GENIEX_SERVE_DRIFT_T`), default 0
+    /// (disabled). Values > 1 activate the zoo's `g(t) = g0·(t/t0)^-ν`
+    /// drift model with `t0` fixed at 1, aging every programmed tile.
+    pub drift_t: f64,
+    /// Drift exponent ν (`GENIEX_SERVE_DRIFT_NU`), default 0.05.
+    pub drift_nu: f64,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +133,8 @@ impl Default for ServeConfig {
             surrogate_epochs: 40,
             train_per_class: 8,
             train_epochs: 6,
+            drift_t: 0.0,
+            drift_nu: 0.05,
         }
     }
 }
@@ -167,7 +175,15 @@ impl ServeConfig {
             surrogate_epochs: env_parse("GENIEX_SERVE_SURROGATE_EPOCHS", d.surrogate_epochs).max(1),
             train_per_class: env_parse("GENIEX_SERVE_TRAIN_PER_CLASS", d.train_per_class).max(1),
             train_epochs: env_parse("GENIEX_SERVE_TRAIN_EPOCHS", d.train_epochs).max(1),
+            drift_t: env_parse("GENIEX_SERVE_DRIFT_T", d.drift_t),
+            drift_nu: env_parse("GENIEX_SERVE_DRIFT_NU", d.drift_nu),
         }
+    }
+
+    /// Whether the drift knobs activate the non-ideality zoo (a drift
+    /// time at or below the reference `t0 = 1` is the identity).
+    pub fn drift_active(&self) -> bool {
+        self.drift_t > 1.0 && self.drift_nu > 0.0
     }
 
     /// Manifest/stats fields describing this configuration (the
@@ -189,6 +205,8 @@ impl ServeConfig {
             ("surrogate_epochs", Json::from(self.surrogate_epochs)),
             ("train_per_class", Json::from(self.train_per_class)),
             ("train_epochs", Json::from(self.train_epochs)),
+            ("drift_t", Json::from(self.drift_t)),
+            ("drift_nu", Json::from(self.drift_nu)),
             ("threads", Json::from(parallel::default_threads())),
         ]
     }

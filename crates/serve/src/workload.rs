@@ -15,7 +15,7 @@ use std::io::Cursor;
 
 use funcsim::{
     AnalyticalEngine, ArchConfig, CrossbarEngine, CrossbarNetwork, FxpFormat, GeniexEngine,
-    IdealEngine, ProgrammedMatrix,
+    IdealEngine, ProgrammedMatrix, ZooEngine,
 };
 use geniex::dataset::{generate, DatasetConfig};
 use geniex::{Geniex, TrainConfig};
@@ -107,11 +107,26 @@ fn build_engine(
     cfg: &ServeConfig,
     params: &CrossbarParams,
 ) -> Result<Box<dyn CrossbarEngine>, String> {
-    Ok(match cfg.engine {
+    let engine: Box<dyn CrossbarEngine> = match cfg.engine {
         EngineKind::Ideal => Box::new(IdealEngine),
         EngineKind::Analytical => Box::new(AnalyticalEngine),
         EngineKind::Geniex => Box::new(GeniexEngine::new(surrogate(cfg, params)?)),
-    })
+    };
+    if !cfg.drift_active() {
+        return Ok(engine);
+    }
+    // Drifted workload: every programmed tile ages through the zoo's
+    // retention model. Server and loadgen oracle build from the same
+    // config, so tiles program in the same order and draw the same
+    // sub-streams — the answers stay bit-identical.
+    let stack = xbar::zoo::NonIdealityStack::new(cfg.seed)
+        .with_model(Box::new(xbar::zoo::ConductanceDrift {
+            t: cfg.drift_t,
+            t0: 1.0,
+            nu: cfg.drift_nu,
+        }))
+        .map_err(|e| format!("drift config: {e}"))?;
+    Ok(Box::new(ZooEngine::new(engine, stack)))
 }
 
 /// Trains (or loads) the GENIEx surrogate for the serve design point.
@@ -267,6 +282,28 @@ mod tests {
         // Deterministic: a second build answers bit-identically.
         let again = build(&cfg).expect("workload builds");
         assert_eq!(again.matrix.mvm_codes(&codes, 1).expect("mvm"), out);
+    }
+
+    #[test]
+    fn drifted_workload_is_deterministic_and_differs_from_fresh() {
+        let fresh_cfg = tiny_config();
+        let drifted_cfg = ServeConfig {
+            drift_t: 1e4,
+            drift_nu: 0.05,
+            ..tiny_config()
+        };
+        assert!(!fresh_cfg.drift_active());
+        assert!(drifted_cfg.drift_active());
+        let fresh = build(&fresh_cfg).expect("fresh workload");
+        let drifted = build(&drifted_cfg).expect("drifted workload");
+        let codes = request_codes(fresh.input_format, fresh_cfg.k, fresh_cfg.seed, 0);
+        let out_fresh = fresh.matrix.mvm_codes(&codes, 1).expect("mvm");
+        let out_drifted = drifted.matrix.mvm_codes(&codes, 1).expect("mvm");
+        assert_ne!(out_fresh, out_drifted, "drift must move the answers");
+        // Two independent drifted builds agree bit-for-bit — the
+        // loadgen oracle contract.
+        let again = build(&drifted_cfg).expect("drifted workload again");
+        assert_eq!(again.matrix.mvm_codes(&codes, 1).expect("mvm"), out_drifted);
     }
 
     #[test]

@@ -83,6 +83,46 @@ fn concurrent_mvms_match_the_funcsim_oracle_bit_exactly() {
 }
 
 #[test]
+fn drifted_workload_matches_the_oracle_bit_exactly() {
+    // The zoo active end-to-end: every tile ages through the
+    // conductance-drift model. Server and oracle build from the same
+    // config, so their tiles drift identically and the served answers
+    // must stay bit-exact — while genuinely differing from the
+    // undrifted workload.
+    let cfg = ServeConfig {
+        drift_t: 1e4,
+        drift_nu: 0.05,
+        ..tiny_cfg()
+    };
+    assert!(cfg.drift_active());
+    let oracle = serve::workload::build(&cfg).expect("oracle builds");
+    let undrifted = serve::workload::build(&tiny_cfg()).expect("undrifted oracle builds");
+    let (addr, _handle, join) = start_server(&cfg);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut saw_drift = false;
+    for index in 0..12u64 {
+        let codes = serve::workload::request_codes(oracle.input_format, cfg.k, cfg.seed, index);
+        let served = client.mvm(codes.clone()).expect("mvm answered");
+        let expected = oracle.matrix.mvm_codes(&codes, 1).expect("oracle mvm");
+        assert_eq!(
+            served, expected,
+            "drifted request {index} diverged from the drifted oracle"
+        );
+        saw_drift |= served
+            != undrifted
+                .matrix
+                .mvm_codes(&codes, 1)
+                .expect("undrifted mvm");
+    }
+    assert!(saw_drift, "drift at t=1e4 left every answer untouched");
+
+    client.shutdown_server().expect("shutdown accepted");
+    let totals = join.join().expect("clean drain");
+    assert_eq!(totals.errors, 0);
+}
+
+#[test]
 fn infer_matches_the_oracle_network_bit_exactly() {
     let cfg = ServeConfig {
         model: ModelKind::SynthS,

@@ -30,6 +30,9 @@
 //!   replaced by their programmed conductance), including the CxDNN-style
 //!   effective-matrix extraction.
 //! * [`ideal_mvm`] — the ideal `I_j = Σ_i V_i · G_ij` arithmetic.
+//! * [`zoo`] — the pluggable non-ideality zoo: seeded, composable
+//!   imperfection models (variation, stuck-at faults, drift, read
+//!   noise) with declared lifecycle stages.
 //! * [`nf`] — the non-ideality-factor metric and its summary statistics.
 //! * [`sweep`] — design-space sweep drivers used by the figure
 //!   regeneration binaries.
@@ -67,6 +70,7 @@ pub mod nf;
 mod params;
 pub mod sweep;
 mod variation;
+pub mod zoo;
 
 pub use analytical::AnalyticalModel;
 pub use cache::{JacobianFactorization, SolverCache};
@@ -75,6 +79,7 @@ pub use conductance::ConductanceMatrix;
 pub use error::XbarError;
 pub use params::{CrossbarParams, CrossbarParamsBuilder, DeviceParams, NonIdealityConfig};
 pub use variation::{apply_variations, VariationConfig};
+pub use zoo::{NonIdeality, NonIdealityStack, Stage};
 
 use linalg::LinalgError;
 

@@ -1,0 +1,101 @@
+//! Edge-shape coverage for the amortized batch solver: the shapes a
+//! workload driver can legitimately produce but a benchmark never
+//! exercises — empty panels, single samples, and panels long enough to
+//! roll past the warm-start adjustment cap.
+
+use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, SolverCache};
+
+const SIZE: usize = 8;
+
+fn fixture() -> (CrossbarParams, CrossbarCircuit) {
+    let params = CrossbarParams::builder(SIZE, SIZE).build().unwrap();
+    let mut g = ConductanceMatrix::uniform(SIZE, SIZE, params.g_off());
+    let span = params.g_on() - params.g_off();
+    for i in 0..SIZE {
+        for j in 0..SIZE {
+            let level = ((i * SIZE + j) % 7) as f64 / 6.0;
+            g.set(i, j, params.g_off() + span * level);
+        }
+    }
+    let circuit = CrossbarCircuit::new(&params, &g).unwrap();
+    (params, circuit)
+}
+
+/// Deterministic stimulus panel: sample s perturbs sample s-1, the
+/// correlated regime warm-starting targets.
+fn panel(params: &CrossbarParams, samples: usize) -> Vec<f64> {
+    let mut volts = vec![0.0f64; samples * SIZE];
+    for i in 0..SIZE {
+        volts[i] = params.v_supply * (0.2 + 0.6 * (i as f64 / SIZE as f64));
+    }
+    for s in 1..samples {
+        for i in 0..SIZE {
+            let prev = volts[(s - 1) * SIZE + i];
+            let jitter = 0.05 * params.v_supply * ((((s * SIZE + i) % 11) as f64 / 10.0) - 0.5);
+            volts[s * SIZE + i] = (prev + jitter).clamp(0.0, params.v_supply);
+        }
+    }
+    volts
+}
+
+#[test]
+fn empty_panel_is_a_no_op() {
+    let (_, circuit) = fixture();
+    let mut cache = SolverCache::for_circuit(&circuit);
+    let reports = circuit.solve_batch(&[], 0, &mut cache).unwrap();
+    assert!(reports.is_empty());
+    assert!(cache.warm_start().is_none(), "no sample, no warm state");
+}
+
+#[test]
+fn one_sample_panel_matches_solve_amortized() {
+    let (params, circuit) = fixture();
+    let volts = panel(&params, 1);
+    let mut batch_cache = SolverCache::for_circuit(&circuit);
+    let batch = circuit.solve_batch(&volts, 1, &mut batch_cache).unwrap();
+    assert_eq!(batch.len(), 1);
+    let mut single_cache = SolverCache::for_circuit(&circuit);
+    let single = circuit.solve_amortized(&volts, &mut single_cache).unwrap();
+    // Identical cache state in, identical deterministic solve out.
+    assert_eq!(batch[0].currents, single.currents);
+}
+
+#[test]
+fn panel_longer_than_the_adjustment_cap_stays_within_contract() {
+    // 40 correlated samples roll well past the warm-start residual
+    // adjustment cap (32), forcing at least one mid-panel fresh
+    // re-evaluation; every sample must still match its cold solve
+    // within the amortized-path agreement contract (DESIGN.md §15).
+    let (params, circuit) = fixture();
+    let samples = 40;
+    let volts = panel(&params, samples);
+    let mut cache = SolverCache::for_circuit(&circuit);
+    let reports = circuit.solve_batch(&volts, samples, &mut cache).unwrap();
+    assert_eq!(reports.len(), samples);
+    for (s, (v, warm)) in volts.chunks_exact(SIZE).zip(&reports).enumerate() {
+        let cold = circuit.solve(v).unwrap();
+        for (a, b) in warm.currents.iter().zip(&cold.currents) {
+            assert!(
+                (a - b).abs() <= 1e-6 * b.abs() + 1e-10,
+                "sample {s}: warm {a} vs cold {b}"
+            );
+        }
+    }
+    assert!(
+        reports.iter().skip(1).all(|r| r.warm_start),
+        "every sample after the first must warm-start"
+    );
+}
+
+#[test]
+fn mismatched_panel_shape_is_rejected() {
+    let (params, circuit) = fixture();
+    let volts = panel(&params, 2);
+    let mut cache = SolverCache::for_circuit(&circuit);
+    // 2 samples' worth of voltages declared as 3 samples.
+    assert!(circuit.solve_batch(&volts, 3, &mut cache).is_err());
+    // Truncated panel.
+    assert!(circuit
+        .solve_batch(&volts[..volts.len() - 1], 2, &mut cache)
+        .is_err());
+}

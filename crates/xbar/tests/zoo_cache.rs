@@ -1,0 +1,88 @@
+//! Regression coverage: the `SolverCache` content key is derived from
+//! the *post-non-ideality* conductances, never the programmed target.
+//! Two tiles sharing a target but differing in drift time are
+//! different circuits and must not share a frozen-Jacobian
+//! factorization — while genuinely identical drifted tiles must.
+
+use std::sync::Arc;
+use xbar::zoo::{ConductanceDrift, NonIdealityStack};
+use xbar::{ConductanceMatrix, CrossbarCircuit, CrossbarParams, SolverCache};
+
+const SIZE: usize = 8;
+
+fn target(params: &CrossbarParams) -> ConductanceMatrix {
+    let span = params.g_on() - params.g_off();
+    let mut g = ConductanceMatrix::uniform(SIZE, SIZE, params.g_off());
+    for i in 0..SIZE {
+        for j in 0..SIZE {
+            let level = ((i + 2 * j) % 5) as f64 / 4.0;
+            g.set(i, j, params.g_off() + span * level);
+        }
+    }
+    g
+}
+
+fn drifted_circuit(params: &CrossbarParams, t: f64) -> CrossbarCircuit {
+    let stack = NonIdealityStack::new(7)
+        .with_model(Box::new(ConductanceDrift {
+            t,
+            t0: 1.0,
+            nu: 0.05,
+        }))
+        .unwrap();
+    let g = stack.program(params, &target(params), 0).unwrap();
+    CrossbarCircuit::new(params, &g).unwrap()
+}
+
+#[test]
+fn different_drift_times_never_share_a_factorization() {
+    let params = CrossbarParams::builder(SIZE, SIZE).build().unwrap();
+    let fresh = drifted_circuit(&params, 1.0); // t == t0: identity drift
+    let aged = drifted_circuit(&params, 1e5);
+    assert_ne!(
+        fresh.solver_key(),
+        aged.solver_key(),
+        "identical targets at different drift times must key differently"
+    );
+    let fresh_cache = SolverCache::for_circuit(&fresh);
+    let aged_cache = SolverCache::for_circuit(&aged);
+    assert!(
+        !Arc::ptr_eq(fresh_cache.factorization(), aged_cache.factorization()),
+        "drifted tile reused the undrifted tile's factorization"
+    );
+    // And the solves really differ: the aged tile conducts less.
+    let v = vec![params.v_supply; SIZE];
+    let mut fc = fresh_cache;
+    let mut ac = aged_cache;
+    let i_fresh = fresh.solve_amortized(&v, &mut fc).unwrap().currents;
+    let i_aged = aged.solve_amortized(&v, &mut ac).unwrap().currents;
+    for (f, a) in i_fresh.iter().zip(&i_aged) {
+        assert!(a < f, "aged current {a} must sit below fresh {f}");
+    }
+}
+
+#[test]
+fn identical_drifted_tiles_do_share_a_factorization() {
+    let params = CrossbarParams::builder(SIZE, SIZE).build().unwrap();
+    let a = drifted_circuit(&params, 1e4);
+    let b = drifted_circuit(&params, 1e4);
+    assert_eq!(a.solver_key(), b.solver_key());
+    let ca = SolverCache::for_circuit(&a);
+    let cb = SolverCache::for_circuit(&b);
+    assert!(
+        Arc::ptr_eq(ca.factorization(), cb.factorization()),
+        "same post-drift conductances must hit the process-wide registry"
+    );
+}
+
+#[test]
+fn identity_drift_shares_with_the_raw_target() {
+    let params = CrossbarParams::builder(SIZE, SIZE).build().unwrap();
+    let through_zoo = drifted_circuit(&params, 1.0);
+    let raw = CrossbarCircuit::new(&params, &target(&params)).unwrap();
+    assert_eq!(
+        through_zoo.solver_key(),
+        raw.solver_key(),
+        "identity drift must not perturb the content key"
+    );
+}
